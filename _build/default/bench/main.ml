@@ -1,0 +1,225 @@
+(* The benchmark entry point: `dune exec bench/main.exe`.
+
+   Two layers:
+
+   1. Bechamel micro-benchmarks — one Test per reproduced artifact:
+      - per-queue single-operation cost (the paper's in-text single-thread
+        overhead table, E5), and
+      - per-figure grouped tests (E1/E2: one element per series of Figure
+        6(a)/(b), each element timing one multi-domain paper-workload
+        round).
+   2. The harness-based tables: the exact rows/series the paper reports
+      for Figure 6(a)-(d), the single-thread overhead table and the
+      Shann-vs-CAS comparison, at an environment-configurable scale.
+
+   Environment knobs (all optional):
+     NBQ_BENCH_SCALE       fraction of the paper's 100k iterations (0.01)
+     NBQ_BENCH_RUNS        runs per configuration                  (2)
+     NBQ_BENCH_MAXTHREADS  clamp on the thread sweeps              (16)  *)
+
+open Bechamel
+open Toolkit
+open Nbq_harness
+
+let env_float name default =
+  match Sys.getenv_opt name with Some s -> float_of_string s | None -> default
+
+let env_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let scale = env_float "NBQ_BENCH_SCALE" 0.01
+let runs = env_int "NBQ_BENCH_RUNS" 2
+let max_threads = env_int "NBQ_BENCH_MAXTHREADS" 16
+
+(* --- Layer 1: bechamel tests --- *)
+
+(* Single-op cost: one enqueue + one dequeue on a pre-filled queue. *)
+let op_cost_test (impl : Registry.impl) =
+  Test.make ~name:impl.Registry.name
+    (Staged.stage
+       (let q = impl.Registry.create ~capacity:128 in
+        for i = 1 to 64 do
+          ignore (q.Registry.enqueue { Registry.tag = i })
+        done;
+        fun () ->
+          ignore (q.Registry.enqueue { Registry.tag = 0 });
+          ignore (q.Registry.dequeue ())))
+
+(* One multi-domain paper-workload round, as a benchmarkable unit. *)
+let round_test ~threads name =
+  let impl = Registry.find name in
+  let workload =
+    { Workload.iterations = 50; enqueue_batch = 5; dequeue_batch = 5 }
+  in
+  let capacity = Workload.min_capacity workload ~threads in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let q = impl.Registry.create ~capacity in
+         let barrier = Nbq_primitives.Barrier.create ~parties:threads in
+         let domains =
+           List.init threads (fun thread ->
+               Domain.spawn (fun () ->
+                   Nbq_primitives.Barrier.await barrier;
+                   Workload.run_thread workload ~thread q))
+         in
+         List.iter (fun d -> ignore (Domain.join d)) domains))
+
+let series_a =
+  [ "ms-doherty"; "evequoz-cas"; "ms-hp-unsorted"; "ms-hp-sorted"; "evequoz-llsc" ]
+
+let series_b =
+  [ "ms-doherty"; "ms-hp-unsorted"; "ms-hp-sorted"; "evequoz-cas"; "shann" ]
+
+let bechamel_tests =
+  Test.make_grouped ~name:"nbq"
+    [
+      Test.make_grouped ~name:"op-cost (E5)"
+        (List.map op_cost_test Registry.all);
+      Test.make_grouped ~name:"fig6a-round-4t (E1)"
+        (List.map (round_test ~threads:4) series_a);
+      Test.make_grouped ~name:"fig6b-round-4t (E2)"
+        (List.map (round_test ~threads:4) series_b);
+    ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances bechamel_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  print_endline "== Bechamel estimates (monotonic clock, ns per run) ==";
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = "monotonic-clock" then begin
+        let rows =
+          Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+          |> List.sort compare
+        in
+        List.iter
+          (fun (name, ols) ->
+            match Analyze.OLS.estimates ols with
+            | Some (est :: _) -> Printf.printf "%-45s %12.1f ns\n" name est
+            | Some [] | None -> Printf.printf "%-45s (no estimate)\n" name)
+          rows
+      end)
+    merged;
+  print_newline ()
+
+(* --- Layer 2: harness tables (the paper's artifacts) --- *)
+
+let clamp threads = List.filter (fun t -> t <= max_threads) threads
+
+let measure_series ~series ~threads ~workload =
+  List.map
+    (fun threads ->
+      ( threads,
+        List.map
+          (fun name ->
+            let impl = Registry.find name in
+            let cfg = { Runner.threads; runs; workload; capacity = None } in
+            (name, (Runner.measure impl cfg).Runner.summary.Stats.mean))
+          series ))
+    threads
+
+let figure ~title ~series ~threads ~normalized ~workload =
+  let results = measure_series ~series ~threads ~workload in
+  let t = Table.create ~title ~columns:("threads" :: series) in
+  List.iter
+    (fun (threads, cells) ->
+      let base =
+        match List.assoc_opt "evequoz-cas" cells with
+        | Some m -> m
+        | None -> 1.0
+      in
+      Table.add_row t
+        (string_of_int threads
+        :: List.map
+             (fun (_, mean) ->
+               Table.cell_float (if normalized then mean /. base else mean))
+             cells))
+    results;
+  print_string (Table.render t);
+  print_newline ()
+
+let overhead_table ~workload =
+  let cfg = { Runner.threads = 1; runs; workload; capacity = Some 64 } in
+  let t =
+    Table.create ~title:"E5: single-thread overhead vs seq-ring"
+      ~columns:[ "queue"; "seconds"; "overhead" ]
+  in
+  let base =
+    (Runner.measure (Registry.find "seq-ring") cfg).Runner.summary.Stats.mean
+  in
+  List.iter
+    (fun (impl : Registry.impl) ->
+      let mean = (Runner.measure impl cfg).Runner.summary.Stats.mean in
+      let overhead =
+        if impl.Registry.name = "seq-ring" then "(base)"
+        else Printf.sprintf "+%.0f%%" (((mean /. base) -. 1.0) *. 100.0)
+      in
+      Table.add_row t [ impl.Registry.name; Table.cell_float mean; overhead ])
+    Registry.all;
+  print_string (Table.render t);
+  print_newline ()
+
+let shann_table ~workload =
+  let threads = clamp [ 1; 2; 4; 8; 16 ] in
+  let results =
+    measure_series ~series:[ "shann"; "evequoz-cas" ] ~threads ~workload
+  in
+  let t =
+    Table.create ~title:"E6: Shann (simulated CAS64) vs evequoz-cas"
+      ~columns:[ "threads"; "shann"; "evequoz-cas"; "ratio" ]
+  in
+  List.iter
+    (fun (threads, cells) ->
+      match cells with
+      | [ (_, s); (_, c) ] ->
+          Table.add_row t
+            [
+              string_of_int threads;
+              Table.cell_float s;
+              Table.cell_float c;
+              Table.cell_float (c /. s);
+            ]
+      | _ -> assert false)
+    results;
+  print_string (Table.render t);
+  print_newline ()
+
+let () =
+  Printf.printf
+    "nbq bench: scale=%.3f runs=%d max-threads=%d (override via \
+     NBQ_BENCH_SCALE / NBQ_BENCH_RUNS / NBQ_BENCH_MAXTHREADS)\n\n%!"
+    scale runs max_threads;
+  run_bechamel ();
+  let workload = Workload.scaled_config ~scale in
+  figure
+    ~title:"E1 / Figure 6(a): actual time, LL/SC suite [s]"
+    ~series:series_a
+    ~threads:(clamp [ 1; 2; 4; 8; 12; 16; 20; 24; 28; 32 ])
+    ~normalized:false ~workload;
+  figure
+    ~title:"E2 / Figure 6(b): actual time, CAS suite [s]"
+    ~series:series_b
+    ~threads:(clamp [ 1; 4; 8; 16; 24; 32; 48; 64 ])
+    ~normalized:false ~workload;
+  figure
+    ~title:"E3 / Figure 6(c): normalized time, LL/SC suite"
+    ~series:series_a
+    ~threads:(clamp [ 1; 2; 4; 8; 12; 16; 20; 24; 28; 32 ])
+    ~normalized:true ~workload;
+  figure
+    ~title:"E4 / Figure 6(d): normalized time, CAS suite"
+    ~series:series_b
+    ~threads:(clamp [ 1; 4; 8; 16; 24; 32; 48; 64 ])
+    ~normalized:true ~workload;
+  overhead_table ~workload;
+  shann_table ~workload

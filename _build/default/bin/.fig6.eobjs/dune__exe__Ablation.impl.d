@@ -1,0 +1,1 @@
+bin/ablation.ml: Arg Atomic Cmd Cmdliner Fig_common Float List Nbq_baselines Nbq_core Nbq_harness Nbq_reclaim Printf Registry Runner Stats String Table Term Workload

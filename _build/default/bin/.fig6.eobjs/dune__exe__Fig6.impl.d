@@ -1,0 +1,1 @@
+bin/fig6.ml: Arg Cmd Cmdliner Fig_common List Nbq_harness Printf Term

@@ -1,0 +1,1 @@
+bin/fig6.mli:

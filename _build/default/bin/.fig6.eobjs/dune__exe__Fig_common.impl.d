@@ -1,0 +1,1 @@
+bin/fig_common.ml: Arg Ascii_plot Cmdliner List Nbq_harness Registry Runner Stats Table Workload

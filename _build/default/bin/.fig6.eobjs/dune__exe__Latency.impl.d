@@ -1,0 +1,1 @@
+bin/latency.ml: Arg Cmd Cmdliner Domain Latency List Nbq_harness Nbq_primitives Printf Registry Table Term

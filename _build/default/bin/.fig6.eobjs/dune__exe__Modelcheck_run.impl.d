@@ -1,0 +1,1 @@
+bin/modelcheck_run.ml: Arg Cmd Cmdliner List Nbq_modelcheck Printf String Term

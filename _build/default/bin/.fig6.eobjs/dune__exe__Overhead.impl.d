@@ -1,0 +1,1 @@
+bin/overhead.ml: Cmd Cmdliner Fig_common List Nbq_harness Printf Registry Runner Stats Table Term Workload

@@ -1,0 +1,1 @@
+bin/shann_vs_cas.ml: Cmd Cmdliner Fig_common List Nbq_harness Printf Runner Stats Table Term Workload

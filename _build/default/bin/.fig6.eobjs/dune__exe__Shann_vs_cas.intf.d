@@ -1,0 +1,1 @@
+bin/shann_vs_cas.mli:

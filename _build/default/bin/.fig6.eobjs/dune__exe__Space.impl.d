@@ -1,0 +1,1 @@
+bin/space.ml: Arg Cmd Cmdliner Domain List Nbq_baselines Nbq_core Nbq_harness Nbq_primitives Nbq_reclaim Printf Term Unix

@@ -1,0 +1,1 @@
+bin/stress.ml: Arg Cmd Cmdliner List Nbq_harness Nbq_lincheck Option Printf Registry Term

@@ -1,0 +1,206 @@
+(* Experiment E8: ablations over the design knobs DESIGN.md calls out.
+
+   a) weak LL/SC: spurious SC failure rate vs throughput (the §5 caveat);
+   b) hazard-pointer retire threshold (paper fixed it at 4x threads);
+   c) epoch-based reclamation batch size;
+   d) array capacity vs contention for the CAS queue;
+   e) the reclamation axis at a glance: GC vs HP vs EBR vs simulated-LL/SC
+      reclamation on the same MS queue.  *)
+
+open Cmdliner
+open Nbq_harness
+
+let custom_impl ~name ~family create_instance =
+  {
+    Registry.name;
+    family;
+    bounded = false;
+    bounded_delay_assumption = false;
+    create = create_instance;
+  }
+
+let measure impl threads runs workload capacity =
+  let cfg = { Runner.threads; runs; workload; capacity } in
+  (Runner.measure impl cfg).Runner.summary.Stats.mean
+
+let weak_llsc_ablation ~threads ~runs ~workload ~csv =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation (a): spurious SC failure rate, evequoz-llsc-weak, %d \
+            threads" threads)
+      ~columns:[ "failure-rate"; "seconds"; "slowdown" ]
+  in
+  let base = ref nan in
+  List.iter
+    (fun rate ->
+      Atomic.set Nbq_core.Evequoz_llsc.On_weak_cells.failure_rate rate;
+      let impl = Registry.find "evequoz-llsc-weak" in
+      let mean = measure impl threads runs workload None in
+      if Float.is_nan !base then base := mean;
+      Table.add_row t
+        [
+          Printf.sprintf "%.2f" rate;
+          Table.cell_float mean;
+          Printf.sprintf "%.2fx" (mean /. !base);
+        ])
+    [ 0.0; 0.01; 0.05; 0.1; 0.2; 0.4 ];
+  Atomic.set Nbq_core.Evequoz_llsc.On_weak_cells.failure_rate 0.05;
+  Fig_common.emit ~csv t
+
+let hp_threshold_ablation ~threads ~runs ~workload ~csv =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation (b): hazard-pointer retire threshold factor, %d threads \
+            (paper: 4)" threads)
+      ~columns:[ "factor"; "seconds"; "scans"; "freed" ]
+  in
+  List.iter
+    (fun factor ->
+      let manager_probe = ref None in
+      let impl =
+        custom_impl
+          ~name:(Printf.sprintf "ms-hp-f%d" factor)
+          ~family:Registry.Link_based
+          (fun ~capacity:_ ->
+            let q = Nbq_baselines.Ms_hazard.create ~retire_factor:factor () in
+            manager_probe := Some (Nbq_baselines.Ms_hazard.hp_manager q);
+            {
+              Registry.enqueue =
+                (fun p -> Nbq_baselines.Ms_hazard.enqueue q p; true);
+              dequeue = (fun () -> Nbq_baselines.Ms_hazard.try_dequeue q);
+              length = (fun () -> Nbq_baselines.Ms_hazard.length q);
+            })
+      in
+      let mean = measure impl threads runs workload None in
+      let scans, freed =
+        match !manager_probe with
+        | Some mgr ->
+            ( Nbq_reclaim.Hazard_pointer.total_scans mgr,
+              Nbq_reclaim.Hazard_pointer.total_freed mgr )
+        | None -> (0, 0)
+      in
+      Table.add_row t
+        [
+          string_of_int factor;
+          Table.cell_float mean;
+          string_of_int scans;
+          string_of_int freed;
+        ])
+    [ 1; 2; 4; 8; 16; 64 ];
+  Fig_common.emit ~csv t
+
+let ebr_batch_ablation ~threads ~runs ~workload ~csv =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Ablation (c): EBR batch size, ms-ebr, %d threads"
+           threads)
+      ~columns:[ "batch"; "seconds"; "freed"; "pending" ]
+  in
+  List.iter
+    (fun batch ->
+      let probe = ref None in
+      let impl =
+        custom_impl
+          ~name:(Printf.sprintf "ms-ebr-b%d" batch)
+          ~family:Registry.Link_based
+          (fun ~capacity:_ ->
+            let q = Nbq_baselines.Ms_epoch.create ~batch_size:batch () in
+            probe := Some (Nbq_baselines.Ms_epoch.epoch_manager q);
+            {
+              Registry.enqueue = (fun p -> Nbq_baselines.Ms_epoch.enqueue q p; true);
+              dequeue = (fun () -> Nbq_baselines.Ms_epoch.try_dequeue q);
+              length = (fun () -> Nbq_baselines.Ms_epoch.length q);
+            })
+      in
+      let mean = measure impl threads runs workload None in
+      let freed, pending =
+        match !probe with
+        | Some mgr ->
+            (Nbq_reclaim.Epoch.total_freed mgr, Nbq_reclaim.Epoch.pending mgr)
+        | None -> (0, 0)
+      in
+      Table.add_row t
+        [
+          string_of_int batch;
+          Table.cell_float mean;
+          string_of_int freed;
+          string_of_int pending;
+        ])
+    [ 8; 32; 64; 256; 1024 ];
+  Fig_common.emit ~csv t
+
+let capacity_ablation ~threads ~runs ~workload ~csv =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation (d): ring capacity, evequoz-cas, %d threads (min = 2 x \
+            in-flight)" threads)
+      ~columns:[ "capacity"; "seconds" ]
+  in
+  let min_cap = Workload.min_capacity workload ~threads in
+  List.iter
+    (fun mult ->
+      let cap = min_cap * mult in
+      let impl = Registry.find "evequoz-cas" in
+      let mean = measure impl threads runs workload (Some cap) in
+      Table.add_row t [ string_of_int cap; Table.cell_float mean ])
+    [ 1; 2; 8; 64 ];
+  Fig_common.emit ~csv t
+
+let reclamation_axis ~runs ~workload ~csv ~max_threads =
+  let series = [ "ms-gc"; "ms-hp-sorted"; "ms-ebr"; "ms-doherty" ] in
+  let threads = Fig_common.clamp_threads max_threads [ 1; 2; 4; 8; 16 ] in
+  let results = Fig_common.measure_series ~series ~threads ~runs ~workload in
+  let table =
+    Fig_common.actual_table
+      ~title:
+        "Ablation (e): reclamation schemes on the same MS queue [seconds]"
+      ~series results
+  in
+  Fig_common.emit ~csv table
+
+let run which threads runs scale csv max_threads =
+  let workload = Fig_common.workload_of_scale scale in
+  let all =
+    [
+      ("weak-llsc", fun () -> weak_llsc_ablation ~threads ~runs ~workload ~csv);
+      ("hp-threshold", fun () -> hp_threshold_ablation ~threads ~runs ~workload ~csv);
+      ("ebr-batch", fun () -> ebr_batch_ablation ~threads ~runs ~workload ~csv);
+      ("capacity", fun () -> capacity_ablation ~threads ~runs ~workload ~csv);
+      ("reclamation", fun () -> reclamation_axis ~runs ~workload ~csv ~max_threads);
+    ]
+  in
+  match which with
+  | None -> List.iter (fun (_, f) -> f ()) all
+  | Some name -> (
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+          prerr_endline
+            ("unknown ablation; valid: "
+            ^ String.concat ", " (List.map fst all));
+          exit 2)
+
+let which_term =
+  let doc = "Run a single ablation (weak-llsc | hp-threshold | ebr-batch | \
+             capacity | reclamation); default: all." in
+  Arg.(value & opt (some string) None & info [ "only" ] ~docv:"NAME" ~doc)
+
+let threads_term =
+  let doc = "Thread count for the single-configuration ablations." in
+  Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "Ablation benchmarks over the repository's design knobs" in
+  Cmd.v (Cmd.info "ablation" ~doc)
+    Term.(const run $ which_term $ threads_term $ Fig_common.runs_term
+          $ Fig_common.scale_term $ Fig_common.csv_term
+          $ Fig_common.max_threads_term)
+
+let () = exit (Cmd.eval cmd)

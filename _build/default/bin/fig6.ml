@@ -1,0 +1,75 @@
+(* Experiments E1-E4: reproduce Figure 6 (a)-(d) of the paper.
+
+   (a)/(c): the paper's PowerPC suite — the LL/SC machine, so the series
+   include the LL/SC array queue but not Shann (which needs CAS64 there).
+   (b)/(d): the AMD suite — CAS machine: Shann replaces the LL/SC queue.
+   (c)/(d) are (a)/(b) normalized by the CAS-based array queue ("FIFO
+   Array Simulated CAS"), exactly as in the paper. *)
+
+open Cmdliner
+
+(* Series orders follow the paper's legends. *)
+let series_a =
+  [ "ms-doherty"; "evequoz-cas"; "ms-hp-unsorted"; "ms-hp-sorted"; "evequoz-llsc" ]
+
+let series_b =
+  [ "ms-doherty"; "ms-hp-unsorted"; "ms-hp-sorted"; "evequoz-cas"; "shann" ]
+
+let threads_a = [ 1; 2; 4; 8; 12; 16; 20; 24; 28; 32 ]
+let threads_b = [ 1; 4; 8; 12; 16; 20; 24; 28; 32; 40; 48; 56; 64 ]
+
+let base = "evequoz-cas"
+
+let run_figure figure runs scale csv max_threads with_plot =
+  let workload = Fig_common.workload_of_scale scale in
+  let print_one fig =
+    let series, threads, normalized, paper_name =
+      match fig with
+      | `A -> (series_a, threads_a, false, "Figure 6(a): actual time, LL/SC suite")
+      | `B -> (series_b, threads_b, false, "Figure 6(b): actual time, CAS suite")
+      | `C ->
+          (series_a, threads_a, true, "Figure 6(c): normalized time, LL/SC suite")
+      | `D ->
+          (series_b, threads_b, true, "Figure 6(d): normalized time, CAS suite")
+    in
+    let threads = Fig_common.clamp_threads max_threads threads in
+    Printf.eprintf "# measuring %s (%d thread counts x %d series x %d runs)\n%!"
+      paper_name (List.length threads) (List.length series) runs;
+    let results = Fig_common.measure_series ~series ~threads ~runs ~workload in
+    let title =
+      Printf.sprintf "%s  [%d iterations/thread, mean of %d runs, seconds]"
+        paper_name workload.Nbq_harness.Workload.iterations runs
+    in
+    let table =
+      if normalized then Fig_common.normalized_table ~title ~series ~base results
+      else Fig_common.actual_table ~title ~series results
+    in
+    Fig_common.emit ~csv table;
+    if with_plot then
+      Fig_common.plot ~title ~series
+        ~base:(if normalized then Some base else None)
+        results
+  in
+  match figure with
+  | Some f -> print_one f
+  | None -> List.iter print_one [ `A; `B; `C; `D ]
+
+let figure_term =
+  let fig_conv = Arg.enum [ ("a", `A); ("b", `B); ("c", `C); ("d", `D) ] in
+  let doc = "Which sub-figure to reproduce (a, b, c or d); default: all." in
+  Arg.(value & opt (some fig_conv) None & info [ "figure"; "f" ] ~docv:"FIG" ~doc)
+
+let plot_term =
+  let doc = "Also render each sub-figure as a terminal line chart." in
+  Arg.(value & flag & info [ "plot" ] ~doc)
+
+let cmd =
+  let doc = "Reproduce the paper's Figure 6: running time vs thread count" in
+  let info = Cmd.info "fig6" ~doc in
+  Cmd.v info
+    Term.(
+      const run_figure $ figure_term $ Fig_common.runs_term
+      $ Fig_common.scale_term $ Fig_common.csv_term
+      $ Fig_common.max_threads_term $ plot_term)
+
+let () = exit (Cmd.eval cmd)

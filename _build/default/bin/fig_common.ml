@@ -1,0 +1,119 @@
+(* Shared sweep-and-print logic for the experiment binaries. *)
+
+open Nbq_harness
+
+type sweep_result = {
+  threads : int;
+  (* (impl name, measurement) in series order *)
+  cells : (string * Runner.measurement) list;
+}
+
+let measure_series ~series ~threads ~runs ~workload =
+  List.map
+    (fun threads ->
+      let cells =
+        List.map
+          (fun name ->
+            let impl = Registry.find name in
+            let cfg = { Runner.threads; runs; workload; capacity = None } in
+            (name, Runner.measure impl cfg))
+          series
+      in
+      { threads; cells })
+    threads
+
+let actual_table ~title ~series results =
+  let t = Table.create ~title ~columns:("threads" :: series) in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        (string_of_int r.threads
+        :: List.map
+             (fun (_, (m : Runner.measurement)) ->
+               Table.cell_float m.Runner.summary.Stats.mean)
+             r.cells))
+    results;
+  t
+
+(* Normalized by the named base series (Figure 6 c/d: base is the paper's
+   CAS-based array queue). *)
+let normalized_table ~title ~series ~base results =
+  let t = Table.create ~title ~columns:("threads" :: series) in
+  List.iter
+    (fun r ->
+      let base_mean =
+        match List.assoc_opt base r.cells with
+        | Some m -> m.Runner.summary.Stats.mean
+        | None -> invalid_arg ("normalization base not in series: " ^ base)
+      in
+      Table.add_row t
+        (string_of_int r.threads
+        :: List.map
+             (fun (_, (m : Runner.measurement)) ->
+               Table.cell_float
+                 (Stats.normalize ~base:base_mean m.Runner.summary.Stats.mean))
+             r.cells))
+    results;
+  t
+
+let emit ~csv table =
+  print_string (if csv then Table.render_csv table else Table.render table);
+  print_newline ()
+
+(* Render the same sweep as a terminal line chart (one curve per series). *)
+let plot ~title ~series ?(base = None) results =
+  let curve name =
+    {
+      Ascii_plot.label = name;
+      points =
+        List.map
+          (fun r ->
+            let mean (m : Runner.measurement) = m.Runner.summary.Stats.mean in
+            let y =
+              let v = mean (List.assoc name r.cells) in
+              match base with
+              | None -> v
+              | Some b -> Stats.normalize ~base:(mean (List.assoc b r.cells)) v
+            in
+            (float_of_int r.threads, y))
+          results;
+    }
+  in
+  print_string
+    (Ascii_plot.render ~title ~x_label:"threads"
+       ~y_label:(match base with None -> "seconds" | Some b -> "time / " ^ b)
+       (List.map curve series));
+  print_newline ()
+
+(* Common cmdliner terms. *)
+open Cmdliner
+
+let runs_term =
+  let doc = "Independent runs per configuration (paper: 50)." in
+  Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc)
+
+let scale_term =
+  let doc =
+    "Workload scale: fraction of the paper's 100000 iterations per thread \
+     (1.0 reproduces the paper's full load)."
+  in
+  Arg.(value & opt float 0.02 & info [ "scale" ] ~docv:"S" ~doc)
+
+let csv_term =
+  let doc = "Emit CSV instead of an aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let max_threads_term =
+  let doc =
+    "Clamp the thread sweep to at most this many domains (default: no \
+     clamp; note OCaml supports ~128 domains, and oversubscribing cores is \
+     part of the experiment)."
+  in
+  Arg.(value & opt (some int) None & info [ "max-threads" ] ~docv:"N" ~doc)
+
+let clamp_threads max_threads threads =
+  match max_threads with
+  | None -> threads
+  | Some m -> List.filter (fun t -> t <= m) threads
+
+let workload_of_scale scale = Workload.scaled_config ~scale

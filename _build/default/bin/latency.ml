@@ -1,0 +1,95 @@
+(* Extension experiment: per-operation latency percentiles under
+   preemptive multithreading.
+
+   The paper's charts aggregate whole-run completion times; the per-op
+   tail is where the non-blocking property becomes visible on a
+   single-core box — when the OS preempts a lock *holder*, every other
+   thread of a blocking queue stalls for a full scheduling quantum
+   (milliseconds), while lock-free threads still complete in microseconds
+   unless they themselves are descheduled.  Expect the lock queues' p99.9
+   to blow up with thread count while the array queues' stays flat-ish. *)
+
+open Cmdliner
+open Nbq_harness
+
+let run_impl (impl : Registry.impl) ~threads ~ops =
+  let capacity = max 64 (threads * 16) in
+  let q = impl.Registry.create ~capacity in
+  let barrier = Nbq_primitives.Barrier.create ~parties:threads in
+  let recorders = List.init threads (fun _ -> Latency.recorder ~capacity:ops) in
+  let domains =
+    List.mapi
+      (fun worker r ->
+        Domain.spawn (fun () ->
+            Nbq_primitives.Barrier.await barrier;
+            let tag_base = worker lsl 40 in
+            for i = 1 to ops / 2 do
+              Latency.time r (fun () ->
+                  while not (q.Registry.enqueue { Registry.tag = tag_base lor i })
+                  do
+                    Domain.cpu_relax ()
+                  done);
+              Latency.time r (fun () ->
+                  let rec drain () =
+                    match q.Registry.dequeue () with
+                    | Some _ -> ()
+                    | None ->
+                        Domain.cpu_relax ();
+                        drain ()
+                  in
+                  drain ())
+            done))
+      recorders
+  in
+  List.iter Domain.join domains;
+  Latency.summarize recorders
+
+let run names threads ops =
+  let impls =
+    match names with
+    | [] ->
+        List.map Registry.find
+          [ "evequoz-llsc"; "evequoz-cas"; "ms-hp-sorted"; "two-lock"; "lock-ring" ]
+    | names -> List.map Registry.find names
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Per-operation latency, %d threads x %d ops (microseconds)"
+           threads ops)
+      ~columns:[ "queue"; "mean"; "p50"; "p99"; "p99.9"; "max" ]
+  in
+  List.iter
+    (fun (impl : Registry.impl) ->
+      let s = run_impl impl ~threads ~ops in
+      let us x = Printf.sprintf "%.2f" (x *. 1e6) in
+      Table.add_row t
+        [
+          impl.Registry.name;
+          us s.Latency.mean;
+          us s.Latency.p50;
+          us s.Latency.p99;
+          us s.Latency.p999;
+          us s.Latency.max;
+        ])
+    impls;
+  print_string (Table.render t);
+  print_newline ()
+
+let names_term =
+  Arg.(value & pos_all string [] & info [] ~docv:"QUEUE"
+         ~doc:"Queues to measure (default: a representative five).")
+
+let threads_term =
+  Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Domains.")
+
+let ops_term =
+  Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"N"
+         ~doc:"Operations per domain.")
+
+let cmd =
+  let doc = "Per-operation latency percentiles under preemption" in
+  Cmd.v (Cmd.info "latency" ~doc) Term.(const run $ names_term $ threads_term $ ops_term)
+
+let () = exit (Cmd.eval cmd)

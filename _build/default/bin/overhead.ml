@@ -1,0 +1,49 @@
+(* Experiment E5: the paper's §6 single-thread overhead measurement.
+
+   One thread, no contention, paper workload; every queue is compared to
+   the unsynchronized ring ("without any synchronization").  The paper
+   reports: LL/SC array +12%, CAS array +50% (PowerPC) / +90% (AMD). *)
+
+open Cmdliner
+open Nbq_harness
+
+let run runs scale csv =
+  let workload = Fig_common.workload_of_scale scale in
+  let cfg = { Runner.threads = 1; runs; workload; capacity = Some 64 } in
+  let impls =
+    [
+      "seq-ring"; "evequoz-llsc"; "evequoz-cas"; "shann"; "tsigas-zhang";
+      "ms-gc"; "ms-hp-sorted"; "ms-hp-unsorted"; "ms-ebr"; "ms-doherty";
+      "two-lock"; "lock-ring";
+    ]
+  in
+  let base_mean = ref nan in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Single-thread overhead vs unsynchronized ring  [%d iterations, \
+            mean of %d runs]"
+           workload.Workload.iterations runs)
+      ~columns:[ "queue"; "seconds"; "overhead" ]
+  in
+  List.iter
+    (fun name ->
+      let m = Runner.measure (Registry.find name) cfg in
+      let mean = m.Runner.summary.Stats.mean in
+      if name = "seq-ring" then base_mean := mean;
+      let overhead =
+        if name = "seq-ring" then "(base)"
+        else Printf.sprintf "+%.0f%%" (((mean /. !base_mean) -. 1.0) *. 100.0)
+      in
+      Table.add_row t [ name; Table.cell_float mean; overhead ])
+    impls;
+  Fig_common.emit ~csv t
+
+let cmd =
+  let doc = "Reproduce the paper's single-thread overhead experiment" in
+  Cmd.v (Cmd.info "overhead" ~doc)
+    Term.(const run $ Fig_common.runs_term $ Fig_common.scale_term
+          $ Fig_common.csv_term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,133 @@
+(* Space-consumption experiments backing the paper's adaptivity claims
+   (§1/§4/§5): Algorithm 2's tag-variable registry and the MS queues'
+   auxiliary structures must track the *high-water mark of simultaneous
+   threads*, not operation counts; and Herlihy–Wing's dequeue cost grows
+   with completed enqueues (§2's criticism), unlike the circular arrays. *)
+
+open Cmdliner
+module Q2 = Nbq_core.Evequoz_cas
+module Hw = Nbq_baselines.Herlihy_wing
+module Table = Nbq_harness.Table
+
+let run_wave ~threads ~ops f =
+  let barrier = Nbq_primitives.Barrier.create ~parties:threads in
+  let domains =
+    List.init threads (fun d ->
+        Domain.spawn (fun () ->
+            Nbq_primitives.Barrier.await barrier;
+            f ~domain:d ~ops))
+  in
+  List.iter Domain.join domains
+
+let adaptivity_table ~ops =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Space adaptivity: auxiliary structures after %d ops/thread \
+            (bound must track threads, not ops)"
+           ops)
+      ~columns:[ "threads"; "evequoz-cas tagvars"; "ms-hp records"; "ms-hp nodes"; "lms fixups" ]
+  in
+  List.iter
+    (fun threads ->
+      (* Algorithm 2: tag variables ever created. *)
+      let q2 = Q2.create ~capacity:(max 16 (threads * 4)) in
+      run_wave ~threads ~ops (fun ~domain:_ ~ops ->
+          for i = 1 to ops do
+            ignore (Q2.try_enqueue q2 i);
+            ignore (Q2.try_dequeue q2)
+          done;
+          Q2.deregister_domain q2);
+      (* MS-HP: hazard records and distinct nodes allocated. *)
+      let mshp = Nbq_baselines.Ms_hazard.create () in
+      run_wave ~threads ~ops (fun ~domain:_ ~ops ->
+          for i = 1 to ops do
+            Nbq_baselines.Ms_hazard.enqueue mshp i;
+            ignore (Nbq_baselines.Ms_hazard.try_dequeue mshp)
+          done);
+      let hp_records =
+        Nbq_reclaim.Hazard_pointer.participants
+          (Nbq_baselines.Ms_hazard.hp_manager mshp)
+      in
+      let hp_nodes =
+        Nbq_baselines.Ms_node.allocated (Nbq_baselines.Ms_hazard.allocator mshp)
+      in
+      (* LMS: how often the optimism failed. *)
+      let lms = Nbq_baselines.Ladan_mozes_shavit.create () in
+      run_wave ~threads ~ops (fun ~domain:_ ~ops ->
+          for i = 1 to ops do
+            Nbq_baselines.Ladan_mozes_shavit.enqueue lms i;
+            ignore (Nbq_baselines.Ladan_mozes_shavit.try_dequeue lms)
+          done);
+      Table.add_row t
+        [
+          string_of_int threads;
+          string_of_int (Q2.registry_size q2);
+          string_of_int hp_records;
+          string_of_int hp_nodes;
+          string_of_int (Nbq_baselines.Ladan_mozes_shavit.fix_list_runs lms);
+        ])
+    [ 1; 2; 4; 8 ];
+  print_string (Table.render t);
+  print_newline ()
+
+let scan_cost_table () =
+  let t =
+    Table.create
+      ~title:
+        "Herlihy-Wing dequeue cost grows with completed enqueues (paper §2) \
+         — vs the flat circular array"
+      ~columns:
+        [ "completed enqueues"; "hw us/op-pair"; "evequoz-cas us/op-pair" ]
+  in
+  let pairs = 2_000 in
+  List.iter
+    (fun history ->
+      (* Herlihy–Wing with [history] prior completed enqueues. *)
+      let hw = Hw.create () in
+      for i = 1 to history do
+        Hw.enqueue hw i;
+        ignore (Hw.try_dequeue hw)
+      done;
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to pairs do
+        Hw.enqueue hw i;
+        ignore (Hw.try_dequeue hw)
+      done;
+      let hw_us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int pairs in
+      (* The circular array is oblivious to history. *)
+      let q2 = Q2.create ~capacity:16 in
+      for i = 1 to history do
+        ignore (Q2.try_enqueue q2 i);
+        ignore (Q2.try_dequeue q2)
+      done;
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to pairs do
+        ignore (Q2.try_enqueue q2 i);
+        ignore (Q2.try_dequeue q2)
+      done;
+      let q2_us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int pairs in
+      Table.add_row t
+        [
+          string_of_int history;
+          Printf.sprintf "%.3f" hw_us;
+          Printf.sprintf "%.3f" q2_us;
+        ])
+    [ 0; 1_000; 4_000; 16_000; 64_000 ];
+  print_string (Table.render t);
+  print_newline ()
+
+let run ops =
+  adaptivity_table ~ops;
+  scan_cost_table ()
+
+let ops_term =
+  Arg.(value & opt int 5_000 & info [ "ops" ] ~docv:"N"
+         ~doc:"Operations per thread in the adaptivity waves.")
+
+let cmd =
+  let doc = "Space-adaptivity and scan-cost experiments" in
+  Cmd.v (Cmd.info "space" ~doc) Term.(const run $ ops_term)
+
+let () = exit (Cmd.eval cmd)

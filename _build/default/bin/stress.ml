@@ -1,0 +1,94 @@
+(* Long-running correctness soak: hammer queues from many domains and
+   check the scalable FIFO properties on the resulting histories.  Exits
+   non-zero on the first violation.  Used for overnight confidence runs;
+   `dune runtest` covers the same ground at a smaller scale. *)
+
+open Cmdliner
+open Nbq_harness
+
+let soak_impl (impl : Registry.impl) ~threads ~ops ~seed =
+  let q = impl.Registry.create ~capacity:4096 in
+  let ops_for _thread =
+    {
+      Nbq_lincheck.Stress.enqueue =
+        (fun v -> q.Registry.enqueue { Registry.tag = v });
+      dequeue =
+        (fun () ->
+          Option.map (fun p -> p.Registry.tag) (q.Registry.dequeue ()));
+    }
+  in
+  Nbq_lincheck.Stress.check_big_run ~threads ~ops_per_thread:ops ~seed
+    ~final_length:(fun () -> q.Registry.length ())
+    ops_for
+
+let exact_impl (impl : Registry.impl) ~rounds ~seed =
+  let make_round () =
+    let q = impl.Registry.create ~capacity:64 in
+    fun _thread ->
+      {
+        Nbq_lincheck.Stress.enqueue =
+          (fun v -> q.Registry.enqueue { Registry.tag = v });
+        dequeue =
+          (fun () ->
+            Option.map (fun p -> p.Registry.tag) (q.Registry.dequeue ()));
+      }
+  in
+  Nbq_lincheck.Stress.check_small_rounds ~rounds ~threads:3 ~ops_per_thread:5
+    ~seed make_round
+
+let run names threads ops rounds seed =
+  let impls =
+    match names with
+    | [] -> Registry.concurrent
+    | names -> List.map Registry.find names
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (impl : Registry.impl) ->
+      Printf.printf "%-18s big run (%d domains x %d ops)... %!"
+        impl.Registry.name threads ops;
+      (match soak_impl impl ~threads ~ops ~seed with
+      | Nbq_lincheck.Checker.Ok -> print_endline "ok"
+      | Nbq_lincheck.Checker.Violation msg ->
+          incr failures;
+          Printf.printf "VIOLATION: %s\n" msg);
+      Printf.printf "%-18s exact check (%d rounds)... %!" impl.Registry.name
+        rounds;
+      match exact_impl impl ~rounds ~seed with
+      | Nbq_lincheck.Checker.Ok -> print_endline "ok"
+      | Nbq_lincheck.Checker.Violation msg ->
+          incr failures;
+          Printf.printf "VIOLATION: %s\n" msg)
+    impls;
+  if !failures > 0 then begin
+    Printf.printf "%d violation(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "all clear"
+
+let names_term =
+  let doc = "Queues to stress (default: every concurrent implementation)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"QUEUE" ~doc)
+
+let threads_term =
+  Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"N"
+         ~doc:"Domains per big run.")
+
+let ops_term =
+  Arg.(value & opt int 50_000 & info [ "ops" ] ~docv:"N"
+         ~doc:"Operations per domain in the big run.")
+
+let rounds_term =
+  Arg.(value & opt int 300 & info [ "rounds" ] ~docv:"N"
+         ~doc:"Episodes for the exact linearizability check.")
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+
+let cmd =
+  let doc = "Correctness soak across all queue implementations" in
+  Cmd.v (Cmd.info "stress" ~doc)
+    Term.(const run $ names_term $ threads_term $ ops_term $ rounds_term
+          $ seed_term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bfs.ml: Array Atomic Domain List Nbq_core Printf

@@ -1,0 +1,1 @@
+examples/event_loop.ml: Atomic Buffer Domain Nbq_core Printf String

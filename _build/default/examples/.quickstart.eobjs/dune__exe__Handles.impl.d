@@ -1,0 +1,1 @@
+examples/handles.ml: List Nbq_core Printf

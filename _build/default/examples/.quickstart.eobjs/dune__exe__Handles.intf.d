@@ -1,0 +1,1 @@
+examples/handles.mli:

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Domain List Nbq_core Printf String

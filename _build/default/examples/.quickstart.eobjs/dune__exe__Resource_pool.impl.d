@@ -1,0 +1,1 @@
+examples/resource_pool.ml: Domain List Nbq_core Option Printf

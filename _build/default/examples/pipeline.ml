@@ -1,0 +1,101 @@
+(* Message buffering (one of the paper's motivating uses): a three-stage
+   parallel pipeline connected by bounded lock-free queues.
+
+     parse (2 domains) --> enrich (2 domains) --> sink (1 domain)
+
+   The bounded capacity provides backpressure: a fast stage blocks
+   (spins) when its downstream queue is full, so memory stays bounded no
+   matter how lopsided the stage speeds are.
+
+   Run with:  dune exec examples/pipeline.exe *)
+
+module Q = Nbq_core.Evequoz_llsc
+module Conc = Nbq_core.Queue_intf.Of_bounded (Nbq_core.Evequoz_llsc)
+module Blocking = Nbq_core.Queue_intf.Blocking (Conc)
+
+type raw = { line : int; text : string }
+type parsed = { src : int; words : int }
+type enriched = { origin : int; words' : int; shout : string }
+
+(* End-of-stream markers let each stage shut down cleanly: every upstream
+   worker sends one marker per downstream worker. *)
+type 'a msg = Item of 'a | Eos
+
+let () =
+  let lines = 10_000 in
+  let parse_workers = 2 and enrich_workers = 2 in
+
+  let raw_q : raw msg Q.t = Q.create ~capacity:64 in
+  let parsed_q : parsed msg Q.t = Q.create ~capacity:64 in
+  let enriched_q : enriched msg Q.t = Q.create ~capacity:64 in
+
+  (* Stage 0: source. *)
+  let source =
+    Domain.spawn (fun () ->
+        for line = 1 to lines do
+          Blocking.enqueue raw_q
+            (Item { line; text = String.make (1 + (line mod 7)) 'x' })
+        done;
+        for _ = 1 to parse_workers do
+          Blocking.enqueue raw_q Eos
+        done)
+  in
+
+  (* Stage 1: parse. *)
+  let parsers =
+    List.init parse_workers (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Blocking.dequeue raw_q with
+              | Eos -> ()
+              | Item r ->
+                  Blocking.enqueue parsed_q
+                    (Item { src = r.line; words = String.length r.text });
+                  loop ()
+            in
+            loop ();
+            (* Each parser forwards its share of end markers. *)
+            Blocking.enqueue parsed_q Eos))
+  in
+
+  (* Stage 2: enrich. *)
+  let enrichers =
+    List.init enrich_workers (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop eos_seen =
+              if eos_seen >= 1 then ()
+              else
+                match Blocking.dequeue parsed_q with
+                | Eos -> loop (eos_seen + 1)
+                | Item p ->
+                    Blocking.enqueue enriched_q
+                      (Item
+                         {
+                           origin = p.src;
+                           words' = p.words * 2;
+                           shout = string_of_int p.words;
+                         });
+                    loop eos_seen
+            in
+            loop 0;
+            Blocking.enqueue enriched_q Eos))
+  in
+
+  (* Stage 3: sink (this domain). *)
+  let items = ref 0 and checksum = ref 0 and eos = ref 0 in
+  while !eos < enrich_workers do
+    match Blocking.dequeue enriched_q with
+    | Eos -> incr eos
+    | Item e ->
+        incr items;
+        checksum := !checksum + e.words' + String.length e.shout;
+        ignore e.origin
+  done;
+
+  Domain.join source;
+  List.iter Domain.join parsers;
+  List.iter Domain.join enrichers;
+  Printf.printf "pipeline: %d items through 3 stages, checksum %d\n" !items
+    !checksum;
+  assert (!items = lines);
+  print_endline "pipeline: ok"

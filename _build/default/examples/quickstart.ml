@@ -1,0 +1,46 @@
+(* Quickstart: the paper's CAS-based bounded FIFO shared by a producer and
+   a consumer domain.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Queue = Nbq_core.Evequoz_cas
+
+let () =
+  (* A bounded, lock-free, multi-producer multi-consumer FIFO.  The
+     capacity is rounded up to a power of two (here: 8). *)
+  let q : string Queue.t = Queue.create ~capacity:8 in
+
+  let producer =
+    Domain.spawn (fun () ->
+        List.iter
+          (fun msg ->
+            (* try_enqueue returns false when the queue is full; spin until
+               the consumer makes room. *)
+            while not (Queue.try_enqueue q msg) do
+              Domain.cpu_relax ()
+            done)
+          [ "the"; "queue"; "preserves"; "fifo"; "order"; "###" ])
+  in
+
+  let rec consume () =
+    match Queue.try_dequeue q with
+    | Some "###" -> ()
+    | Some word ->
+        Printf.printf "%s " word;
+        consume ()
+    | None ->
+        Domain.cpu_relax ();
+        consume ()
+  in
+  consume ();
+  Domain.join producer;
+  print_newline ();
+
+  (* Queues are polymorphic; payloads are any OCaml value. *)
+  let ints : int Queue.t = Queue.create ~capacity:4 in
+  assert (Queue.try_enqueue ints 1);
+  assert (Queue.try_enqueue ints 2);
+  assert (Queue.try_dequeue ints = Some 1);
+  assert (Queue.try_dequeue ints = Some 2);
+  assert (Queue.try_dequeue ints = None);
+  print_endline "quickstart: ok"

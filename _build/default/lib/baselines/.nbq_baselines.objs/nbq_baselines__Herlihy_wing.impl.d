@@ -1,0 +1,1 @@
+lib/baselines/herlihy_wing.ml: Array Nbq_primitives

@@ -1,0 +1,1 @@
+lib/baselines/herlihy_wing.mli: Nbq_core Nbq_primitives

@@ -1,0 +1,1 @@
+lib/baselines/ladan_mozes_shavit.ml: Nbq_primitives

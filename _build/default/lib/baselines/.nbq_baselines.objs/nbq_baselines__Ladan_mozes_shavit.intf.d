@@ -1,0 +1,1 @@
+lib/baselines/ladan_mozes_shavit.mli: Nbq_core Nbq_primitives

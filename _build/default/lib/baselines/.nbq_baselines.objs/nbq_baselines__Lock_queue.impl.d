@@ -1,0 +1,1 @@
+lib/baselines/lock_queue.ml: Array Mutex Nbq_core

@@ -1,0 +1,1 @@
+lib/baselines/lock_queue.mli: Nbq_core

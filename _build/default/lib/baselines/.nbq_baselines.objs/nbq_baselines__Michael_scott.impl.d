@@ -1,0 +1,1 @@
+lib/baselines/michael_scott.ml: Nbq_primitives

@@ -1,0 +1,1 @@
+lib/baselines/michael_scott.mli: Nbq_core Nbq_primitives

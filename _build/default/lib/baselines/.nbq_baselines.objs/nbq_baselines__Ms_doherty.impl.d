@@ -1,0 +1,1 @@
+lib/baselines/ms_doherty.ml: Domain Nbq_primitives Nbq_reclaim

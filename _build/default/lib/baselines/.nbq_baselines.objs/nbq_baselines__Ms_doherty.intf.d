@@ -1,0 +1,1 @@
+lib/baselines/ms_doherty.mli: Nbq_core

@@ -1,0 +1,1 @@
+lib/baselines/ms_epoch.ml: Atomic Ms_node Nbq_reclaim

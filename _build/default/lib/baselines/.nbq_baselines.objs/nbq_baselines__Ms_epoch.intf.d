@@ -1,0 +1,1 @@
+lib/baselines/ms_epoch.mli: Ms_node Nbq_core Nbq_reclaim

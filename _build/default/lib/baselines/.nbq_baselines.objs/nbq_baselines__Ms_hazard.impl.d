@@ -1,0 +1,1 @@
+lib/baselines/ms_hazard.ml: Atomic Ms_node Nbq_reclaim

@@ -1,0 +1,1 @@
+lib/baselines/ms_hazard.mli: Ms_node Nbq_core Nbq_reclaim

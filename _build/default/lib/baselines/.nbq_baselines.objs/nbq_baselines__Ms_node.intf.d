@@ -1,0 +1,1 @@
+lib/baselines/ms_node.mli: Atomic

@@ -1,0 +1,1 @@
+lib/baselines/seq_ring.ml: Array Nbq_core

@@ -1,0 +1,1 @@
+lib/baselines/seq_ring.mli: Nbq_core

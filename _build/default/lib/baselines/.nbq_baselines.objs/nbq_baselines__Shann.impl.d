@@ -1,0 +1,1 @@
+lib/baselines/shann.ml: Array Nbq_core Nbq_primitives

@@ -1,0 +1,1 @@
+lib/baselines/shann.mli: Nbq_core Nbq_primitives

@@ -1,0 +1,1 @@
+lib/baselines/tsigas_zhang.ml: Array Nbq_core Nbq_primitives

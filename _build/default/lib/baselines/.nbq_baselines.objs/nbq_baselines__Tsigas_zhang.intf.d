@@ -1,0 +1,1 @@
+lib/baselines/tsigas_zhang.mli: Nbq_core Nbq_primitives

@@ -1,0 +1,1 @@
+lib/baselines/valois.ml: Array Nbq_core Nbq_primitives

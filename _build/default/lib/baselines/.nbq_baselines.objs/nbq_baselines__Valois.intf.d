@@ -1,0 +1,1 @@
+lib/baselines/valois.mli: Nbq_core Nbq_primitives

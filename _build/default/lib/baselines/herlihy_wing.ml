@@ -1,0 +1,108 @@
+let name = "herlihy-wing"
+
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) = struct
+
+let chunk_bits = 8
+let chunk_size = 1 lsl chunk_bits
+
+type 'a slot = Free | Item of 'a | Taken
+
+type 'a t = {
+  (* Chunk table: grows by doubling; each entry is a lazily-installed
+     chunk of slots.  The table itself is swapped wholesale under CAS when
+     it must grow (old entries are shared, so growth is O(table)). *)
+  chunks : 'a slot A.t array option A.t array A.t;
+  back : int A.t; (* ticket counter: next free position *)
+  taken : int A.t; (* consumed tickets, for exact emptiness *)
+}
+
+let create () =
+  {
+    chunks = A.make (Array.init 4 (fun _ -> A.make None));
+    back = A.make 0;
+    taken = A.make 0;
+  }
+
+let completed_enqueues t = A.get t.back
+
+(* Get (installing if necessary) the chunk holding position [pos]. *)
+let rec chunk_for t pos =
+  let index = pos lsr chunk_bits in
+  let table = A.get t.chunks in
+  if index >= Array.length table then begin
+    (* Double the table; keep existing chunk cells (shared state lives in
+       the cells, so racing growers agree on content). *)
+    let bigger =
+      Array.init (max (2 * Array.length table) (index + 1)) (fun i ->
+          if i < Array.length table then table.(i) else A.make None)
+    in
+    ignore (A.compare_and_set t.chunks table bigger);
+    chunk_for t pos
+  end
+  else
+    let cell = table.(index) in
+    match A.get cell with
+    | Some chunk -> chunk
+    | None ->
+        let fresh = Array.init chunk_size (fun _ -> A.make Free) in
+        if A.compare_and_set cell None (Some fresh) then fresh
+        else chunk_for t pos
+
+let enqueue t x =
+  (* HW's two steps: take a ticket, then fill the slot. *)
+  let pos = A.fetch_and_add t.back 1 in
+  let chunk = chunk_for t pos in
+  A.set chunk.(pos land (chunk_size - 1)) (Item x)
+
+(* Scan the whole used prefix, swapping the first item out.  A slot may
+   still be Free if its enqueuer took its ticket but has not stored yet —
+   HW's dequeue loops until something turns up, so a stalled enqueuer can
+   make dequeuers wait (the original is a *total* queue; this is faithful).
+
+   Emptiness, however, must be linearizable, and "one scan saw nothing" is
+   not (a value can land behind the cursor while another is consumed ahead
+   of it, leaving no empty instant).  The [taken] counter gives an exact
+   test: reading [taken >= back] (in that order, both monotonic) proves
+   that at the moment [taken] was read, every issued ticket had already
+   been consumed — an empty instant inside the dequeue's interval. *)
+let rec try_dequeue t =
+  (* Order matters (and OCaml's operator-argument order is unspecified):
+     [taken] must be read BEFORE [back] for the monotonicity argument. *)
+  let tk = A.get t.taken in
+  let bk = A.get t.back in
+  if tk >= bk then None
+  else begin
+    let back = A.get t.back in
+    let rec scan pos =
+      if pos >= back then try_dequeue t (* rescan or conclude empty *)
+      else begin
+        let chunk = chunk_for t pos in
+        let cell = chunk.(pos land (chunk_size - 1)) in
+        match A.get cell with
+        | Item x as seen ->
+            if A.compare_and_set cell seen Taken then begin
+              ignore (A.fetch_and_add t.taken 1);
+              Some x
+            end
+            else scan pos
+        | Free | Taken -> scan (pos + 1)
+      end
+    in
+    scan 0
+  end
+
+let length t =
+  let back = A.get t.back in
+  let rec count pos n =
+    if pos >= back then n
+    else
+      let chunk = chunk_for t pos in
+      match A.get chunk.(pos land (chunk_size - 1)) with
+      | Item _ -> count (pos + 1) (n + 1)
+      | Free | Taken -> count (pos + 1) n
+  in
+  count 0 0
+
+end
+
+include Make (Nbq_primitives.Atomic_intf.Real)

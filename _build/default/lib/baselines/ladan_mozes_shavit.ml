@@ -1,0 +1,86 @@
+let name = "lms-optimistic"
+
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) = struct
+
+(* List orientation: [next] points from Tail towards Head (the direction a
+   value travels), [prev] points from Head towards Tail.  Head is a dummy;
+   the node at [Head.prev] holds the front value. *)
+type 'a node = {
+  value : 'a option;
+  next : 'a node option A.t;
+  prev : 'a node option A.t;
+}
+
+type 'a t = {
+  head : 'a node A.t;
+  tail : 'a node A.t;
+  fixes : int A.t;
+}
+
+let create () =
+  let dummy =
+    { value = None; next = A.make None; prev = A.make None }
+  in
+  { head = A.make dummy; tail = A.make dummy; fixes = A.make 0 }
+
+let fix_list_runs t = A.get t.fixes
+
+let enqueue t x =
+  let node =
+    { value = Some x; next = A.make None; prev = A.make None }
+  in
+  let rec loop () =
+    let tl = A.get t.tail in
+    A.set node.next (Some tl);
+    if A.compare_and_set t.tail tl node then
+      (* The optimistic store: if we are preempted right here, dequeuers
+         repair the chain via fix_list. *)
+      A.set tl.prev (Some node)
+    else loop ()
+  in
+  loop ()
+
+(* Rebuild prev pointers by walking next from Tail until reaching [h].
+   Stops early if Head moves (our repair is then obsolete). *)
+let fix_list t tl h =
+  ignore (A.fetch_and_add t.fixes 1);
+  let rec walk cur =
+    if A.get t.head == h && cur != h then
+      match A.get cur.next with
+      | Some nxt ->
+          A.set nxt.prev (Some cur);
+          walk nxt
+      | None -> () (* chain mutated under us; a retry will re-fix *)
+  in
+  walk tl
+
+let rec try_dequeue t =
+  let h = A.get t.head in
+  let tl = A.get t.tail in
+  let first = A.get h.prev in
+  if h != A.get t.head then try_dequeue t
+  else if h == tl then None
+  else
+    match first with
+    | None ->
+        (* Optimism failed somewhere between h and tl: repair, retry. *)
+        fix_list t tl h;
+        try_dequeue t
+    | Some f ->
+        if A.compare_and_set t.head h f then f.value else try_dequeue t
+
+let length t =
+  (* Walk the authoritative next chain from Tail to Head. *)
+  let h = A.get t.head in
+  let rec count cur n =
+    if cur == h then n
+    else
+      match A.get cur.next with
+      | Some nxt -> count nxt (n + 1)
+      | None -> n
+  in
+  count (A.get t.tail) 0
+
+end
+
+include Make (Nbq_primitives.Atomic_intf.Real)

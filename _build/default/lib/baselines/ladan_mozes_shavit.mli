@@ -1,0 +1,31 @@
+(** The Ladan-Mozes & Shavit optimistic queue (DISC 2004, the paper's [6]).
+
+    A doubly-linked list where enqueue needs only {e one} successful CAS
+    (on Tail): the backward [next] pointer is set before publication, and
+    the forward [prev] pointer is written {e optimistically} with a plain
+    store afterwards.  A dequeuer that finds the prev chain broken (an
+    enqueuer was preempted between its CAS and its prev store) repairs it
+    by walking the [next] chain from Tail ("fixList").  The paper's §2
+    cites this as consistently faster than Michael–Scott because the
+    second CAS of MS's enqueue becomes a plain store.
+
+    This is the GC-reclaimed variant (fresh nodes per enqueue, so
+    physical-equality CAS is ABA-free and no version tags are needed; the
+    original uses tagged pointers). *)
+
+(** The algorithm over any atomics (for the model checker). *)
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val enqueue : 'a t -> 'a -> unit
+  val try_dequeue : 'a t -> 'a option
+  val length : 'a t -> int
+  val fix_list_runs : 'a t -> int
+end
+
+include Nbq_core.Queue_intf.UNBOUNDED
+
+val fix_list_runs : 'a t -> int
+(** How many times dequeuers had to repair the prev chain — the measure of
+    how often the optimism failed (statistics for the ablation). *)

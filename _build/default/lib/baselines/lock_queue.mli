@@ -1,0 +1,9 @@
+(** A mutex-protected circular-array FIFO — the blocking yardstick.
+
+    The paper's opening argument is that critical sections degrade under
+    preemption and contention; this is the queue that argument is about.
+    One global mutex guards a plain ring buffer.  [try_enqueue] /
+    [try_dequeue] never block on state (full/empty return immediately) but
+    do block on the lock. *)
+
+include Nbq_core.Queue_intf.BOUNDED

@@ -1,0 +1,57 @@
+let name = "ms-gc"
+
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) = struct
+type 'a node = { value : 'a option; next : 'a node option A.t }
+
+type 'a t = { head : 'a node A.t; tail : 'a node A.t }
+
+let create () =
+  let dummy = { value = None; next = A.make None } in
+  { head = A.make dummy; tail = A.make dummy }
+
+let enqueue t x =
+  let node = { value = Some x; next = A.make None } in
+  let rec loop () =
+    let tl = A.get t.tail in
+    let next = A.get tl.next in
+    if tl == A.get t.tail then
+      match next with
+      | None ->
+          if A.compare_and_set tl.next None (Some node) then
+            (* Linearized; swinging Tail may be helped by anyone. *)
+            ignore (A.compare_and_set t.tail tl node)
+          else loop ()
+      | Some n ->
+          (* Tail lagging: help, then retry. *)
+          ignore (A.compare_and_set t.tail tl n);
+          loop ()
+    else loop ()
+  in
+  loop ()
+
+let rec try_dequeue t =
+  let hd = A.get t.head in
+  let tl = A.get t.tail in
+  let next = A.get hd.next in
+  if hd == A.get t.head then
+    match next with
+    | None -> None
+    | Some n ->
+        if hd == tl then begin
+          ignore (A.compare_and_set t.tail tl n);
+          try_dequeue t
+        end
+        else if A.compare_and_set t.head hd n then n.value
+        else try_dequeue t
+  else try_dequeue t
+
+let length t =
+  let rec count n node =
+    match A.get node.next with
+    | None -> n
+    | Some next -> count (n + 1) next
+  in
+  count 0 (A.get t.head)
+end
+
+include Make (Nbq_primitives.Atomic_intf.Real)

@@ -1,0 +1,21 @@
+(** The Michael–Scott lock-free queue [9], relying on OCaml's garbage
+    collector for reclamation.
+
+    This is the natural way to write MS in OCaml: nodes are immutable-valued
+    and never reused, so compare-and-set on freshly allocated blocks is
+    ABA-free by construction and no reclamation scheme is needed.  The paper
+    could not use this variant (C has no GC); we include it as the
+    "reclamation is free" reference point that the MS-HP / MS-Doherty /
+    MS-EBR series are measured against (DESIGN.md S9). *)
+
+(** The algorithm over any atomics (for the model checker). *)
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val enqueue : 'a t -> 'a -> unit
+  val try_dequeue : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+include Nbq_core.Queue_intf.UNBOUNDED

@@ -1,0 +1,31 @@
+(** Michael–Scott queue over CAS-simulated LL/SC links — the stand-in for
+    the paper's "MS-Doherty et al." baseline (DESIGN.md §2).
+
+    [Head], [Tail] and every node's [next] link are
+    {!Nbq_primitives.Llsc_cas} cells; each pointer read takes a simulated
+    load-linked reservation and each update is a store-conditional, so the
+    queue needs no hazard pointers and no counted pointers even though nodes
+    are recycled through a free pool: a reservation can only be committed if
+    the link was untouched since it was read, which subsumes the ABA
+    protection (this is exactly the property Doherty et al.'s PODC'04
+    construction provides to 64-bit MS queues).  The price is 4–6 successful
+    CAS plus several fetch-and-adds per queue operation — the paper's
+    "unquestionably the slowest" series, reproduced by cost class rather
+    than by re-deriving the original construction.
+
+    The divergence from the real Doherty et al. algorithm is deliberate and
+    documented; the figure-level claim it supports is "CAS-only
+    population-oblivious MS is much more expensive than hazard pointers or
+    arrays", which depends only on the cost class. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val enqueue : 'a t -> 'a -> unit
+val try_dequeue : 'a t -> 'a option
+val length : 'a t -> int
+
+val registry_size : 'a t -> int
+(** Tag variables ever allocated (space-adaptivity metric). *)
+
+module Conc : Nbq_core.Queue_intf.UNBOUNDED

@@ -1,0 +1,85 @@
+module Ebr = Nbq_reclaim.Epoch
+
+type 'a t = {
+  head : 'a Ms_node.t Atomic.t;
+  tail : 'a Ms_node.t Atomic.t;
+  alloc : 'a Ms_node.allocator;
+  ebr : 'a Ms_node.t Ebr.manager;
+}
+
+let create ?(batch_size = 64) () =
+  let alloc = Ms_node.allocator () in
+  let dummy = Ms_node.dummy alloc in
+  {
+    head = Atomic.make dummy;
+    tail = Atomic.make dummy;
+    alloc;
+    ebr = Ebr.create ~batch_size ~free:(fun n -> Ms_node.recycle alloc n) ();
+  }
+
+let epoch_manager t = t.ebr
+let allocator t = t.alloc
+
+let enqueue t x =
+  let node = Ms_node.alloc t.alloc x in
+  let r = Ebr.get_record t.ebr in
+  Ebr.enter t.ebr r;
+  let rec loop () =
+    let tl = Atomic.get t.tail in
+    (* Inside the region tl cannot be recycled, so no re-validation is
+       needed: a stale tl only makes the CAS below fail. *)
+    match Atomic.get tl.Ms_node.next with
+    | Some n ->
+        ignore (Atomic.compare_and_set t.tail tl n);
+        loop ()
+    | None ->
+        if Atomic.compare_and_set tl.Ms_node.next None (Some node) then
+          ignore (Atomic.compare_and_set t.tail tl node)
+        else loop ()
+  in
+  loop ();
+  Ebr.exit r
+
+let try_dequeue t =
+  let r = Ebr.get_record t.ebr in
+  Ebr.enter t.ebr r;
+  let rec loop () =
+    let hd = Atomic.get t.head in
+    let tl = Atomic.get t.tail in
+    match Atomic.get hd.Ms_node.next with
+    | None -> if hd == Atomic.get t.head then None else loop ()
+    | Some n ->
+        if hd == tl then begin
+          ignore (Atomic.compare_and_set t.tail tl n);
+          loop ()
+        end
+        else begin
+          let v = n.Ms_node.value in
+          if Atomic.compare_and_set t.head hd n then begin
+            Ebr.retire t.ebr r hd;
+            v
+          end
+          else loop ()
+        end
+  in
+  let result = loop () in
+  Ebr.exit r;
+  result
+
+let length t =
+  let rec count n (node : 'a Ms_node.t) =
+    match Atomic.get node.Ms_node.next with
+    | None -> n
+    | Some next -> count (n + 1) next
+  in
+  count 0 (Atomic.get t.head)
+
+module Conc = struct
+  type nonrec 'a t = 'a t
+
+  let name = "ms-ebr"
+  let create () = create ()
+  let enqueue = enqueue
+  let try_dequeue = try_dequeue
+  let length = length
+end

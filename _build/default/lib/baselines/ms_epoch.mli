@@ -1,0 +1,22 @@
+(** Michael–Scott queue with epoch-based reclamation — an extension baseline
+    (DESIGN.md S6/E8), the third point on the reclamation axis next to
+    hazard pointers and the GC.
+
+    Every operation runs inside an epoch critical region; dequeued dummies
+    are retired into limbo bags and recycled through the shared free pool
+    after a two-epoch grace period.  Per-operation cost is two atomic stores
+    (pin/unpin) instead of per-pointer protect/validate, but a stalled
+    thread blocks all reclamation — the ablation benchmark shows both
+    effects. *)
+
+type 'a t
+
+val create : ?batch_size:int -> unit -> 'a t
+val enqueue : 'a t -> 'a -> unit
+val try_dequeue : 'a t -> 'a option
+val length : 'a t -> int
+
+val epoch_manager : 'a t -> 'a Ms_node.t Nbq_reclaim.Epoch.manager
+val allocator : 'a t -> 'a Ms_node.allocator
+
+module Conc : Nbq_core.Queue_intf.UNBOUNDED

@@ -1,0 +1,110 @@
+module Hp = Nbq_reclaim.Hazard_pointer
+
+type 'a t = {
+  head : 'a Ms_node.t Atomic.t;
+  tail : 'a Ms_node.t Atomic.t;
+  alloc : 'a Ms_node.allocator;
+  hp : 'a Ms_node.t Hp.manager;
+}
+
+let create ?(sorted_scan = true) ?(retire_factor = 4) () =
+  let alloc = Ms_node.allocator () in
+  let dummy = Ms_node.dummy alloc in
+  {
+    head = Atomic.make dummy;
+    tail = Atomic.make dummy;
+    alloc;
+    hp =
+      Hp.create ~hazards_per_thread:2 ~sorted_scan
+        ~threshold:(fun ~participants -> retire_factor * participants)
+        ~node_id:Ms_node.id
+        ~free:(fun n -> Ms_node.recycle alloc n)
+        ();
+  }
+
+let hp_manager t = t.hp
+let allocator t = t.alloc
+
+let enqueue t x =
+  let node = Ms_node.alloc t.alloc x in
+  let r = Hp.get_record t.hp in
+  let rec loop () =
+    let tl = Atomic.get t.tail in
+    Hp.protect r 0 tl;
+    (* Validate: tl cannot have been recycled while protected. *)
+    if tl != Atomic.get t.tail then loop ()
+    else
+      match Atomic.get tl.Ms_node.next with
+      | Some n ->
+          ignore (Atomic.compare_and_set t.tail tl n);
+          loop ()
+      | None ->
+          if Atomic.compare_and_set tl.Ms_node.next None (Some node) then
+            ignore (Atomic.compare_and_set t.tail tl node)
+          else loop ()
+  in
+  loop ();
+  Hp.clear r 0
+
+let try_dequeue t =
+  let r = Hp.get_record t.hp in
+  let rec loop () =
+    let hd = Atomic.get t.head in
+    Hp.protect r 0 hd;
+    if hd != Atomic.get t.head then loop ()
+    else begin
+      let tl = Atomic.get t.tail in
+      match Atomic.get hd.Ms_node.next with
+      | None ->
+          (* hd is protected, hence not recycled: next = None really means
+             hd is the last node, i.e. the queue is empty. *)
+          None
+      | Some n ->
+          Hp.protect r 1 n;
+          if hd != Atomic.get t.head then loop ()
+          else if hd == tl then begin
+            ignore (Atomic.compare_and_set t.tail tl n);
+            loop ()
+          end
+          else begin
+            (* n is protected and hd was validated: n.value is stable. *)
+            let v = n.Ms_node.value in
+            if Atomic.compare_and_set t.head hd n then begin
+              Hp.retire t.hp r hd;
+              v
+            end
+            else loop ()
+          end
+    end
+  in
+  let result = loop () in
+  Hp.clear_all r;
+  result
+
+let length t =
+  let rec count n (node : 'a Ms_node.t) =
+    match Atomic.get node.Ms_node.next with
+    | None -> n
+    | Some next -> count (n + 1) next
+  in
+  count 0 (Atomic.get t.head)
+
+module Sorted = struct
+  type nonrec 'a t = 'a t
+
+  let name = "ms-hp-sorted"
+  let create () = create ~sorted_scan:true ()
+  let enqueue = enqueue
+  let try_dequeue = try_dequeue
+  let length = length
+end
+
+module Unsorted = struct
+  type nonrec 'a t = 'a t
+
+  let name = "ms-hp-unsorted"
+  let create () = create ~sorted_scan:false ()
+  let enqueue = enqueue
+  let try_dequeue = try_dequeue
+  let length = length
+end

@@ -1,0 +1,32 @@
+(** Michael–Scott queue with hazard-pointer reclamation — the paper's
+    "MS-Hazard Pointers" baselines (sorted / not-sorted scan variants).
+
+    Dequeued dummies are retired through {!Nbq_reclaim.Hazard_pointer} and,
+    once proven unreachable by a scan, recycled through a free pool; enqueues
+    reuse pooled nodes.  Because nodes genuinely come back with the same
+    identity, the protect–validate discipline is functionally necessary —
+    removing it loses items under contention (a test demonstrates the
+    recycling actually happens).
+
+    [create ~sorted_scan] picks the scan flavour; the paper's retire
+    threshold (4 × number of participating threads) is the default.
+    {!Sorted} and {!Unsorted} are the two ready-made
+    {!Nbq_core.Queue_intf.UNBOUNDED} instantiations used by the harness. *)
+
+type 'a t
+
+(** [create ?sorted_scan ?retire_factor ()] — [retire_factor] (default 4,
+    the paper's setting) sets the scan trigger to
+    [retire_factor * participating threads] buffered retirements. *)
+val create : ?sorted_scan:bool -> ?retire_factor:int -> unit -> 'a t
+val enqueue : 'a t -> 'a -> unit
+val try_dequeue : 'a t -> 'a option
+val length : 'a t -> int
+
+val hp_manager : 'a t -> 'a Ms_node.t Nbq_reclaim.Hazard_pointer.manager
+(** The reclamation manager, exposed for stats and tests. *)
+
+val allocator : 'a t -> 'a Ms_node.allocator
+
+module Sorted : Nbq_core.Queue_intf.UNBOUNDED
+module Unsorted : Nbq_core.Queue_intf.UNBOUNDED

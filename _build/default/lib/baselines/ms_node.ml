@@ -1,0 +1,38 @@
+type 'a t = {
+  id : int;
+  mutable value : 'a option;
+  next : 'a t option Atomic.t;
+}
+
+type 'a allocator = {
+  pool : 'a t Nbq_reclaim.Free_pool.t;
+  counter : int Atomic.t;
+}
+
+let allocator () =
+  { pool = Nbq_reclaim.Free_pool.create (); counter = Atomic.make 0 }
+
+let alloc a v =
+  match Nbq_reclaim.Free_pool.take a.pool with
+  | Some n ->
+      n.value <- Some v;
+      Atomic.set n.next None;
+      n
+  | None ->
+      {
+        id = Atomic.fetch_and_add a.counter 1;
+        value = Some v;
+        next = Atomic.make None;
+      }
+
+let dummy a =
+  { id = Atomic.fetch_and_add a.counter 1; value = None; next = Atomic.make None }
+
+let recycle a n =
+  n.value <- None;
+  Nbq_reclaim.Free_pool.put a.pool n
+
+let id n = n.id
+
+let pool_size a = Nbq_reclaim.Free_pool.size a.pool
+let allocated a = Atomic.get a.counter

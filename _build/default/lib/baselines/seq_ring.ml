@@ -1,0 +1,34 @@
+let name = "seq-ring"
+
+type 'a t = {
+  buffer : 'a option array;
+  mask : int;
+  mutable head : int;
+  mutable tail : int;
+}
+
+let create ~capacity =
+  let capacity = Nbq_core.Queue_intf.round_capacity capacity in
+  { buffer = Array.make capacity None; mask = capacity - 1; head = 0; tail = 0 }
+
+let capacity t = t.mask + 1
+
+let try_enqueue t x =
+  if t.tail - t.head > t.mask then false
+  else begin
+    t.buffer.(t.tail land t.mask) <- Some x;
+    t.tail <- t.tail + 1;
+    true
+  end
+
+let try_dequeue t =
+  if t.head = t.tail then None
+  else begin
+    let i = t.head land t.mask in
+    let x = t.buffer.(i) in
+    t.buffer.(i) <- None;
+    t.head <- t.head + 1;
+    x
+  end
+
+let length t = t.tail - t.head

@@ -1,0 +1,9 @@
+(** An unsynchronized single-threaded ring buffer.
+
+    The baseline for the paper's §6 single-thread overhead experiment
+    ("our LL/SC and CAS-based implementations are respectively 12% and 50%
+    slower" than an array FIFO with no synchronization).  Using it from
+    more than one domain is meaningless; the conformance battery only runs
+    its sequential parts against it. *)
+
+include Nbq_core.Queue_intf.BOUNDED

@@ -1,0 +1,36 @@
+(** The Shann–Huang–Chen circular-array queue (ICPADS 2000) — the paper's
+    "Shann et al. (CAS64)" baseline.
+
+    Each slot packs the item together with a version counter and is updated
+    with a double-width CAS; monotonic [Head]/[Tail] counters are advanced
+    with single-word CAS, with mutual helping for lagging counters.  The
+    version counter defeats the data-/null-ABA problems; the paper's point
+    is that this needs a 2-word atomic, which 64-bit machines lack for
+    pointer payloads.
+
+    {b Substitution} (DESIGN.md §2): OCaml cannot express a hardware DWCAS,
+    so a slot is an [Atomic.t] holding an immutable boxed
+    [(item, version)] pair and the CAS compares the identity of the pair
+    that was read.  Every write installs a fresh pair, so "same block" ≡
+    "unchanged since read" — at least as strong as the version-counter
+    check, with the same single-atomic-instruction structure.  The version
+    field is still carried and incremented to keep the data layout and
+    write-path work faithful. *)
+
+(** The algorithm over any atomics (for the model checker). *)
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  val capacity : 'a t -> int
+  val try_enqueue : 'a t -> 'a -> bool
+  val try_dequeue : 'a t -> 'a option
+  val length : 'a t -> int
+  val head_index : 'a t -> int
+  val tail_index : 'a t -> int
+end
+
+include Nbq_core.Queue_intf.BOUNDED
+
+val head_index : 'a t -> int
+val tail_index : 'a t -> int

@@ -1,0 +1,160 @@
+let name = "tsigas-zhang"
+
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) = struct
+  (* A slot is one word: an item, or an empty marker tagged with the wrap
+     round it is ready to be filled in.  The original uses a 1-bit round
+     tag (null0/null1), which only tolerates operations delayed less than
+     two wraps; widening the tag to a full word removes that assumption the
+     same way the paper's monotonic indices remove index-ABA (on real
+     hardware the round tag would live in the spare bits of an aligned
+     null pointer, so this is still a single-word scheme).  See the .mli
+     and DESIGN.md §7a. *)
+  type 'a content =
+    | Empty of int  (* ready to be filled in this round *)
+    | Node of 'a
+
+  type 'a t = {
+    mask : int;
+    shift : int;  (* log2 capacity: position -> round *)
+    slots : 'a content A.t array;
+    head : int A.t;  (* monotonic, may lag (lazy updates) *)
+    tail : int A.t;
+  }
+
+  let log2 n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+    go 0 n
+
+  let create ~capacity =
+    let capacity = Nbq_core.Queue_intf.round_capacity capacity in
+    {
+      mask = capacity - 1;
+      shift = log2 capacity;
+      slots = Array.init capacity (fun _ -> A.make (Empty 0));
+      head = A.make 0;
+      tail = A.make 0;
+    }
+
+  let capacity t = t.mask + 1
+  let head_index t = A.get t.head
+  let tail_index t = A.get t.tail
+
+  let round t p = p lsr t.shift
+
+  (* Lagging-index update: only every other operation commits the counter
+     (the Tsigas-Zhang optimization); scans recover the real boundary. *)
+  let lazy_advance counter seen target =
+    if target land 1 = 0 then ignore (A.compare_and_set counter seen target)
+
+  let rec try_enqueue t x =
+    let te = A.get t.tail in
+    let limit = A.get t.head + t.mask + 1 in
+    (* Scan forward from the (possibly stale) tail for the first free slot.
+       The bound [head + capacity] also keeps the scan from ever touching a
+       slot whose previous-round occupant is still queued. *)
+    let rec scan p =
+      if p >= limit then begin
+        (* No free slot before the capacity boundary.  The boundary came
+           from a possibly-lagging Head: re-read it, and if the slot it
+           points to is already drained, help advance it before concluding
+           "full". *)
+        let h = A.get t.head in
+        if h + t.mask + 1 > limit then try_enqueue t x
+        else
+          match A.get t.slots.(h land t.mask) with
+          | Node _ -> false (* capacity slots genuinely occupied *)
+          | Empty r ->
+              if r = round t h then
+                (* Head slot empty this round: the queue cannot be full;
+                   inconsistent snapshot, retry. *)
+                try_enqueue t x
+              else begin
+                ignore (A.compare_and_set t.head h (h + 1));
+                try_enqueue t x
+              end
+      end
+      else begin
+        let cell = t.slots.(p land t.mask) in
+        match A.get cell with
+        | Node _ -> scan (p + 1)
+        | Empty r as marker ->
+            if r = round t p then begin
+              (* CAS on the marker block we read: a stale enqueuer's block
+                 is long gone, so delayed operations fail cleanly no matter
+                 how many wraps they slept through. *)
+              if A.compare_and_set cell marker (Node x) then begin
+                lazy_advance t.tail te (p + 1);
+                true
+              end
+              else scan p
+            end
+            else if r > round t p then begin
+              (* Drained ahead of us: the counters are far behind. *)
+              ignore (A.compare_and_set t.tail te (p + 1));
+              try_enqueue t x
+            end
+            else (* r < round: stale snapshot of head/tail *) try_enqueue t x
+      end
+    in
+    scan te
+
+  let rec try_dequeue t =
+    let hd = A.get t.head in
+    (* The emptiness boundary comes from the slot markers themselves (the
+       first this-round marker), not from the lagging Tail; the scan is
+       self-terminating within one ring revolution, the bound is a safety
+       net against a badly stale [hd]. *)
+    let limit = hd + t.mask + 2 in
+    let rec scan p =
+      if p >= limit then try_dequeue t
+      else begin
+        let cell = t.slots.(p land t.mask) in
+        match A.get cell with
+        | Node x as seen ->
+            (* Round validation: a slot can only be refilled for position
+               [p + capacity] after Head has advanced past [p] (the enqueue
+               full-bound), so "Head unchanged since the scan started"
+               proves the node we read really is position [p]'s occupant. *)
+            if A.get t.head <> hd then try_dequeue t
+            else if A.compare_and_set cell seen (Empty (round t p + 1))
+            then begin
+              lazy_advance t.head hd (p + 1);
+              Some x
+            end
+            else scan p
+        | Empty r ->
+            if r = round t p then
+              (* Never filled this round: nothing at or before p. *)
+              if A.get t.head = hd then None else try_dequeue t
+            else if r > round t p then (* drained already; head lagging *)
+              scan (p + 1)
+            else (* stale *) try_dequeue t
+      end
+    in
+    scan hd
+
+  let length t =
+    (* The counters lag by design; derive the boundaries from the slot
+       markers instead (exact when quiescent, a snapshot under
+       concurrency). *)
+    let cap = t.mask + 1 in
+    let start = A.get t.head in
+    let rec find_head p =
+      if p >= start + cap then p
+      else
+        match A.get t.slots.(p land t.mask) with
+        | Empty r when r > round t p -> find_head (p + 1)
+        | Empty _ | Node _ -> p
+    in
+    let hd = find_head start in
+    let rec count p n =
+      if p >= hd + cap then n
+      else
+        match A.get t.slots.(p land t.mask) with
+        | Node _ -> count (p + 1) (n + 1)
+        | Empty _ -> n
+    in
+    count hd 0
+end
+
+include Make (Nbq_primitives.Atomic_intf.Real)

@@ -1,0 +1,43 @@
+(** A Tsigas–Zhang-style circular-array queue (SPAA 2001) — the first
+    practical single-word-CAS array queue, discussed at length in the
+    paper's §2–§3 and implemented here as an extension baseline.
+
+    Signature features reproduced from the original:
+    - {b lagging indices}: [Head]/[Tail] are only advanced every other
+      operation; operations linearly re-scan forward from the stale index
+      to find the real boundary (cheaper index maintenance, dearer scans);
+    - {b single-word slots}: a slot is one word holding either a node
+      pointer or an empty marker;
+    - mutual helping on stale counters and the [h == HEAD] commit
+      revalidation.
+
+    {b Round-tag widening (deliberate deviation).}  The original
+    distinguishes "emptied this round" from "emptied last round" with two
+    null values — a 1-bit round tag — and therefore {e assumes no
+    operation is delayed across two ring wraps} (the §3 criticism the
+    paper's own algorithms remove; we reproduced the resulting
+    loss/reorder failures experimentally on this single-core box, where
+    the OS routinely preempts a thread for thousands of operations — see
+    DESIGN.md §7a).  This port widens the empty marker's round tag to a
+    full word ([Empty of round]), eliminating the assumption exactly the
+    way monotonic indices eliminate index-ABA.  The slot is still a
+    single word: on real hardware the round tag would occupy the spare
+    bits of an aligned null pointer. *)
+
+(** The algorithm over any atomics (for the model checker). *)
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  val capacity : 'a t -> int
+  val try_enqueue : 'a t -> 'a -> bool
+  val try_dequeue : 'a t -> 'a option
+  val length : 'a t -> int
+  val head_index : 'a t -> int
+  val tail_index : 'a t -> int
+end
+
+include Nbq_core.Queue_intf.BOUNDED
+
+val head_index : 'a t -> int
+val tail_index : 'a t -> int

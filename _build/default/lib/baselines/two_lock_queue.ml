@@ -1,0 +1,55 @@
+let name = "two-lock"
+
+type 'a node = {
+  value : 'a option;
+  (* Atomic: written by an enqueuer under the tail lock, read by a
+     dequeuer under the head lock — the two never hold a common lock, so
+     the release/acquire pair must come from the link itself. *)
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  head_lock : Mutex.t;
+  tail_lock : Mutex.t;
+  mutable head : 'a node;  (* guarded by head_lock *)
+  mutable tail : 'a node;  (* guarded by tail_lock *)
+}
+
+let create () =
+  let dummy = { value = None; next = Atomic.make None } in
+  {
+    head_lock = Mutex.create ();
+    tail_lock = Mutex.create ();
+    head = dummy;
+    tail = dummy;
+  }
+
+let enqueue t x =
+  let node = { value = Some x; next = Atomic.make None } in
+  Mutex.lock t.tail_lock;
+  Atomic.set t.tail.next (Some node);
+  t.tail <- node;
+  Mutex.unlock t.tail_lock
+
+let try_dequeue t =
+  Mutex.lock t.head_lock;
+  let result =
+    match Atomic.get t.head.next with
+    | None -> None
+    | Some n ->
+        t.head <- n;
+        n.value
+  in
+  Mutex.unlock t.head_lock;
+  result
+
+let length t =
+  Mutex.lock t.head_lock;
+  let rec count n node =
+    match Atomic.get node.next with
+    | None -> n
+    | Some next -> count (n + 1) next
+  in
+  let result = count 0 t.head in
+  Mutex.unlock t.head_lock;
+  result

@@ -1,0 +1,11 @@
+(** The Michael–Scott {e two-lock} queue (the blocking algorithm from the
+    same 1998 paper as the lock-free MS queue).
+
+    One mutex serializes enqueuers, an independent one serializes
+    dequeuers; a permanent dummy node keeps the two ends from interfering.
+    The head-to-tail handoff happens through an atomic [next] link, which
+    is what makes the algorithm linearizable without ever holding both
+    locks.  Included as the "good blocking algorithm" baseline between the
+    single-lock ring and the non-blocking queues. *)
+
+include Nbq_core.Queue_intf.UNBOUNDED

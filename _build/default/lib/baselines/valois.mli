@@ -1,0 +1,30 @@
+(** A Valois-style circular-array queue over double-word CAS (paper §2,
+    [15]).
+
+    Valois's design updates the index and the slot {e in one atomic step},
+    which makes the algorithm almost trivially correct — no lagging
+    counters, no helping, no ABA gymnastics: enqueue is a single DCAS of
+    [(Tail, slot)] and dequeue of [(Head, slot)].  The paper's §2 dismisses
+    it because hardware offers no such primitive; running it over the
+    software {!Nbq_primitives.Mcas} substrate quantifies exactly what that
+    convenience costs (≈7 single-word CAS per operation on the uncontended
+    path — visible in the op-cost benchmark next to the paper's
+    3-CAS/2-FAA Algorithm 2). *)
+
+(** The algorithm over any atomics (for the model checker). *)
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  val capacity : 'a t -> int
+  val try_enqueue : 'a t -> 'a -> bool
+  val try_dequeue : 'a t -> 'a option
+  val length : 'a t -> int
+  val head_index : 'a t -> int
+  val tail_index : 'a t -> int
+end
+
+include Nbq_core.Queue_intf.BOUNDED
+
+val head_index : 'a t -> int
+val tail_index : 'a t -> int

@@ -1,0 +1,1 @@
+lib/core/evequoz_cas.ml: Array Domain Nbq_primitives Queue_intf

@@ -1,0 +1,1 @@
+lib/core/evequoz_cas.mli: Nbq_primitives Queue_intf

@@ -1,0 +1,1 @@
+lib/core/evequoz_llsc.ml: Array Atomic Nbq_primitives Queue_intf

@@ -1,0 +1,184 @@
+module Atomic_intf = Nbq_primitives.Atomic_intf
+
+(* The algorithm core (paper Fig. 5, right column), over any atomics. *)
+module Make (A : Atomic_intf.ATOMIC) = struct
+  module Llsc_cas = Nbq_primitives.Llsc_cas.Make (A)
+
+  type 'a slot = Empty | Item of 'a
+
+  type 'a handle = 'a slot Llsc_cas.handle
+
+  type 'a t = {
+    mask : int;
+    slots : 'a slot Llsc_cas.t array;
+    head : int A.t;
+    tail : int A.t;
+    registry : 'a slot Llsc_cas.registry;
+  }
+
+  let create ~capacity =
+    let capacity = Queue_intf.round_capacity capacity in
+    {
+      mask = capacity - 1;
+      slots = Array.init capacity (fun _ -> Llsc_cas.make Empty);
+      head = A.make 0;
+      tail = A.make 0;
+      registry = Llsc_cas.create_registry ();
+    }
+
+  let capacity t = t.mask + 1
+
+  let register t = Llsc_cas.register t.registry
+
+  let deregister h = Llsc_cas.deregister h
+
+  let registry_size t = Llsc_cas.registered_count t.registry
+
+  let head_index t = A.get t.head
+  let tail_index t = A.get t.tail
+
+  (* Paper Fig. 5, Enqueue.  [h] must have been re-registered for this
+     operation already. *)
+  let rec enqueue_loop t h x =
+    let tl = A.get t.tail in
+    if tl = A.get t.head + t.mask + 1 then false
+    else begin
+      let cell = t.slots.(tl land t.mask) in
+      let slot = Llsc_cas.ll cell h in
+      if A.get t.tail = tl then
+        match slot with
+        | Item _ ->
+            (* Slot filled but Tail lagging: undo the reservation, help. *)
+            ignore (Llsc_cas.sc cell h slot);
+            ignore (A.compare_and_set t.tail tl (tl + 1));
+            enqueue_loop t h x
+        | Empty ->
+            if Llsc_cas.sc cell h (Item x) then begin
+              ignore (A.compare_and_set t.tail tl (tl + 1));
+              true
+            end
+            else enqueue_loop t h x
+      else begin
+        (* Tail moved under us: release the reservation and retry. *)
+        ignore (Llsc_cas.sc cell h slot);
+        enqueue_loop t h x
+      end
+    end
+
+  let rec dequeue_loop t h =
+    let hd = A.get t.head in
+    if hd = A.get t.tail then None
+    else begin
+      let cell = t.slots.(hd land t.mask) in
+      let slot = Llsc_cas.ll cell h in
+      if A.get t.head = hd then
+        match slot with
+        | Empty ->
+            (* Item removed but Head lagging: undo, help. *)
+            ignore (Llsc_cas.sc cell h slot);
+            ignore (A.compare_and_set t.head hd (hd + 1));
+            dequeue_loop t h
+        | Item x ->
+            if Llsc_cas.sc cell h Empty then begin
+              ignore (A.compare_and_set t.head hd (hd + 1));
+              Some x
+            end
+            else dequeue_loop t h
+      else begin
+        ignore (Llsc_cas.sc cell h slot);
+        dequeue_loop t h
+      end
+    end
+
+  (* Extension (not in the paper): observe the front item.  The slot must
+     be read through a reservation (a heuristic peek could return a stale
+     placeholder), which is immediately rolled back; Head monotonicity
+     pins the linearization to the ll instant. *)
+  let rec peek_loop t h =
+    let hd = A.get t.head in
+    if hd = A.get t.tail then None
+    else begin
+      let cell = t.slots.(hd land t.mask) in
+      let slot = Llsc_cas.ll cell h in
+      ignore (Llsc_cas.sc cell h slot);
+      if A.get t.head = hd then
+        match slot with
+        | Item x -> Some x
+        | Empty ->
+            ignore (A.compare_and_set t.head hd (hd + 1));
+            peek_loop t h
+      else peek_loop t h
+    end
+
+  let enqueue_with t h x =
+    Llsc_cas.reregister h;
+    enqueue_loop t h x
+
+  let dequeue_with t h =
+    Llsc_cas.reregister h;
+    dequeue_loop t h
+
+  let peek_with t h =
+    Llsc_cas.reregister h;
+    peek_loop t h
+
+  let length t =
+    let n = A.get t.tail - A.get t.head in
+    if n < 0 then 0 else if n > t.mask + 1 then t.mask + 1 else n
+end
+
+(* --- Default instantiation with the domain-local implicit-handle layer --- *)
+
+module Core = Make (Atomic_intf.Real)
+
+let name = "evequoz-cas"
+
+type 'a handle = 'a Core.handle
+
+type 'a t = {
+  core : 'a Core.t;
+  (* Implicit per-domain handle cache.  [option ref] so that
+     [deregister_domain] can drop it. *)
+  implicit : 'a handle option ref Domain.DLS.key;
+}
+
+let create ~capacity =
+  {
+    core = Core.create ~capacity;
+    implicit = Domain.DLS.new_key (fun () -> ref None);
+  }
+
+let capacity t = Core.capacity t.core
+let register t = Core.register t.core
+let deregister = Core.deregister
+let enqueue_with t h x = Core.enqueue_with t.core h x
+let dequeue_with t h = Core.dequeue_with t.core h
+let registry_size t = Core.registry_size t.core
+let head_index t = Core.head_index t.core
+let tail_index t = Core.tail_index t.core
+let length t = Core.length t.core
+
+let implicit_handle t =
+  let cache = Domain.DLS.get t.implicit in
+  match !cache with
+  | Some h -> h
+  | None ->
+      let h = register t in
+      cache := Some h;
+      h
+
+let deregister_domain t =
+  let cache = Domain.DLS.get t.implicit in
+  match !cache with
+  | Some h ->
+      deregister h;
+      cache := None
+  | None -> ()
+
+let peek_with t h = Core.peek_with t.core h
+
+let try_enqueue t x = enqueue_with t (implicit_handle t) x
+
+let try_dequeue t = dequeue_with t (implicit_handle t)
+
+let try_peek t = peek_with t (implicit_handle t)

@@ -1,0 +1,85 @@
+(** Algorithm 2: the pointer-wide-CAS non-blocking circular-array FIFO
+    (paper, Fig. 5).
+
+    Array slots are {!Nbq_primitives.Llsc_cas} cells — single atomic words
+    holding either an item, the empty marker, or a reserving thread's tag —
+    while [Head] and [Tail] are plain monotonic atomic counters advanced with
+    CAS.  Each operation (paper): read the counter, simulated-LL the slot it
+    designates, revalidate the counter, then either store-conditional the new
+    content and advance the counter, or roll the reservation back and help
+    the lagging counter.
+
+    The queue is population-oblivious; space consumption is
+    O(capacity + maximum number of threads that ever accessed the queue
+    simultaneously) — the tag-variable registry grows to the high-water mark
+    of concurrency and is recycled, never freed.
+
+    Two ways to use it:
+    - {b implicit handles} — the plain {!Queue_intf.BOUNDED} interface;
+      each domain's tag handle is created on first use and cached
+      domain-locally.  A domain that stops using the queue without
+      {!deregister_domain} keeps its tag variable owned (the paper accepts
+      the same leak when a thread dies before [Deregister]).
+    - {b explicit handles} — {!register} / {!enqueue} / {!dequeue} /
+      {!deregister}, mirroring the paper's signatures; useful when a domain
+      multiplexes many logical threads.
+
+    Both entry points perform the paper-mandated [ReRegister] at the start of
+    every operation. *)
+
+(** The algorithm core, parameterized over the atomics (for the model
+    checker).  Only the explicit-handle API: the domain-local convenience
+    layer lives in the default instantiation below. *)
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+  type 'a handle
+
+  val create : capacity:int -> 'a t
+  val capacity : 'a t -> int
+  val register : 'a t -> 'a handle
+  val deregister : 'a handle -> unit
+  val enqueue_with : 'a t -> 'a handle -> 'a -> bool
+  val dequeue_with : 'a t -> 'a handle -> 'a option
+  val peek_with : 'a t -> 'a handle -> 'a option
+  val length : 'a t -> int
+  val registry_size : 'a t -> int
+  val head_index : 'a t -> int
+  val tail_index : 'a t -> int
+end
+
+include Queue_intf.BOUNDED
+
+type 'a handle
+(** A registered tag variable for one logical thread (paper's [LLSCvar *]). *)
+
+val register : 'a t -> 'a handle
+(** Acquire a handle: recycle a free tag variable or extend the registry. *)
+
+val deregister : 'a handle -> unit
+(** Return the handle's tag variable to the registry.  The handle must not
+    be used afterwards. *)
+
+val enqueue_with : 'a t -> 'a handle -> 'a -> bool
+(** [try_enqueue] through an explicit handle. *)
+
+val dequeue_with : 'a t -> 'a handle -> 'a option
+(** [try_dequeue] through an explicit handle. *)
+
+val try_peek : 'a t -> 'a option
+(** Observe the front item without removing it ([None] when empty).
+    Linearizable; an extension beyond the paper's API. *)
+
+val peek_with : 'a t -> 'a handle -> 'a option
+(** [try_peek] through an explicit handle. *)
+
+val deregister_domain : 'a t -> unit
+(** Release the calling domain's implicit handle, if any was created. *)
+
+val registry_size : 'a t -> int
+(** Number of tag variables ever allocated for this queue — the space
+    adaptivity metric of the paper (tracks the high-water mark of concurrent
+    threads, not operation count). *)
+
+val head_index : 'a t -> int
+val tail_index : 'a t -> int
+(** Raw monotonic counters, for tests and scenario replays. *)

@@ -1,0 +1,141 @@
+module type CELL = sig
+  type 'a t
+  type 'a link
+
+  val make : 'a -> 'a t
+  val ll : 'a t -> 'a link
+  val value : 'a link -> 'a
+  val sc : 'a t -> 'a link -> 'a -> bool
+  val get : 'a t -> 'a
+end
+
+module Make (Cell : CELL) = struct
+  let name = "evequoz-llsc"
+
+  type 'a slot = Empty | Item of 'a
+
+  type 'a t = {
+    mask : int;
+    slots : 'a slot Cell.t array;
+    head : int Cell.t;
+    tail : int Cell.t;
+  }
+
+  let create ~capacity =
+    let capacity = Queue_intf.round_capacity capacity in
+    {
+      mask = capacity - 1;
+      slots = Array.init capacity (fun _ -> Cell.make Empty);
+      head = Cell.make 0;
+      tail = Cell.make 0;
+    }
+
+  let capacity t = t.mask + 1
+
+  let head_index t = Cell.get t.head
+  let tail_index t = Cell.get t.tail
+
+  (* Paper E12-E13 / D12-D17: advance a counter on behalf of a delayed
+     thread.  Under ideal LL/SC a single attempt suffices (an SC failure
+     proves another thread performed the advance), but a spuriously failing
+     SC (weak cells, paper §5) would silently drop the increment and let a
+     lagging counter fool the empty/full tests — so retry until the counter
+     is observed past [expected].  On ideal cells the retry never triggers
+     more than once. *)
+  let help_advance counter expected =
+    let rec go () =
+      let link = Cell.ll counter in
+      if Cell.value link = expected then
+        if not (Cell.sc counter link (expected + 1)) then go ()
+    in
+    go ()
+
+  let rec try_enqueue t x =
+    let tl = Cell.get t.tail in
+    (* E6: full test.  Tail is monotonic, so at the instant Head is read the
+       distance can only be >= the one computed — "full" is linearizable. *)
+    if tl = Cell.get t.head + t.mask + 1 then false
+    else begin
+      let cell = t.slots.(tl land t.mask) in
+      let link = Cell.ll cell in
+      if Cell.get t.tail = tl then
+        (* E10 held: the reserved slot is still the one Tail designates. *)
+        match Cell.value link with
+        | Item _ ->
+            (* E11-E13: a delayed enqueuer filled the slot but has not yet
+               advanced Tail; help it and retry. *)
+            help_advance t.tail tl;
+            try_enqueue t x
+        | Empty ->
+            if Cell.sc cell link (Item x) then begin
+              help_advance t.tail tl;
+              true
+            end
+            else try_enqueue t x
+      else try_enqueue t x
+    end
+
+  let rec try_dequeue t =
+    let hd = Cell.get t.head in
+    (* D6: empty test; same monotonicity argument as the full test. *)
+    if hd = Cell.get t.tail then None
+    else begin
+      let cell = t.slots.(hd land t.mask) in
+      let link = Cell.ll cell in
+      if Cell.get t.head = hd then
+        match Cell.value link with
+        | Empty ->
+            (* D11-D13: the item was removed but Head lags; help. *)
+            help_advance t.head hd;
+            try_dequeue t
+        | Item x ->
+            if Cell.sc cell link Empty then begin
+              help_advance t.head hd;
+              Some x
+            end
+            else try_dequeue t
+      else try_dequeue t
+    end
+
+  (* Extension (not in the paper): observe the front item.  Linearizes at
+     the slot read — Head is monotonic, so "Head = hd before and after"
+     pins Head to hd at the read instant, making the slot's item the front
+     element then. *)
+  let rec try_peek t =
+    let hd = Cell.get t.head in
+    if hd = Cell.get t.tail then None
+    else
+      match Cell.get t.slots.(hd land t.mask) with
+      | Item x -> if Cell.get t.head = hd then Some x else try_peek t
+      | Empty ->
+          (* Removed but Head lagging: help and retry. *)
+          help_advance t.head hd;
+          try_peek t
+
+  let length t =
+    let n = Cell.get t.tail - Cell.get t.head in
+    if n < 0 then 0 else if n > t.mask + 1 then t.mask + 1 else n
+end
+
+include Make (Nbq_primitives.Llsc)
+
+module On_weak_cells = struct
+  let failure_rate = Atomic.make 0.05
+
+  module Cell = struct
+    type 'a t = 'a Nbq_primitives.Llsc.Weak.cell
+    type 'a link = 'a Nbq_primitives.Llsc.link
+
+    let make v =
+      Nbq_primitives.Llsc.Weak.make ~failure_rate:(Atomic.get failure_rate) v
+
+    let ll = Nbq_primitives.Llsc.Weak.ll
+    let value = Nbq_primitives.Llsc.Weak.value
+    let sc = Nbq_primitives.Llsc.Weak.sc
+    let get = Nbq_primitives.Llsc.Weak.get
+  end
+
+  include Make (Cell)
+
+  let name = "evequoz-llsc-weak"
+end

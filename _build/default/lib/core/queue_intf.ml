@@ -1,0 +1,130 @@
+(** Module types shared by every queue in the repository.
+
+    Two families exist: the paper's queues (and the array-based baselines)
+    are {e bounded} — enqueue can fail with "full" — while the Michael–Scott
+    family is {e unbounded}.  {!CONC} unifies them so tests, the
+    linearizability checker and the benchmark harness can treat any
+    implementation as a first-class value; {!Of_bounded} / {!Of_unbounded}
+    build the unified view, and {!Blocking} layers spinning (with
+    exponential backoff) on top for applications that want blocking
+    semantics. *)
+
+(** A multi-producer multi-consumer bounded FIFO. *)
+module type BOUNDED = sig
+  type 'a t
+
+  val name : string
+  (** Short algorithm name used in reports, e.g. ["evequoz-llsc"]. *)
+
+  val create : capacity:int -> 'a t
+  (** [create ~capacity] makes an empty queue able to hold at least
+      [capacity] items (implementations round up to a power of two).
+      Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val capacity : 'a t -> int
+  (** The actual (rounded) capacity. *)
+
+  val try_enqueue : 'a t -> 'a -> bool
+  (** Insert at the tail; [false] means the queue was full at some point
+      during the call (linearizable "full"). Lock-free. *)
+
+  val try_dequeue : 'a t -> 'a option
+  (** Remove from the head; [None] means the queue was empty at some point
+      during the call (linearizable "empty"). Lock-free. *)
+
+  val length : 'a t -> int
+  (** Number of queued items.  Exact when quiescent; a linearizable-ish
+      snapshot under concurrency (may be transiently stale). *)
+end
+
+(** A multi-producer multi-consumer unbounded FIFO. *)
+module type UNBOUNDED = sig
+  type 'a t
+
+  val name : string
+  val create : unit -> 'a t
+
+  val enqueue : 'a t -> 'a -> unit
+  (** Always succeeds. Lock-free (for the non-blocking implementations). *)
+
+  val try_dequeue : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+(** The unified view used by the harness and the conformance battery. *)
+module type CONC = sig
+  type 'a t
+
+  val name : string
+
+  val bounded : bool
+  (** Whether [try_enqueue] can ever return [false]. *)
+
+  val create : capacity:int -> 'a t
+  (** [capacity] is ignored by unbounded implementations. *)
+
+  val try_enqueue : 'a t -> 'a -> bool
+  val try_dequeue : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+module Of_bounded (Q : BOUNDED) : CONC with type 'a t = 'a Q.t = struct
+  type 'a t = 'a Q.t
+
+  let name = Q.name
+  let bounded = true
+  let create = Q.create
+  let try_enqueue = Q.try_enqueue
+  let try_dequeue = Q.try_dequeue
+  let length = Q.length
+end
+
+module Of_unbounded (Q : UNBOUNDED) : CONC with type 'a t = 'a Q.t = struct
+  type 'a t = 'a Q.t
+
+  let name = Q.name
+  let bounded = false
+  let create ~capacity:_ = Q.create ()
+  let try_enqueue t x = Q.enqueue t x; true
+  let try_dequeue = Q.try_dequeue
+  let length = Q.length
+end
+
+(** Spinning blocking operations over any {!CONC} queue. *)
+module Blocking (Q : CONC) : sig
+  val enqueue : 'a Q.t -> 'a -> unit
+  (** Spin (with exponential backoff) until the item is accepted. *)
+
+  val dequeue : 'a Q.t -> 'a
+  (** Spin (with exponential backoff) until an item is available. *)
+end = struct
+  let enqueue t x =
+    if not (Q.try_enqueue t x) then begin
+      let b = Nbq_primitives.Backoff.create () in
+      while not (Q.try_enqueue t x) do
+        Nbq_primitives.Backoff.once b
+      done
+    end
+
+  let dequeue t =
+    match Q.try_dequeue t with
+    | Some x -> x
+    | None ->
+        let b = Nbq_primitives.Backoff.create () in
+        let rec spin () =
+          match Q.try_dequeue t with
+          | Some x -> x
+          | None ->
+              Nbq_primitives.Backoff.once b;
+              spin ()
+        in
+        spin ()
+end
+
+(** [round_capacity c] is the smallest power of two [>= max c 2].  Shared by
+    every array-based implementation so that head/tail counters can wrap
+    without skipping slots (paper §4: "Q_LENGTH is a power of 2"). *)
+let round_capacity capacity =
+  if capacity < 1 then invalid_arg "Queue.create: capacity < 1";
+  let rec go n = if n >= capacity then n else go (n * 2) in
+  go 2

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: List Nbq_baselines Nbq_core Printf String

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Domain List Nbq_primitives Registry Stats Workload

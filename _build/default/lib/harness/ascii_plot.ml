@@ -1,0 +1,75 @@
+type series = {
+  label : string;
+  points : (float * float) list;
+}
+
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '%'; '@'; '~' |]
+
+let render ?(width = 72) ?(height = 20) ~title ~x_label ~y_label series =
+  if width < 16 || height < 5 then
+    invalid_arg "Ascii_plot.render: chart too small";
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then
+    Printf.sprintf "%s\n  (no data)\n" title
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let fmin = List.fold_left Float.min infinity in
+    let fmax = List.fold_left Float.max neg_infinity in
+    let x_min = fmin xs and x_max = fmax xs in
+    let y_min = Float.min 0.0 (fmin ys) and y_max = fmax ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let plot_col x =
+      int_of_float
+        (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+    in
+    let plot_row y =
+      (* row 0 is the top of the chart *)
+      (height - 1)
+      - int_of_float
+          (Float.round ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+    in
+    List.iteri
+      (fun i s ->
+        let marker = markers.(i mod Array.length markers) in
+        List.iter
+          (fun (x, y) ->
+            let c = plot_col x and r = plot_row y in
+            if r >= 0 && r < height && c >= 0 && c < width then
+              grid.(r).(c) <- marker)
+          s.points)
+      series;
+    let buf = Buffer.create ((width + 16) * (height + 6)) in
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    let y_tick r =
+      y_min +. (y_span *. float_of_int (height - 1 - r) /. float_of_int (height - 1))
+    in
+    Array.iteri
+      (fun r row ->
+        (* A y-axis tick every few rows keeps the margin readable. *)
+        if r mod 4 = 0 || r = height - 1 then
+          Buffer.add_string buf (Printf.sprintf "%10.4f |" (y_tick r))
+        else Buffer.add_string buf (String.make 10 ' ' ^ " |");
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 11 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%11s%-10.4g%*s%10.4g\n" "" x_min
+         (width - 10) "" x_max);
+    Buffer.add_string buf
+      (Printf.sprintf "%11sx: %s   y: %s\n" "" x_label y_label);
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%11s%c %s\n" ""
+             markers.(i mod Array.length markers)
+             s.label))
+      series;
+    Buffer.contents buf
+  end

@@ -1,0 +1,29 @@
+(** Terminal line charts for the figure binaries.
+
+    The paper's Figure 6 is four line charts (time vs thread count, one
+    curve per algorithm); [render] draws the same shape in plain text so
+    the crossovers are visible at a glance without leaving the terminal.
+    Each series gets a marker character; colliding points show the marker
+    of the later series in the list. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y); need not be sorted *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** [render ~title ~x_label ~y_label series] draws an axis-annotated chart
+    of [width] × [height] characters (defaults 72 × 20) followed by a
+    marker legend.  Empty series lists or all-empty series render a
+    placeholder note instead.  Raises [Invalid_argument] if [width] or
+    [height] is smaller than 16 × 5. *)
+
+val markers : char array
+(** The marker alphabet, in series order (cycled if exhausted). *)

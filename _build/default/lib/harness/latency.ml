@@ -1,0 +1,70 @@
+type recorder = {
+  buffer : float array;
+  mutable used : int;
+  mutable dropped : int;
+}
+
+let recorder ~capacity =
+  if capacity < 1 then invalid_arg "Latency.recorder: capacity < 1";
+  { buffer = Array.make capacity 0.0; used = 0; dropped = 0 }
+
+let record r x =
+  if r.used < Array.length r.buffer then begin
+    r.buffer.(r.used) <- x;
+    r.used <- r.used + 1
+  end
+  else r.dropped <- r.dropped + 1
+
+let time r f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  record r (Unix.gettimeofday () -. t0);
+  result
+
+let dropped r = r.dropped
+
+type summary = {
+  samples : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  max : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Latency.percentile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Latency.percentile: q outside [0,1]";
+  (* Nearest-rank. *)
+  let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+  sorted.(max 0 (min (n - 1) rank))
+
+let summarize recorders =
+  let total = List.fold_left (fun acc r -> acc + r.used) 0 recorders in
+  if total = 0 then invalid_arg "Latency.summarize: no samples";
+  let all = Array.make total 0.0 in
+  let pos = ref 0 in
+  List.iter
+    (fun r ->
+      Array.blit r.buffer 0 all !pos r.used;
+      pos := !pos + r.used)
+    recorders;
+  Array.sort compare all;
+  let sum = Array.fold_left ( +. ) 0.0 all in
+  {
+    samples = total;
+    mean = sum /. float_of_int total;
+    p50 = percentile all 0.5;
+    p90 = percentile all 0.9;
+    p99 = percentile all 0.99;
+    p999 = percentile all 0.999;
+    max = all.(total - 1);
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.2fus p50=%.2fus p90=%.2fus p99=%.2fus p99.9=%.2fus max=%.2fus"
+    s.samples (s.mean *. 1e6) (s.p50 *. 1e6) (s.p90 *. 1e6) (s.p99 *. 1e6)
+    (s.p999 *. 1e6) (s.max *. 1e6)

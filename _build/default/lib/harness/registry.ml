@@ -1,0 +1,93 @@
+module Queue_intf = Nbq_core.Queue_intf
+
+type payload = { tag : int }
+
+type instance = {
+  enqueue : payload -> bool;
+  dequeue : unit -> payload option;
+  length : unit -> int;
+}
+
+type family =
+  | Array_based
+  | Link_based
+  | Lock_based
+  | Sequential
+
+type impl = {
+  name : string;
+  family : family;
+  bounded : bool;
+  bounded_delay_assumption : bool;
+  create : capacity:int -> instance;
+}
+
+let of_conc ~name ~family ?(bounded_delay_assumption = false)
+    (module Q : Queue_intf.CONC) =
+  {
+    name;
+    family;
+    bounded = Q.bounded;
+    bounded_delay_assumption;
+    create =
+      (fun ~capacity ->
+        let q = Q.create ~capacity in
+        {
+          enqueue = (fun p -> Q.try_enqueue q p);
+          dequeue = (fun () -> Q.try_dequeue q);
+          length = (fun () -> Q.length q);
+        });
+  }
+
+module Evequoz_llsc_conc = Queue_intf.Of_bounded (Nbq_core.Evequoz_llsc)
+module Evequoz_llsc_weak_conc =
+  Queue_intf.Of_bounded (Nbq_core.Evequoz_llsc.On_weak_cells)
+module Evequoz_cas_conc = Queue_intf.Of_bounded (Nbq_core.Evequoz_cas)
+module Shann_conc = Queue_intf.Of_bounded (Nbq_baselines.Shann)
+module Tz_conc = Queue_intf.Of_bounded (Nbq_baselines.Tsigas_zhang)
+module Valois_conc = Queue_intf.Of_bounded (Nbq_baselines.Valois)
+module Lock_conc = Queue_intf.Of_bounded (Nbq_baselines.Lock_queue)
+module Seq_conc = Queue_intf.Of_bounded (Nbq_baselines.Seq_ring)
+module Ms_gc_conc = Queue_intf.Of_unbounded (Nbq_baselines.Michael_scott)
+module Ms_hp_sorted_conc =
+  Queue_intf.Of_unbounded (Nbq_baselines.Ms_hazard.Sorted)
+module Ms_hp_unsorted_conc =
+  Queue_intf.Of_unbounded (Nbq_baselines.Ms_hazard.Unsorted)
+module Ms_ebr_conc = Queue_intf.Of_unbounded (Nbq_baselines.Ms_epoch.Conc)
+module Ms_doherty_conc = Queue_intf.Of_unbounded (Nbq_baselines.Ms_doherty.Conc)
+module Two_lock_conc = Queue_intf.Of_unbounded (Nbq_baselines.Two_lock_queue)
+module Hw_conc = Queue_intf.Of_unbounded (Nbq_baselines.Herlihy_wing)
+module Lms_conc = Queue_intf.Of_unbounded (Nbq_baselines.Ladan_mozes_shavit)
+
+let concurrent =
+  [
+    of_conc ~name:"evequoz-llsc" ~family:Array_based (module Evequoz_llsc_conc);
+    of_conc ~name:"evequoz-cas" ~family:Array_based (module Evequoz_cas_conc);
+    of_conc ~name:"evequoz-llsc-weak" ~family:Array_based
+      (module Evequoz_llsc_weak_conc);
+    of_conc ~name:"shann" ~family:Array_based (module Shann_conc);
+    of_conc ~name:"tsigas-zhang" ~family:Array_based (module Tz_conc);
+    of_conc ~name:"valois-dcas" ~family:Array_based (module Valois_conc);
+    of_conc ~name:"ms-gc" ~family:Link_based (module Ms_gc_conc);
+    of_conc ~name:"ms-hp-sorted" ~family:Link_based (module Ms_hp_sorted_conc);
+    of_conc ~name:"ms-hp-unsorted" ~family:Link_based
+      (module Ms_hp_unsorted_conc);
+    of_conc ~name:"ms-ebr" ~family:Link_based (module Ms_ebr_conc);
+    of_conc ~name:"ms-doherty" ~family:Link_based (module Ms_doherty_conc);
+    of_conc ~name:"herlihy-wing" ~family:Array_based (module Hw_conc);
+    of_conc ~name:"lms-optimistic" ~family:Link_based (module Lms_conc);
+    of_conc ~name:"two-lock" ~family:Lock_based (module Two_lock_conc);
+    of_conc ~name:"lock-ring" ~family:Lock_based (module Lock_conc);
+  ]
+
+let all = concurrent @ [ of_conc ~name:"seq-ring" ~family:Sequential (module Seq_conc) ]
+
+let names () = List.map (fun i -> i.name) all
+
+let find name =
+  match List.find_opt (fun i -> i.name = name) all with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown queue %S; valid names: %s" name
+           (String.concat ", " (names ())))

@@ -1,0 +1,55 @@
+(** Every queue implementation in the repository as a first-class value.
+
+    The experiments iterate over algorithms; this registry erases the
+    per-implementation type ['a t] by fixing the payload to a freshly
+    allocated record per enqueue — mirroring the paper's workload, where "a
+    node allocation immediately precedes each enqueue operation". *)
+
+type payload = { tag : int }
+(** One queued item; always heap-allocated fresh by the workload. *)
+
+type instance = {
+  enqueue : payload -> bool;
+  dequeue : unit -> payload option;
+  length : unit -> int;
+}
+(** A live queue, usable from any domain. *)
+
+type family =
+  | Array_based  (** circular-array queues *)
+  | Link_based   (** Michael–Scott family *)
+  | Lock_based
+  | Sequential   (** no synchronization; single-domain only *)
+
+type impl = {
+  name : string;
+  family : family;
+  bounded : bool;
+  bounded_delay_assumption : bool;
+      (** The algorithm is only correct if no operation is delayed across
+          two full ring wraps (Tsigas–Zhang's published assumption — the
+          very §3 limitation the paper's algorithms remove).  Harnesses
+          honour it by sizing rings generously; see DESIGN.md §7a. *)
+  create : capacity:int -> instance;
+}
+
+val all : impl list
+(** Every registered implementation (concurrent ones first). *)
+
+val concurrent : impl list
+(** [all] minus the sequential ring. *)
+
+val find : string -> impl
+(** Lookup by [name]; raises [Invalid_argument] with a message listing the
+    valid names. *)
+
+val names : unit -> string list
+
+val of_conc :
+  name:string ->
+  family:family ->
+  ?bounded_delay_assumption:bool ->
+  (module Nbq_core.Queue_intf.CONC) ->
+  impl
+(** Wrap any {!Nbq_core.Queue_intf.CONC} implementation.
+    [bounded_delay_assumption] defaults to [false]. *)

@@ -1,0 +1,61 @@
+module Barrier = Nbq_primitives.Barrier
+
+type run_config = {
+  threads : int;
+  runs : int;
+  workload : Workload.config;
+  capacity : int option;
+}
+
+type measurement = {
+  impl_name : string;
+  threads_used : int;
+  per_run_seconds : float list;
+  summary : Stats.summary;
+  full_retries : int;
+  empty_retries : int;
+}
+
+let default_config ?(threads = 4) ?(runs = 5) workload =
+  { threads; runs; workload; capacity = None }
+
+let available_domains () = Domain.recommended_domain_count ()
+
+let one_run (impl : Registry.impl) cfg =
+  let capacity =
+    match cfg.capacity with
+    | Some c -> c
+    | None -> Workload.min_capacity cfg.workload ~threads:cfg.threads
+  in
+  let q = impl.Registry.create ~capacity in
+  let barrier = Barrier.create ~parties:cfg.threads in
+  let domains =
+    List.init cfg.threads (fun thread ->
+        Domain.spawn (fun () ->
+            Barrier.await barrier;
+            Workload.run_thread cfg.workload ~thread q))
+  in
+  List.map Domain.join domains
+
+let measure impl cfg =
+  if cfg.threads < 1 then invalid_arg "Runner.measure: threads < 1";
+  let full = ref 0 and empty = ref 0 in
+  let per_run =
+    List.init cfg.runs (fun _ ->
+        let results = one_run impl cfg in
+        List.iter
+          (fun (r : Workload.thread_result) ->
+            full := !full + r.full_retries;
+            empty := !empty + r.empty_retries)
+          results;
+        Stats.mean
+          (List.map (fun (r : Workload.thread_result) -> r.seconds) results))
+  in
+  {
+    impl_name = impl.Registry.name;
+    threads_used = cfg.threads;
+    per_run_seconds = per_run;
+    summary = Stats.summarize per_run;
+    full_retries = !full;
+    empty_retries = !empty;
+  }

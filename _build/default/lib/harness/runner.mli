@@ -1,0 +1,32 @@
+(** Multi-domain benchmark execution, following the paper's §6 methodology:
+    spawn N workers, synchronize them behind a barrier, run the workload,
+    report the mean per-thread completion time; repeat for R runs and
+    average. *)
+
+type run_config = {
+  threads : int;
+  runs : int;                 (** paper: 50 *)
+  workload : Workload.config;
+  capacity : int option;      (** default: {!Workload.min_capacity} *)
+}
+
+type measurement = {
+  impl_name : string;
+  threads_used : int;
+  per_run_seconds : float list;  (** each entry: mean over threads of one run *)
+  summary : Stats.summary;
+  full_retries : int;   (** summed over all runs and threads *)
+  empty_retries : int;
+}
+
+val default_config : ?threads:int -> ?runs:int -> Workload.config -> run_config
+
+val measure : Registry.impl -> run_config -> measurement
+(** Runs [runs] independent rounds: each round creates a fresh queue,
+    spawns [threads] domains, releases them together, and records every
+    thread's completion time.  The round's score is the mean thread time
+    (the paper's metric). *)
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count ()]; sweeps beyond this oversubscribe
+    (which is part of what the paper studies — preemption tolerance). *)

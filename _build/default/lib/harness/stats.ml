@@ -1,0 +1,47 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      let n = List.length xs in
+      let m = mean xs in
+      let var =
+        if n < 2 then 0.0
+        else
+          List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+          /. float_of_int (n - 1)
+      in
+      let sorted = List.sort compare xs in
+      let median =
+        let a = Array.of_list sorted in
+        if n mod 2 = 1 then a.(n / 2)
+        else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+      in
+      {
+        n;
+        mean = m;
+        stddev = sqrt var;
+        min = List.nth sorted 0;
+        max = List.nth sorted (n - 1);
+        median;
+      }
+
+let normalize ~base x =
+  if base = 0.0 then nan else x /. base
+
+let pp_summary fmt s =
+  Format.fprintf fmt "mean=%.6f sd=%.6f min=%.6f med=%.6f max=%.6f (n=%d)"
+    s.mean s.stddev s.min s.median s.max s.n

@@ -1,0 +1,25 @@
+(** Summary statistics over repeated benchmark runs.
+
+    The paper reports "the average of 50 runs where each run is the mean
+    time needed to complete the thread's iterations"; {!summarize} computes
+    that mean plus dispersion measures so EXPERIMENTS.md can report
+    stability. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val mean : float list -> float
+
+val normalize : base:float -> float -> float
+(** [normalize ~base x] is [x /. base] — the Figure 6(c)/(d) transform. *)
+
+val pp_summary : Format.formatter -> summary -> unit

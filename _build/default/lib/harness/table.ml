@@ -1,0 +1,55 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns"
+         (List.length cells) (List.length t.columns));
+  t.rows <- cells :: t.rows
+
+let rows t = List.rev t.rows
+
+let render t =
+  let all = t.columns :: rows t in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row)
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let pad i c = c ^ String.make (widths.(i) - String.length c) ' ' in
+  let render_row row =
+    Buffer.add_string buf (String.concat "  " (List.mapi pad row));
+    Buffer.add_char buf '\n'
+  in
+  render_row t.columns;
+  Buffer.add_string buf
+    (String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  Buffer.add_char buf '\n';
+  List.iter render_row (rows t);
+  Buffer.contents buf
+
+let quote_csv c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let render_csv t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map quote_csv row));
+      Buffer.add_char buf '\n')
+    (t.columns :: rows t);
+  Buffer.contents buf
+
+let cell_float f = Printf.sprintf "%.4f" f

@@ -1,0 +1,22 @@
+(** Plain-text and CSV rendering of experiment results.
+
+    The figure binaries print one table per figure: a row per thread count,
+    a column per algorithm series — the same rows/series the paper plots. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [columns] includes the row-label column first,
+    e.g. ["threads"; "ms-doherty"; ...]. *)
+
+val add_row : t -> string list -> unit
+(** Cells must match the column count; raises [Invalid_argument] otherwise. *)
+
+val render : t -> string
+(** Aligned plain text with the title, a header rule, and all rows. *)
+
+val render_csv : t -> string
+
+val cell_float : float -> string
+(** Canonical numeric formatting used across the binaries (4 significant
+    decimals). *)

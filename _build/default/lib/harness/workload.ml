@@ -1,0 +1,62 @@
+type config = {
+  iterations : int;
+  enqueue_batch : int;
+  dequeue_batch : int;
+}
+
+let paper_config = { iterations = 100_000; enqueue_batch = 5; dequeue_batch = 5 }
+
+let scaled_config ~scale =
+  {
+    paper_config with
+    iterations = max 1 (int_of_float (float_of_int paper_config.iterations *. scale));
+  }
+
+type thread_result = {
+  seconds : float;
+  full_retries : int;
+  empty_retries : int;
+}
+
+(* Deadlock-freedom of the spin loops: threads alternate batches, so a
+   thread blocked on dequeue has completed its current enqueue batch.  If
+   all threads were blocked on an empty queue, summing
+   (enqueued_by_t - dequeued_by_t) over threads gives queue length = 0,
+   yet each term is >= 1 (a thread never dequeues more than it has
+   enqueued before its current blocked batch finishes) — contradiction.
+   Symmetrically for full-queue blocking with adequate capacity. *)
+let run_thread config ~thread (q : Registry.instance) =
+  let full_retries = ref 0 in
+  let empty_retries = ref 0 in
+  let tag_base = thread lsl 40 in
+  let tag = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to config.iterations do
+    for _ = 1 to config.enqueue_batch do
+      (* Fresh allocation per enqueue, as in the paper. *)
+      let payload = { Registry.tag = tag_base lor !tag } in
+      incr tag;
+      while not (q.Registry.enqueue payload) do
+        incr full_retries;
+        Domain.cpu_relax ()
+      done
+    done;
+    for _ = 1 to config.dequeue_batch do
+      let rec drain () =
+        match q.Registry.dequeue () with
+        | Some _ -> () (* "freed": dropped, collected by the GC / pool *)
+        | None ->
+            incr empty_retries;
+            Domain.cpu_relax ();
+            drain ()
+      in
+      drain ()
+    done
+  done;
+  let t1 = Unix.gettimeofday () in
+  { seconds = t1 -. t0; full_retries = !full_retries; empty_retries = !empty_retries }
+
+let min_capacity config ~threads =
+  (* At most [threads * enqueue_batch] items are in flight; double it and
+     round up so array queues never report full in the steady state. *)
+  Nbq_core.Queue_intf.round_capacity (2 * threads * config.enqueue_batch)

@@ -1,0 +1,41 @@
+(** The paper's synthetic benchmark workload (§6).
+
+    Each thread performs [iterations] rounds of [enqueue_batch] enqueue
+    operations followed by [dequeue_batch] dequeue operations; "a node
+    allocation immediately precedes each enqueue operation, and each
+    dequeued node is freed" — here a fresh {!Registry.payload} per enqueue,
+    dropped on dequeue (link-based queues additionally recycle their
+    internal nodes through their reclamation scheme, which is the cost
+    under study).
+
+    Enqueues that find the queue full spin-retry, as do dequeues that find
+    it empty; with the batched pattern both are transient (every demanded
+    item is eventually produced — the demand/production ledger can't
+    deadlock, see the inline proof).  Retry counts are reported for the
+    contention analysis. *)
+
+type config = {
+  iterations : int;      (** rounds per thread; paper: 100_000 *)
+  enqueue_batch : int;   (** paper: 5 *)
+  dequeue_batch : int;   (** paper: 5 *)
+}
+
+val paper_config : config
+(** 100_000 × (5 enq + 5 deq) — the exact paper setting. *)
+
+val scaled_config : scale:float -> config
+(** [paper_config] with [iterations] scaled down for quick runs. *)
+
+type thread_result = {
+  seconds : float;       (** this thread's completion time *)
+  full_retries : int;    (** enqueue attempts that hit a full queue *)
+  empty_retries : int;   (** dequeue attempts that hit an empty queue *)
+}
+
+val run_thread :
+  config -> thread:int -> Registry.instance -> thread_result
+(** Execute the per-thread workload (call after the start barrier). *)
+
+val min_capacity : config -> threads:int -> int
+(** A capacity that the pattern can never overflow:
+    [threads * enqueue_batch] outstanding items at most, padded. *)

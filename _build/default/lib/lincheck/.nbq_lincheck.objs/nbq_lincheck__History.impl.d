@@ -1,0 +1,1 @@
+lib/lincheck/history.ml: Array Atomic Format List

@@ -1,0 +1,1 @@
+lib/lincheck/stress.ml: Checker Domain History List Nbq_primitives Printf

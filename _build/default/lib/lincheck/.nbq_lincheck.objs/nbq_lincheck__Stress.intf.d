@@ -1,0 +1,1 @@
+lib/lincheck/stress.mli: Checker History

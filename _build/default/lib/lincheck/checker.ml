@@ -1,0 +1,198 @@
+type verdict = Ok | Violation of string
+
+(* --- Sequential bounded-queue specification --- *)
+
+module Spec = struct
+  (* Functional queue: [front] head-first, [back] reversed. *)
+  type t = { front : int list; back : int list; size : int }
+
+  let empty = { front = []; back = []; size = 0 }
+
+  let push q v = { q with back = v :: q.back; size = q.size + 1 }
+
+  let pop q =
+    match q.front with
+    | x :: front -> Some (x, { q with front; size = q.size - 1 })
+    | [] -> (
+        match List.rev q.back with
+        | [] -> None
+        | x :: front -> Some (x, { front; back = []; size = q.size - 1 }))
+
+  let to_list q = q.front @ List.rev q.back
+
+  (* Replay one operation+outcome; None if the spec can't produce it. *)
+  let apply capacity q (e : History.event) =
+    match (e.op, e.outcome) with
+    | Enqueue v, Accepted -> if q.size < capacity then Some (push q v) else None
+    | Enqueue _, Rejected -> if q.size >= capacity then Some q else None
+    | Dequeue, Got v -> (
+        match pop q with
+        | Some (x, q') when x = v -> Some q'
+        | Some _ | None -> None)
+    | Dequeue, Observed_empty -> if q.size = 0 then Some q else None
+    | Peek, Got v -> (
+        match pop q with Some (x, _) when x = v -> Some q | Some _ | None -> None)
+    | Peek, Observed_empty -> if q.size = 0 then Some q else None
+    | Enqueue _, (Got _ | Observed_empty)
+    | (Dequeue | Peek), (Accepted | Rejected) ->
+        None
+end
+
+(* --- Complete search (Wing–Gong style, memoized) --- *)
+
+let check_linearizable ?(capacity = max_int) history =
+  let events = Array.of_list history in
+  let n = Array.length events in
+  if n > 62 then
+    invalid_arg "check_linearizable: history longer than 62 events";
+  if n = 0 then Ok
+  else begin
+    (* visited: (mask of linearized events, queue content) pairs already
+       explored without success. *)
+    let visited : (int * int list, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let full = (1 lsl n) - 1 in
+    (* [e] is a candidate if every event that wholly precedes it is already
+       linearized. *)
+    let candidate mask i =
+      let e = events.(i) in
+      let rec ok j =
+        j >= n
+        || ((j = i || mask land (1 lsl j) <> 0
+            || not (History.precedes events.(j) e))
+           && ok (j + 1))
+      in
+      ok 0
+    in
+    let rec search mask state =
+      if mask = full then true
+      else begin
+        let key = (mask, Spec.to_list state) in
+        if Hashtbl.mem visited key then false
+        else begin
+          let found = ref false in
+          let i = ref 0 in
+          while (not !found) && !i < n do
+            let idx = !i in
+            incr i;
+            if mask land (1 lsl idx) = 0 && candidate mask idx then
+              match Spec.apply capacity state events.(idx) with
+              | Some state' ->
+                  if search (mask lor (1 lsl idx)) state' then found := true
+              | None -> ()
+          done;
+          if not !found then Hashtbl.add visited key ();
+          !found
+        end
+      end
+    in
+    if search 0 Spec.empty then Ok
+    else
+      Violation
+        (Format.asprintf
+           "no linearization of %d events respects the FIFO spec@.%a" n
+           History.pp history)
+  end
+
+(* --- Scalable necessary conditions --- *)
+
+let check_fifo_properties ?expected_final_length history =
+  let exception Bad of string in
+  try
+    (* Index enqueues and dequeues by value. *)
+    let enq : (int, History.event) Hashtbl.t = Hashtbl.create 1024 in
+    let deq : (int, History.event) Hashtbl.t = Hashtbl.create 1024 in
+    let accepted = ref 0 and got = ref 0 in
+    List.iter
+      (fun (e : History.event) ->
+        match (e.op, e.outcome) with
+        | Enqueue v, Accepted ->
+            incr accepted;
+            if Hashtbl.mem enq v then
+              raise (Bad (Printf.sprintf "value %d enqueued twice" v));
+            Hashtbl.add enq v e
+        | Dequeue, Got v ->
+            incr got;
+            if Hashtbl.mem deq v then
+              raise (Bad (Printf.sprintf "value %d dequeued twice" v));
+            Hashtbl.add deq v e
+        | _ -> ())
+      history;
+    (* Every dequeued value was enqueued, and not wholly after its dequeue. *)
+    Hashtbl.iter
+      (fun v (d : History.event) ->
+        match Hashtbl.find_opt enq v with
+        | None -> raise (Bad (Printf.sprintf "value %d invented by dequeue" v))
+        | Some e ->
+            if History.precedes d e then
+              raise
+                (Bad
+                   (Printf.sprintf
+                      "value %d dequeued wholly before its enqueue" v)))
+      deq;
+    (* Conservation. *)
+    (match expected_final_length with
+    | Some len ->
+        if !accepted - !got <> len then
+          raise
+            (Bad
+               (Printf.sprintf
+                  "conservation: %d accepted - %d dequeued <> final length %d"
+                  !accepted !got len))
+    | None ->
+        if !accepted < !got then
+          raise
+            (Bad
+               (Printf.sprintf "conservation: %d dequeued > %d accepted" !got
+                  !accepted)));
+    (* Real-time FIFO order: sort dequeues by invocation and walk enqueue
+       completion times.  For any two dequeued values a, b:
+       enq(a) wholly before enq(b)  =>  not (deq(b) wholly before deq(a)).
+       Equivalent check: walking dequeues in real-time order (by response,
+       then only comparing non-overlapping pairs), the enqueue-response
+       times must not strictly dominate. O(n log n) via a running minimum. *)
+    let all_deqs = Hashtbl.fold (fun v d acc -> (v, d) :: acc) deq [] in
+    let by_returned =
+      List.sort
+        (fun (_, (a : History.event)) (_, (b : History.event)) ->
+          compare a.returned b.returned)
+        all_deqs
+      |> Array.of_list
+    in
+    let by_invoked =
+      List.sort
+        (fun (_, (a : History.event)) (_, (b : History.event)) ->
+          compare a.invoked b.invoked)
+        all_deqs
+      |> Array.of_list
+    in
+    (* Two-pointer sweep: for each dequeue d (by invocation time), consider
+       all dequeues d' that responded before d was invoked (wholly earlier).
+       A violation exists iff some such d' returned a value v' whose enqueue
+       was invoked after v's enqueue responded (enq(v) wholly before
+       enq(v')).  Only the running maximum of enq-invocation times matters. *)
+    let max_enq_inv = ref min_int and max_v = ref 0 and j = ref 0 in
+    Array.iter
+      (fun (v, (d : History.event)) ->
+        while
+          !j < Array.length by_returned
+          && (snd by_returned.(!j)).History.returned < d.invoked
+        do
+          let v', _ = by_returned.(!j) in
+          let e' = Hashtbl.find enq v' in
+          if e'.History.invoked > !max_enq_inv then begin
+            max_enq_inv := e'.History.invoked;
+            max_v := v'
+          end;
+          incr j
+        done;
+        let e = Hashtbl.find enq v in
+        if e.History.returned < !max_enq_inv then
+          raise
+            (Bad
+               (Printf.sprintf
+                  "FIFO inversion: %d enqueued wholly before %d but dequeued \
+                   wholly after it"
+                  v !max_v)))
+      by_invoked;
+    Ok
+  with Bad msg -> Violation msg

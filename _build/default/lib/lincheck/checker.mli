@@ -1,0 +1,31 @@
+(** Linearizability checking for bounded-FIFO histories.
+
+    Two strengths:
+
+    - {!check_linearizable} — the complete decision procedure in the style
+      of Wing & Gong [16]: a memoized search over all orderings of the
+      history that respect real-time precedence, replayed against a
+      sequential bounded-queue specification.  Exponential in the worst
+      case; intended for histories up to a few dozen events (the stress
+      tests run {e many} small histories instead of one big one).
+
+    - {!check_fifo_properties} — a set of necessary conditions that scale
+      to millions of events: no value invented, none lost (conservation),
+      none duplicated, and no real-time FIFO inversion (if [enq a] wholly
+      precedes [enq b] then [deq b] must not wholly precede [deq a]).
+      Requires all-distinct enqueue values.  A history that fails any of
+      these is certainly not linearizable; passing is strong evidence but
+      not proof. *)
+
+type verdict = Ok | Violation of string
+
+val check_linearizable : ?capacity:int -> History.t -> verdict
+(** [capacity] is the bound of the sequential specification (default: no
+    bound).  Histories longer than 62 events are rejected with
+    [Invalid_argument] (the search mask is an [int]). *)
+
+val check_fifo_properties :
+  ?expected_final_length:int -> History.t -> verdict
+(** Scalable necessary-condition checks (see above).  When
+    [expected_final_length] is given, conservation is checked exactly:
+    [#accepted enqueues - #successful dequeues] must equal it. *)

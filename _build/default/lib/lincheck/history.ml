@@ -1,0 +1,61 @@
+type op =
+  | Enqueue of int
+  | Dequeue
+  | Peek
+
+type outcome =
+  | Accepted
+  | Rejected
+  | Got of int
+  | Observed_empty
+
+type event = {
+  thread : int;
+  op : op;
+  outcome : outcome;
+  invoked : int;
+  returned : int;
+}
+
+type t = event list
+
+type recorder = {
+  clock : int Atomic.t;
+  sinks : event list ref array;
+}
+
+let recorder ~threads =
+  { clock = Atomic.make 0; sinks = Array.init threads (fun _ -> ref []) }
+
+let record r ~thread op run =
+  let invoked = Atomic.fetch_and_add r.clock 1 in
+  let outcome = run () in
+  let returned = Atomic.fetch_and_add r.clock 1 in
+  let sink = r.sinks.(thread) in
+  sink := { thread; op; outcome; invoked; returned } :: !sink;
+  outcome
+
+let events r =
+  Array.to_list r.sinks
+  |> List.concat_map (fun sink -> List.rev !sink)
+  |> List.sort (fun a b -> compare a.invoked b.invoked)
+
+let precedes a b = a.returned < b.invoked
+
+let pp_op fmt = function
+  | Enqueue v -> Format.fprintf fmt "enq(%d)" v
+  | Dequeue -> Format.fprintf fmt "deq()"
+  | Peek -> Format.fprintf fmt "peek()"
+
+let pp_outcome fmt = function
+  | Accepted -> Format.fprintf fmt "ok"
+  | Rejected -> Format.fprintf fmt "full"
+  | Got v -> Format.fprintf fmt "-> %d" v
+  | Observed_empty -> Format.fprintf fmt "-> empty"
+
+let pp_event fmt e =
+  Format.fprintf fmt "[T%d %d..%d] %a %a" e.thread e.invoked e.returned pp_op
+    e.op pp_outcome e.outcome
+
+let pp fmt h =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) h

@@ -1,0 +1,51 @@
+(** Recording concurrent queue histories.
+
+    Linearizability (Herlihy & Wing [3], the correctness condition the paper
+    claims) is a property of {e histories}: sequences of operation
+    invocations and responses.  This module timestamps both ends of every
+    operation with a shared atomic tick counter, giving the real-time
+    precedence order the checker must respect: operation [a] precedes [b]
+    iff [a] responded before [b] was invoked. *)
+
+type op =
+  | Enqueue of int
+  | Dequeue
+  | Peek  (** observe the front without removing (extension feature) *)
+
+type outcome =
+  | Accepted      (** enqueue returned [true] *)
+  | Rejected      (** enqueue returned [false] — queue full *)
+  | Got of int    (** dequeue returned an item *)
+  | Observed_empty  (** dequeue returned [None] *)
+
+type event = {
+  thread : int;
+  op : op;
+  outcome : outcome;
+  invoked : int;  (** tick at invocation *)
+  returned : int; (** tick at response *)
+}
+
+type t = event list
+(** A complete history (all operations responded). *)
+
+type recorder
+(** Shared timestamp source plus per-thread event sinks. *)
+
+val recorder : threads:int -> recorder
+
+val record :
+  recorder -> thread:int -> op -> (unit -> outcome) -> outcome
+(** [record r ~thread op run] stamps the invocation, runs [run] (which
+    performs the real queue operation), stamps the response, logs the event
+    in [thread]'s sink and returns the outcome.  [thread] sinks are
+    single-owner: each thread id must be used by one domain only. *)
+
+val events : recorder -> t
+(** Merge all sinks (call after every worker has joined). *)
+
+val precedes : event -> event -> bool
+(** Real-time order: [a] responded before [b] was invoked. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+module Prng = Nbq_primitives.Prng
+module Barrier = Nbq_primitives.Barrier
+
+type ops = {
+  enqueue : int -> bool;
+  dequeue : unit -> int option;
+}
+
+let value ~thread ~seq = (thread lsl 20) lor seq
+
+let worker_loop ~recorder ~thread ~ops_per_thread ~rng (ops : ops) =
+  (* Track own backlog to bias toward enqueues early and drain late, so
+     histories exercise both empty and populated regimes. *)
+  let seq = ref 0 in
+  for _ = 1 to ops_per_thread do
+    let do_enqueue = Prng.int rng 10 < 6 in
+    if do_enqueue then begin
+      let v = value ~thread ~seq:!seq in
+      incr seq;
+      ignore
+        (History.record recorder ~thread (History.Enqueue v) (fun () ->
+             if ops.enqueue v then History.Accepted else History.Rejected))
+    end
+    else
+      ignore
+        (History.record recorder ~thread History.Dequeue (fun () ->
+             match ops.dequeue () with
+             | Some v -> History.Got v
+             | None -> History.Observed_empty))
+  done
+
+let run_once ~threads ~ops_per_thread ~seed make_ops =
+  let recorder = History.recorder ~threads in
+  let barrier = Barrier.create ~parties:threads in
+  let domains =
+    List.init threads (fun thread ->
+        let ops = make_ops thread in
+        Domain.spawn (fun () ->
+            let rng = Prng.create ~seed:(seed + (thread * 7919)) in
+            Barrier.await barrier;
+            worker_loop ~recorder ~thread ~ops_per_thread ~rng ops))
+  in
+  List.iter Domain.join domains;
+  History.events recorder
+
+let check_small_rounds ?(rounds = 100) ?(threads = 3) ?(ops_per_thread = 4)
+    ?capacity ?(seed = 42) make_round =
+  let rec go round =
+    if round >= rounds then Checker.Ok
+    else begin
+      let make_ops = make_round () in
+      let history =
+        run_once ~threads ~ops_per_thread ~seed:(seed + (round * 131)) make_ops
+      in
+      match Checker.check_linearizable ?capacity history with
+      | Checker.Ok -> go (round + 1)
+      | Checker.Violation msg ->
+          Checker.Violation (Printf.sprintf "round %d: %s" round msg)
+    end
+  in
+  go 0
+
+let check_big_run ?(threads = 4) ?(ops_per_thread = 20_000) ?(seed = 42)
+    ~final_length make_ops =
+  let history = run_once ~threads ~ops_per_thread ~seed make_ops in
+  Checker.check_fifo_properties ~expected_final_length:(final_length ())
+    history

@@ -1,0 +1,55 @@
+(** Concurrent stress drivers that produce checkable histories.
+
+    [small_rounds] runs many short multi-domain episodes and feeds each
+    complete history to the exact checker — the workhorse correctness test
+    for every queue implementation.  [big_run] produces one large history
+    and applies the scalable necessary-condition checks.
+
+    Enqueue values are made globally unique ([thread * 2^20 + sequence]) so
+    that loss, duplication and reordering are directly attributable. *)
+
+type ops = {
+  enqueue : int -> bool;
+  dequeue : unit -> int option;
+}
+(** The queue under test, seen from one worker thread.  The harness builds
+    these from any {!Nbq_core.Queue_intf.CONC} implementation. *)
+
+val value : thread:int -> seq:int -> int
+(** The unique-value encoding used by both drivers. *)
+
+val run_once :
+  threads:int ->
+  ops_per_thread:int ->
+  seed:int ->
+  (int -> ops) ->
+  History.t
+(** One episode: [threads] domains each perform [ops_per_thread] randomized
+    operations (enqueue-biased while its own backlog is small) against
+    [ops thread], behind a common start barrier.  Returns the merged
+    history. *)
+
+val check_small_rounds :
+  ?rounds:int ->
+  ?threads:int ->
+  ?ops_per_thread:int ->
+  ?capacity:int ->
+  ?seed:int ->
+  (unit -> int -> ops) ->
+  Checker.verdict
+(** Run [rounds] (default 100) episodes of [threads] (default 3) domains ×
+    [ops_per_thread] (default 4) operations, exact-checking each history
+    against the bounded spec (with [capacity], default unbounded); stops at
+    the first violation.  The callback is invoked once per round and must
+    return per-thread ops over a {e fresh} queue. *)
+
+val check_big_run :
+  ?threads:int ->
+  ?ops_per_thread:int ->
+  ?seed:int ->
+  final_length:(unit -> int) ->
+  (int -> ops) ->
+  Checker.verdict
+(** One big episode (defaults: 4 domains × 20_000 ops) checked with the
+    scalable property checks; [final_length] is read after all domains
+    joined, for exact conservation. *)

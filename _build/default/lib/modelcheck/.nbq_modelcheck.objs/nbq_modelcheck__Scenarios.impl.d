@@ -1,0 +1,1 @@
+lib/modelcheck/scenarios.ml: Array List Nbq_baselines Nbq_core Nbq_lincheck Nbq_primitives Printf Sim String

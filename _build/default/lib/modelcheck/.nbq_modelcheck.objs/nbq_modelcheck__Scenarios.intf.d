@@ -1,0 +1,1 @@
+lib/modelcheck/scenarios.mli:

@@ -1,0 +1,1 @@
+lib/modelcheck/sim.ml: Array Effect Fun List Nbq_primitives Printexc

@@ -1,0 +1,1 @@
+lib/modelcheck/sim.mli: Nbq_primitives

@@ -1,0 +1,158 @@
+module H = Nbq_lincheck.History
+module C = Nbq_lincheck.Checker
+
+type op = Enq of int | Deq | Peek
+
+type scenario = unit -> (unit -> unit) array * (unit -> unit)
+
+let record recorder ~thread ~enq ~deq ?peek op =
+  match op with
+  | Enq v ->
+      ignore
+        (H.record recorder ~thread (H.Enqueue v) (fun () ->
+             if enq v then H.Accepted else H.Rejected))
+  | Deq ->
+      ignore
+        (H.record recorder ~thread H.Dequeue (fun () ->
+             match deq () with Some v -> H.Got v | None -> H.Observed_empty))
+  | Peek -> (
+      match peek with
+      | None -> invalid_arg "Scenarios: this algorithm has no peek"
+      | Some peek ->
+          ignore
+            (H.record recorder ~thread H.Peek (fun () ->
+                 match peek () with
+                 | Some v -> H.Got v
+                 | None -> H.Observed_empty)))
+
+let lin_check ~capacity recorder () =
+  match C.check_linearizable ~capacity (H.events recorder) with
+  | C.Ok -> ()
+  | C.Violation msg -> failwith msg
+
+(* Generic builder over any (enq, deq[, peek]) triple on fresh state. *)
+let generic ~make_queue ~spec_capacity ~prefill threads () =
+  let nthreads = List.length threads in
+  let enq, deq, peek = make_queue () in
+  let recorder = H.recorder ~threads:(nthreads + 1) in
+  Sim.run_sequential (fun () ->
+      List.iter
+        (fun v ->
+          record recorder ~thread:nthreads ~enq ~deq:(fun () -> None) (Enq v))
+        prefill);
+  let task i ops () =
+    List.iter (record recorder ~thread:i ~enq ~deq ?peek) ops
+  in
+  ( Array.of_list (List.mapi task threads),
+    lin_check ~capacity:spec_capacity recorder )
+
+module SimCell = Nbq_primitives.Llsc.Make (Sim.Atomic)
+module SimQ1 = Nbq_core.Evequoz_llsc.Make (SimCell)
+module SimQ2 = Nbq_core.Evequoz_cas.Make (Sim.Atomic)
+module SimShann = Nbq_baselines.Shann.Make (Sim.Atomic)
+module SimTz = Nbq_baselines.Tsigas_zhang.Make (Sim.Atomic)
+module SimMs = Nbq_baselines.Michael_scott.Make (Sim.Atomic)
+module SimHw = Nbq_baselines.Herlihy_wing.Make (Sim.Atomic)
+module SimLms = Nbq_baselines.Ladan_mozes_shavit.Make (Sim.Atomic)
+module SimValois = Nbq_baselines.Valois.Make (Sim.Atomic)
+
+let algorithms =
+  [
+    "evequoz-llsc"; "evequoz-cas"; "shann"; "tsigas-zhang"; "ms-gc";
+    "herlihy-wing"; "lms-optimistic"; "valois-dcas";
+  ]
+
+let build ~algorithm ~capacity ~prefill threads =
+  match algorithm with
+  | "evequoz-llsc" ->
+      generic ~spec_capacity:capacity ~prefill threads ~make_queue:(fun () ->
+          let q = SimQ1.create ~capacity in
+          ( (fun v -> SimQ1.try_enqueue q v),
+            (fun () -> SimQ1.try_dequeue q),
+            Some (fun () -> SimQ1.try_peek q) ))
+  | "evequoz-cas" ->
+      (* Explicit handles: registration runs inside the explored schedule,
+         once per simulated thread, like a fresh paper thread would. *)
+      fun () ->
+        let q = SimQ2.create ~capacity in
+        let nthreads = List.length threads in
+        let recorder = H.recorder ~threads:(nthreads + 1) in
+        Sim.run_sequential (fun () ->
+            let h = SimQ2.register q in
+            List.iter
+              (fun v ->
+                record recorder ~thread:nthreads
+                  ~enq:(fun v -> SimQ2.enqueue_with q h v)
+                  ~deq:(fun () -> None)
+                  (Enq v))
+              prefill;
+            SimQ2.deregister h);
+        let task i ops () =
+          let h = SimQ2.register q in
+          List.iter
+            (record recorder ~thread:i
+               ~enq:(fun v -> SimQ2.enqueue_with q h v)
+               ~deq:(fun () -> SimQ2.dequeue_with q h)
+               ~peek:(fun () -> SimQ2.peek_with q h))
+            ops;
+          SimQ2.deregister h
+        in
+        ( Array.of_list (List.mapi task threads),
+          lin_check ~capacity recorder )
+  | "shann" ->
+      generic ~spec_capacity:capacity ~prefill threads ~make_queue:(fun () ->
+          let q = SimShann.create ~capacity in
+          ( (fun v -> SimShann.try_enqueue q v),
+            (fun () -> SimShann.try_dequeue q),
+            None ))
+  | "tsigas-zhang" ->
+      generic ~spec_capacity:capacity ~prefill threads ~make_queue:(fun () ->
+          let q = SimTz.create ~capacity in
+          ( (fun v -> SimTz.try_enqueue q v),
+            (fun () -> SimTz.try_dequeue q),
+            None ))
+  | "ms-gc" ->
+      generic ~spec_capacity:max_int ~prefill threads ~make_queue:(fun () ->
+          let q = SimMs.create () in
+          ( (fun v ->
+              SimMs.enqueue q v;
+              true),
+            (fun () -> SimMs.try_dequeue q),
+            None ))
+  | "herlihy-wing" ->
+      generic ~spec_capacity:max_int ~prefill threads ~make_queue:(fun () ->
+          let q = SimHw.create () in
+          ( (fun v ->
+              SimHw.enqueue q v;
+              true),
+            (fun () -> SimHw.try_dequeue q),
+            None ))
+  | "valois-dcas" ->
+      generic ~spec_capacity:capacity ~prefill threads ~make_queue:(fun () ->
+          let q = SimValois.create ~capacity in
+          ( (fun v -> SimValois.try_enqueue q v),
+            (fun () -> SimValois.try_dequeue q),
+            None ))
+  | "lms-optimistic" ->
+      generic ~spec_capacity:max_int ~prefill threads ~make_queue:(fun () ->
+          let q = SimLms.create () in
+          ( (fun v ->
+              SimLms.enqueue q v;
+              true),
+            (fun () -> SimLms.try_dequeue q),
+            None ))
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Scenarios.build: unknown algorithm %S (know: %s)"
+           other
+           (String.concat ", " algorithms))
+
+let standard_matrix =
+  [
+    ("enq|enq", 2, [], [ [ Enq 1 ]; [ Enq 2 ] ]);
+    ("enq|deq empty", 2, [], [ [ Enq 1 ]; [ Deq ] ]);
+    ("enq|deq nonempty", 2, [ 100 ], [ [ Enq 1 ]; [ Deq ] ]);
+    ("deq|deq", 4, [ 100; 200 ], [ [ Deq ]; [ Deq ] ]);
+    ("enq|deq at full", 2, [ 100; 200 ], [ [ Enq 1 ]; [ Deq ] ]);
+    ("2 ops each", 2, [], [ [ Enq 1; Deq ]; [ Enq 2; Deq ] ]);
+  ]

@@ -1,0 +1,34 @@
+(** Ready-made model-checking scenarios for the repository's queues.
+
+    A scenario interleaves a few threads' worth of queue operations on a
+    simulated-atomics instantiation of an algorithm and checks every
+    completed schedule's history for linearizability against the bounded
+    FIFO specification.  Used by the test suite and by
+    [bin/modelcheck_run.exe]. *)
+
+type op = Enq of int | Deq | Peek
+
+type scenario = unit -> (unit -> unit) array * (unit -> unit)
+(** What {!Sim.explore} consumes. *)
+
+val build :
+  algorithm:string ->
+  capacity:int ->
+  prefill:int list ->
+  op list list ->
+  scenario
+(** [build ~algorithm ~capacity ~prefill threads] — [algorithm] is one of
+    {!algorithms}; [threads] is one op-list per simulated thread; the
+    prefilled items are folded into the checked history as a prologue.
+    Raises [Invalid_argument] on an unknown algorithm name. *)
+
+val algorithms : string list
+(** The functorized implementations that can run on simulated atomics:
+    both of the paper's algorithms plus Shann, Tsigas–Zhang, Michael–Scott,
+    Herlihy–Wing and Ladan-Mozes–Shavit. *)
+
+val standard_matrix : (string * int * int list * op list list) list
+(** The (name, capacity, prefill, threads) tuples every algorithm is
+    checked against: concurrent enqueues, enqueue/dequeue races on empty
+    and non-empty queues, competing dequeues, the full boundary, and a
+    two-ops-each crossing. *)

@@ -1,0 +1,204 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+let yield () = perform Yield
+
+module Atomic : Nbq_primitives.Atomic_intf.ATOMIC = struct
+  (* Plain refs: the simulated threads are cooperatively scheduled in one
+     domain, so each access is already atomic; the Yield before it makes
+     it a scheduling point. *)
+  type 'a t = 'a ref
+
+  let make v = ref v
+
+  let get r =
+    yield ();
+    !r
+
+  let set r v =
+    yield ();
+    r := v
+
+  let compare_and_set r old v =
+    yield ();
+    (* Same semantics as Stdlib.Atomic: physical comparison (which is value
+       comparison for immediates). *)
+    if !r == old then begin
+      r := v;
+      true
+    end
+    else false
+
+  let fetch_and_add r n =
+    yield ();
+    let v = !r in
+    r := v + n;
+    v
+end
+
+(* --- One controlled execution --- *)
+
+type task =
+  | Pending of (unit -> unit)
+  | Paused of (unit, unit) continuation
+  | Finished
+
+(* Run task [i] until its next scheduling point (or completion). *)
+let step st i =
+  let handler =
+    {
+      retc = (fun () -> st.(i) <- Finished);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) continuation) -> st.(i) <- Paused k)
+          | _ -> None);
+    }
+  in
+  match st.(i) with
+  | Pending thunk -> match_with thunk () handler
+  | Paused k ->
+      (* Mark running so a re-entrant step is impossible; the handler
+         attached at [match_with] time still intercepts the next Yield. *)
+      st.(i) <- Finished;
+      continue k ()
+  | Finished -> invalid_arg "Sim.step: task already finished"
+
+let enabled st =
+  let acc = ref [] in
+  Array.iteri (fun i t -> if t <> Finished then acc := i :: !acc) st;
+  List.rev !acc
+
+(* Execute one schedule.  [choices] pins the first decisions; beyond it the
+   schedule continues non-preemptively (keep running the current task).
+   Returns the status and the full decision trace (reversed): per
+   scheduling point, the set of choices the explorer may branch over and
+   the one taken.
+
+   [preemption_bound] caps the number of *preemptions* — switching away
+   from a still-enabled task.  Lock-free retry loops only rerun when
+   another thread interferes, so with finitely many preemptions every
+   schedule terminates, and the exploration is complete for all schedules
+   with at most that many preemptions (the CHESS insight: almost all
+   concurrency bugs need very few).  [None] = unbounded. *)
+let run_once tasks ~choices ~max_steps ~preemption_bound =
+  let st = Array.map (fun f -> Pending f) tasks in
+  let rec loop steps choices rev_trace last preemptions =
+    match enabled st with
+    | [] -> (`Completed, rev_trace)
+    | en ->
+        if steps >= max_steps then (`Diverged, rev_trace)
+        else begin
+          let may_preempt =
+            match preemption_bound with
+            | None -> true
+            | Some b -> preemptions < b
+          in
+          let allowed =
+            match last with
+            | Some l when List.mem l en ->
+                if may_preempt then en else [ l ]
+            | Some _ | None -> en
+          in
+          let chosen, rest =
+            match choices with
+            | c :: cs ->
+                if List.mem c allowed then (c, cs)
+                else invalid_arg "Sim: schedule disagrees with allowed set"
+            | [] -> (List.hd allowed, [])
+          in
+          let preempted =
+            match last with
+            | Some l -> chosen <> l && List.mem l en
+            | None -> false
+          in
+          step st chosen;
+          loop (steps + 1) rest
+            ((allowed, chosen) :: rev_trace)
+            (Some chosen)
+            (if preempted then preemptions + 1 else preemptions)
+        end
+  in
+  loop 0 choices [] None 0
+
+type stats = {
+  schedules : int;
+  completed : int;
+  diverged : int;
+  exhaustive : bool;
+}
+
+exception Violation of { schedule : int list; message : string }
+
+(* Next unexplored prefix after a run with decision trace [rev_trace]
+   (deepest decision first): backtrack to the deepest point with an
+   untried alternative. *)
+let next_prefix rev_trace =
+  let rec go = function
+    | [] -> None
+    | (en, chosen) :: shallower -> (
+        match List.find_opt (fun e -> e > chosen) en with
+        | Some alt ->
+            Some (List.rev_append (List.map snd shallower) [ alt ])
+        | None -> go shallower)
+  in
+  go rev_trace
+
+let explore ?(max_steps = 10_000) ?(max_schedules = 1_000_000)
+    ?(preemption_bound = Some 4) scenario =
+  let schedules = ref 0 and completed = ref 0 and diverged = ref 0 in
+  let rec go prefix =
+    if !schedules >= max_schedules then false
+    else begin
+      incr schedules;
+      let tasks, check = scenario () in
+      let status, rev_trace =
+        run_once tasks ~choices:prefix ~max_steps ~preemption_bound
+      in
+      (match status with
+      | `Completed -> (
+          incr completed;
+          try check ()
+          with e ->
+            let schedule = List.rev_map snd rev_trace in
+            raise
+              (Violation { schedule; message = Printexc.to_string e }))
+      | `Diverged -> incr diverged);
+      match next_prefix rev_trace with
+      | None -> true
+      | Some prefix' -> go prefix'
+    end
+  in
+  let exhaustive = go [] in
+  {
+    schedules = !schedules;
+    completed = !completed;
+    diverged = !diverged;
+    exhaustive;
+  }
+
+let run_sequential f =
+  match_with f ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield -> Some (fun (k : (a, _) continuation) -> continue k ())
+          | _ -> None);
+    }
+
+let run_schedule scenario schedule =
+  let tasks, check = scenario () in
+  let status, _ =
+    run_once tasks ~choices:schedule ~max_steps:max_int
+      ~preemption_bound:None
+  in
+  (match status with `Completed -> check () | `Diverged -> ());
+  status

@@ -1,0 +1,1 @@
+lib/primitives/barrier.ml: Atomic Domain

@@ -1,0 +1,1 @@
+lib/primitives/llsc.ml: Atomic_intf Float Prng

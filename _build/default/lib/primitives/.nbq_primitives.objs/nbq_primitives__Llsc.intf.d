@@ -1,0 +1,1 @@
+lib/primitives/llsc.mli: Atomic_intf

@@ -1,0 +1,1 @@
+lib/primitives/llsc_cas.ml: Atomic_intf

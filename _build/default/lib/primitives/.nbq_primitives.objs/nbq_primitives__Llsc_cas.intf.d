@@ -1,0 +1,1 @@
+lib/primitives/llsc_cas.mli: Atomic_intf

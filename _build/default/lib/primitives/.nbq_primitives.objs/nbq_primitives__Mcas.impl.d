@@ -1,0 +1,1 @@
+lib/primitives/mcas.ml: Array Atomic_intf List Stdlib

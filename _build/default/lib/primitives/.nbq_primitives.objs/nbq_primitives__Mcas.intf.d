@@ -1,0 +1,1 @@
+lib/primitives/mcas.mli: Atomic_intf

@@ -1,0 +1,33 @@
+(** The atomic-memory interface the lock-free algorithms are written
+    against.
+
+    Production code instantiates the algorithm functors with {!Real}
+    (OCaml's [Stdlib.Atomic]); the model checker instantiates them with
+    instrumented atomics whose every access is a scheduling point, so that
+    small scenarios can be explored over {e all} interleavings
+    (see [Nbq_modelcheck.Sim]). *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  (** Same comparison semantics as [Stdlib.Atomic.compare_and_set]:
+      physical equality, which is value equality for immediates. *)
+
+  val fetch_and_add : int t -> int -> int
+end
+
+(** The real thing. *)
+module Real : ATOMIC with type 'a t = 'a Stdlib.Atomic.t = struct
+  type 'a t = 'a Stdlib.Atomic.t
+
+  let make = Stdlib.Atomic.make
+  let get = Stdlib.Atomic.get
+  let set = Stdlib.Atomic.set
+  let compare_and_set = Stdlib.Atomic.compare_and_set
+  let fetch_and_add = Stdlib.Atomic.fetch_and_add
+end

@@ -1,0 +1,20 @@
+type t = {
+  min_wait : int;
+  max_wait : int;
+  mutable wait : int;
+}
+
+let create ?(min_wait = 1) ?(max_wait = 4096) () =
+  if min_wait < 1 then invalid_arg "Backoff.create: min_wait < 1";
+  if max_wait < min_wait then invalid_arg "Backoff.create: max_wait < min_wait";
+  { min_wait; max_wait; wait = min_wait }
+
+let once t =
+  for _ = 1 to t.wait do
+    Domain.cpu_relax ()
+  done;
+  t.wait <- min (t.wait * 2) t.max_wait
+
+let reset t = t.wait <- t.min_wait
+
+let current t = t.wait

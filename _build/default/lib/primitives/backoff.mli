@@ -1,0 +1,26 @@
+(** Truncated exponential backoff for contended retry loops.
+
+    Every lock-free retry loop in this repository may optionally spin through
+    one of these between attempts.  The paper's algorithms do not prescribe a
+    contention manager; backoff is an orthogonal knob that the ablation
+    benchmark ({!section-"E8"} in DESIGN.md) switches on and off. *)
+
+type t
+(** Mutable per-call-site backoff state.  Not thread-safe; allocate one per
+    domain and per loop (they are two words, this is cheap). *)
+
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** [create ~min_wait ~max_wait ()] bounds the spin count between
+    [min_wait] (default 1) and [max_wait] (default 4096) iterations of
+    [Domain.cpu_relax].  Raises [Invalid_argument] if
+    [min_wait < 1 || max_wait < min_wait]. *)
+
+val once : t -> unit
+(** Spin for the current wait amount, then double it (saturating at
+    [max_wait]). *)
+
+val reset : t -> unit
+(** Forget accumulated contention; the next {!once} waits [min_wait]. *)
+
+val current : t -> int
+(** Current spin count; exposed for tests. *)

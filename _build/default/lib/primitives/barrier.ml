@@ -1,0 +1,23 @@
+type t = {
+  parties : int;
+  remaining : int Atomic.t;
+  sense : bool Atomic.t;
+}
+
+let create ~parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties < 1";
+  { parties; remaining = Atomic.make parties; sense = Atomic.make false }
+
+let await t =
+  let my_sense = not (Atomic.get t.sense) in
+  if Atomic.fetch_and_add t.remaining (-1) = 1 then begin
+    (* Last arrival: reset the count, then release everyone. *)
+    Atomic.set t.remaining t.parties;
+    Atomic.set t.sense my_sense
+  end
+  else
+    while Atomic.get t.sense <> my_sense do
+      Domain.cpu_relax ()
+    done
+
+let parties t = t.parties

@@ -1,0 +1,18 @@
+(** A sense-reversing spinning barrier.
+
+    The paper's methodology synchronizes all worker threads so that "none
+    can begin its iterations before all others finished their
+    initialization phase" (§6); every multi-threaded run in this repository
+    starts behind one of these.  Reusable across rounds (the sense flips
+    each time all parties arrive). *)
+
+type t
+
+val create : parties:int -> t
+(** [parties] must be >= 1. *)
+
+val await : t -> unit
+(** Block (spinning with [Domain.cpu_relax]) until all [parties] domains
+    have called [await] for the current round. *)
+
+val parties : t -> int

@@ -1,0 +1,151 @@
+(* Paper Fig. 5: LL / Register / ReRegister / Deregister, generalized to a
+   reusable cell type.  See the .mli for the pointer-tagging substitution. *)
+
+module type S = sig
+  type 'a t
+  type 'a registry
+  type 'a handle
+
+  val create_registry : unit -> 'a registry
+  val make : 'a -> 'a t
+  val register : 'a registry -> 'a handle
+  val reregister : 'a handle -> unit
+  val deregister : 'a handle -> unit
+  val ll : 'a t -> 'a handle -> 'a
+  val sc : 'a t -> 'a handle -> 'a -> bool
+  val peek : 'a t -> 'a
+  val unsafe_set : 'a t -> 'a -> unit
+  val registered_count : 'a registry -> int
+  val owned_count : 'a registry -> int
+end
+
+module Make (A : Atomic_intf.ATOMIC) = struct
+  type 'a content =
+    | Unset  (* initial placeholder only; never stored in a cell *)
+    | Value of 'a
+    | Mark of 'a tagvar
+
+  and 'a tagvar = {
+    (* The paper's LLSCvar.  [placeholder] is var->node: the logical value
+       the owning thread observed when it reserved a cell.  Plain mutable
+       field: the reference-count protocol below makes the cross-thread
+       reads of it well-defined (the owner only rewrites it while no reader
+       holds a count, or while the readers' subsequent CAS is doomed to
+       fail). *)
+    mutable placeholder : 'a content;
+    refcount : int A.t;
+    (* Registry chain link; written once before publication. *)
+    mutable next : 'a tagvar option;
+  }
+
+  type 'a t = 'a content A.t
+
+  type 'a registry = { first : 'a tagvar option A.t }
+
+  type 'a handle = {
+    registry : 'a registry;
+    mutable var : 'a tagvar;
+    (* The marker block [Mark var], allocated once per (re)registration and
+       reused across operations — the analogue of the paper's [var ^ 1]. *)
+    mutable mark : 'a content;
+  }
+
+  let create_registry () = { first = A.make None }
+
+  let make v : 'a t = A.make (Value v)
+
+  (* --- Registration protocol (paper R1-R16, RR1-RR5, DR1-DR3) --- *)
+
+  let rec find_free = function
+    | None -> None
+    | Some v ->
+        if A.get v.refcount = 0 && A.compare_and_set v.refcount 0 1 then Some v
+        else find_free v.next
+
+  let register_var reg =
+    match find_free (A.get reg.first) with
+    | Some v -> v
+    | None ->
+        let v = { placeholder = Unset; refcount = A.make 1; next = None } in
+        let rec push () =
+          let cur = A.get reg.first in
+          v.next <- cur;
+          if not (A.compare_and_set reg.first cur (Some v)) then push ()
+        in
+        push ();
+        v
+
+  let register reg =
+    let var = register_var reg in
+    { registry = reg; var; mark = Mark var }
+
+  let reregister h =
+    (* Keep the variable only if we are its sole referent; otherwise a
+       reader could later validate a stale marker observation against our
+       reused marker block (the ABA of paper §5). *)
+    if A.get h.var.refcount <> 1 then begin
+      ignore (A.fetch_and_add h.var.refcount (-1));
+      let var = register_var h.registry in
+      h.var <- var;
+      h.mark <- Mark var
+    end
+
+  let deregister h = ignore (A.fetch_and_add h.var.refcount (-1))
+
+  (* --- Simulated LL / SC (paper L1-L17) --- *)
+
+  let rec ll (cell : 'a t) (h : 'a handle) =
+    let cur = A.get cell in
+    (match cur with
+    | Value _ ->
+        (* Reuse the block we read: no allocation on the uncontended path. *)
+        h.var.placeholder <- cur
+    | Mark other ->
+        (* Paper L7-L8: pin the foreign tag variable with a reference count,
+           then read the logical value through it. *)
+        ignore (A.fetch_and_add other.refcount 1);
+        h.var.placeholder <- other.placeholder
+    | Unset -> assert false);
+    let installed = A.compare_and_set cell cur h.mark in
+    (match cur with
+    | Mark other -> ignore (A.fetch_and_add other.refcount (-1))
+    | Value _ | Unset -> ());
+    if installed then
+      match h.var.placeholder with
+      | Value v -> v
+      | Mark _ | Unset -> assert false
+    else ll cell h
+
+  let sc (cell : 'a t) (h : 'a handle) v =
+    A.compare_and_set cell h.mark (Value v)
+
+  let rec peek (cell : 'a t) =
+    match A.get cell with
+    | Value v -> v
+    | Mark other -> (
+        match other.placeholder with
+        | Value v -> v
+        | Mark _ | Unset ->
+            (* The owner is between registration and its first ll; or we
+               lost a race with a recycling.  Heuristic read: retry. *)
+            peek cell)
+    | Unset -> assert false
+
+  let unsafe_set (cell : 'a t) v = A.set cell (Value v)
+
+  (* --- Introspection --- *)
+
+  let fold_vars reg f acc =
+    let rec go acc = function
+      | None -> acc
+      | Some v -> go (f acc v) v.next
+    in
+    go acc (A.get reg.first)
+
+  let registered_count reg = fold_vars reg (fun n _ -> n + 1) 0
+
+  let owned_count reg =
+    fold_vars reg (fun n v -> if A.get v.refcount > 0 then n + 1 else n) 0
+end
+
+include Make (Atomic_intf.Real)

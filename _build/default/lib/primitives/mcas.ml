@@ -1,0 +1,151 @@
+module type S = sig
+  type 'a cell
+  type 'a snapshot
+
+  val make : 'a -> 'a cell
+  val read : 'a cell -> 'a snapshot
+  val value : 'a snapshot -> 'a
+  val mcas : ('a cell * 'a snapshot * 'a) list -> bool
+  val cas : 'a cell -> 'a snapshot -> 'a -> bool
+end
+
+module Make (A : Atomic_intf.ATOMIC) = struct
+  type status = Undecided | Succeeded | Failed
+
+  type 'a content =
+    | Val of 'a
+    | Rdcss of 'a rdcss_desc
+    | Mcas_d of 'a mcas_desc
+
+  and 'a rdcss_desc = {
+    target : 'a cell;
+    expected : 'a content; (* always a Val block *)
+    mdesc : 'a mcas_desc;
+  }
+
+  and 'a mcas_desc = {
+    status : status A.t;
+    entries : 'a entry array; (* sorted by cell id: global helping order *)
+  }
+
+  and 'a entry = { cell : 'a cell; exp : 'a content; nv : 'a content }
+
+  and 'a cell = { id : int; data : 'a content A.t }
+
+  type 'a snapshot = 'a content (* a Val block *)
+
+  (* Ids only order the entries (lock-freedom needs a global acquisition
+     order); they are not part of the simulated memory, so a real atomic
+     counter is fine even under the model checker. *)
+  let id_counter = Stdlib.Atomic.make 0
+
+  let make v =
+    { id = Stdlib.Atomic.fetch_and_add id_counter 1; data = A.make (Val v) }
+
+  let value = function
+    | Val v -> v
+    | Rdcss _ | Mcas_d _ -> assert false
+
+  (* CAS helpers that match the *descriptor inside* the current content
+     block: the wrapper blocks ([Rdcss _] / [Mcas_d _]) are allocated
+     fresh at each installation, so only the block actually read can serve
+     as the physical CAS witness. *)
+
+  (* Replace the cell's content iff it currently wraps exactly [rd]. *)
+  let swap_out_rdcss (rd : 'a rdcss_desc) replacement =
+    match A.get rd.target.data with
+    | Rdcss rd' as cur when rd' == rd ->
+        ignore (A.compare_and_set rd.target.data cur replacement)
+    | Rdcss _ | Val _ | Mcas_d _ -> ()
+
+  (* Replace the cell's content iff it currently wraps exactly [d]. *)
+  let swap_out_mcas cell (d : 'a mcas_desc) replacement =
+    match A.get cell.data with
+    | Mcas_d d' as cur when d' == d ->
+        ignore (A.compare_and_set cell.data cur replacement)
+    | Mcas_d _ | Val _ | Rdcss _ -> ()
+
+  (* RDCSS: install [Mcas_d rd.mdesc] into rd.target iff the target still
+     holds rd.expected and the descriptor is still Undecided; otherwise
+     restore/leave.  Returns the content that decided the outcome. *)
+  let rec rdcss (rd : 'a rdcss_desc) : 'a content =
+    let cur = A.get rd.target.data in
+    match cur with
+    | Rdcss other ->
+        complete other;
+        rdcss rd
+    | Val _ | Mcas_d _ ->
+        if cur != rd.expected then cur
+        else if A.compare_and_set rd.target.data cur (Rdcss rd) then begin
+          complete rd;
+          rd.expected
+        end
+        else rdcss rd
+
+  and complete (rd : 'a rdcss_desc) =
+    if A.get rd.mdesc.status = Undecided then
+      swap_out_rdcss rd (Mcas_d rd.mdesc)
+    else swap_out_rdcss rd rd.expected
+
+  (* Drive a descriptor to completion (phase 1: install everywhere or
+     fail; decide; phase 2: replace descriptors with outcomes). *)
+  and help (d : 'a mcas_desc) : bool =
+    let exception Break of status in
+    (try
+       Array.iter
+         (fun e ->
+           let rec install () =
+             if A.get d.status <> Undecided then raise (Break (A.get d.status));
+             let seen = rdcss { target = e.cell; expected = e.exp; mdesc = d } in
+             if seen == e.exp then () (* installed (or re-installed) *)
+             else
+               match seen with
+               | Mcas_d d' when d' == d -> () (* a helper beat us here *)
+               | Mcas_d d' ->
+                   ignore (help d');
+                   install ()
+               | Val _ -> raise (Break Failed)
+               | Rdcss _ -> assert false (* rdcss never returns these *)
+           in
+           install ())
+         d.entries;
+       ignore (A.compare_and_set d.status Undecided Succeeded)
+     with Break s -> ignore (A.compare_and_set d.status Undecided s));
+    let final = A.get d.status in
+    Array.iter
+      (fun e ->
+        let replacement = if final = Succeeded then e.nv else e.exp in
+        swap_out_mcas e.cell d replacement)
+      d.entries;
+    final = Succeeded
+
+  let rec read cell =
+    match A.get cell.data with
+    | Val _ as v -> v
+    | Rdcss rd ->
+        complete rd;
+        read cell
+    | Mcas_d d ->
+        ignore (help d);
+        read cell
+
+  let mcas specs =
+    if specs = [] then invalid_arg "Mcas.mcas: empty";
+    let entries =
+      specs
+      |> List.map (fun (cell, snapshot, nv) ->
+             { cell; exp = snapshot; nv = Val nv })
+      |> List.sort (fun a b -> compare a.cell.id b.cell.id)
+      |> Array.of_list
+    in
+    Array.iteri
+      (fun i e ->
+        if i > 0 && entries.(i - 1).cell.id = e.cell.id then
+          invalid_arg "Mcas.mcas: duplicate cell")
+      entries;
+    help { status = A.make Undecided; entries }
+
+  let cas cell snapshot v = A.compare_and_set cell.data snapshot (Val v)
+end
+
+include Make (Atomic_intf.Real)

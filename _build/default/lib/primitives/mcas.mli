@@ -1,0 +1,46 @@
+(** Software multi-word compare-and-swap (descriptor-based, after Harris,
+    Fraser & Pratt, DISC 2002).
+
+    The paper's §2 dismisses Valois's circular-array queue because it
+    "requires that two array locations … be simultaneously updated with a
+    CAS primitive — unfortunately this primitive is not available on
+    modern processors".  This module supplies that missing primitive in
+    software so the repository can include the Valois design point
+    ({!Nbq_baselines.Valois}) and measure what the convenience costs: an
+    MCAS over k words issues roughly 3k+1 single-word CAS on the
+    uncontended path.
+
+    A cell is read through {!read}, which returns a {e snapshot} (value +
+    identity witness, like {!Llsc}'s link); {!mcas} atomically replaces a
+    set of cells' contents given their snapshots — all updates apply, or
+    none.  Readers and competing MCAS operations help in-flight
+    descriptors to completion, so the construction is lock-free.  Because
+    every write installs a fresh value block, snapshot identity doubles as
+    ABA protection.
+
+    Functorized over the atomics for the model checker. *)
+
+module type S = sig
+  type 'a cell
+  type 'a snapshot
+
+  val make : 'a -> 'a cell
+  val read : 'a cell -> 'a snapshot
+  (** Current logical value, helping any in-flight MCAS first. *)
+
+  val value : 'a snapshot -> 'a
+
+  val mcas : ('a cell * 'a snapshot * 'a) list -> bool
+  (** [mcas [(c1, s1, n1); ...]] writes every [ni] into [ci] iff every
+      [ci] still holds the content witnessed by [si] — atomically, with
+      helping.  Returns whether the update happened.  Raises
+      [Invalid_argument] on an empty list or duplicate cells. *)
+
+  val cas : 'a cell -> 'a snapshot -> 'a -> bool
+  (** One-word convenience ([mcas] with a single entry, minus descriptor
+      traffic). *)
+end
+
+module Make (A : Atomic_intf.ATOMIC) : S
+
+include S

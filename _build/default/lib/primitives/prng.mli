@@ -1,0 +1,33 @@
+(** Small, fast, splittable pseudo-random number generator (SplitMix64).
+
+    Used by the failure-injecting LL/SC variant, the benchmark workload
+    generator and the randomized tests.  Each generator is a single mutable
+    cell and is {e not} thread-safe; create one per domain (see
+    {!domain_local}) or per test. *)
+
+type t
+(** A SplitMix64 generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split g] returns a new generator whose stream is independent from the
+    remainder of [g]'s stream.  Advances [g]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val domain_local : unit -> t
+(** A generator private to the calling domain, seeded from the domain id.
+    Successive calls from the same domain return the same generator. *)

@@ -1,0 +1,1 @@
+lib/reclaim/epoch.ml: Array Atomic Domain List

@@ -1,0 +1,1 @@
+lib/reclaim/free_pool.ml: Atomic

@@ -1,0 +1,1 @@
+lib/reclaim/hazard_pointer.ml: Array Atomic Domain List

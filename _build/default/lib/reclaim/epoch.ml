@@ -1,0 +1,118 @@
+type 'a record = {
+  pinned : bool Atomic.t;
+  local_epoch : int Atomic.t;
+  (* Three limbo bags indexed by epoch mod 3; private to the owner except
+     for the racy [pending] statistic. *)
+  limbo : 'a list array;
+  mutable limbo_len : int array;
+  mutable since_collect : int;
+  mutable next : 'a record option;
+}
+
+type 'a manager = {
+  epoch : int Atomic.t;
+  head : 'a record option Atomic.t;
+  batch_size : int;
+  free : 'a -> unit;
+  freed : int Atomic.t;
+  dls : 'a record option ref Domain.DLS.key;
+}
+
+let create ?(batch_size = 64) ~free () =
+  {
+    epoch = Atomic.make 0;
+    head = Atomic.make None;
+    batch_size;
+    free;
+    freed = Atomic.make 0;
+    dls = Domain.DLS.new_key (fun () -> ref None);
+  }
+
+let new_record () =
+  {
+    pinned = Atomic.make false;
+    local_epoch = Atomic.make 0;
+    limbo = [| []; []; [] |];
+    limbo_len = [| 0; 0; 0 |];
+    since_collect = 0;
+    next = None;
+  }
+
+let get_record mgr =
+  let cache = Domain.DLS.get mgr.dls in
+  match !cache with
+  | Some r -> r
+  | None ->
+      let r = new_record () in
+      let rec push () =
+        let cur = Atomic.get mgr.head in
+        r.next <- cur;
+        if not (Atomic.compare_and_set mgr.head cur (Some r)) then push ()
+      in
+      push ();
+      cache := Some r;
+      r
+
+let enter mgr r =
+  Atomic.set r.pinned true;
+  (* The sequentially-consistent store above is visible before this read's
+     result is published, so a collector that sees us unpinned either
+     happened fully before or will see our epoch. *)
+  Atomic.set r.local_epoch (Atomic.get mgr.epoch)
+
+let exit r = Atomic.set r.pinned false
+
+let all_observed mgr e =
+  let rec go = function
+    | None -> true
+    | Some r ->
+        ((not (Atomic.get r.pinned)) || Atomic.get r.local_epoch = e) && go r.next
+  in
+  go (Atomic.get mgr.head)
+
+(* Free the bag of epoch [e - 2] (safe once the global epoch reached [e]). *)
+let collect_bag mgr r e =
+  let idx = (e + 1) mod 3 in
+  (* (e + 1) mod 3 = (e - 2) mod 3 *)
+  let bag = r.limbo.(idx) in
+  if bag <> [] then begin
+    let n = List.length bag in
+    List.iter mgr.free bag;
+    r.limbo.(idx) <- [];
+    r.limbo_len.(idx) <- 0;
+    ignore (Atomic.fetch_and_add mgr.freed n)
+  end
+
+let try_collect mgr r =
+  let e = Atomic.get mgr.epoch in
+  if all_observed mgr e then begin
+    (* Only one advancer wins; either way epoch >= e + 1 afterwards. *)
+    ignore (Atomic.compare_and_set mgr.epoch e (e + 1));
+    Atomic.set r.local_epoch (Atomic.get mgr.epoch)
+  end;
+  collect_bag mgr r (Atomic.get mgr.epoch)
+
+let retire mgr r node =
+  (* Bag by the *global* epoch: a node bagged while the global epoch is [g]
+     can only still be referenced by threads pinned at [g-1] or [g], both of
+     which block the advance past [g+1]; freeing the bag at [g+2] is safe. *)
+  let e = Atomic.get mgr.epoch in
+  let idx = e mod 3 in
+  r.limbo.(idx) <- node :: r.limbo.(idx);
+  r.limbo_len.(idx) <- r.limbo_len.(idx) + 1;
+  r.since_collect <- r.since_collect + 1;
+  if r.since_collect >= mgr.batch_size then begin
+    r.since_collect <- 0;
+    try_collect mgr r
+  end
+
+let global_epoch mgr = Atomic.get mgr.epoch
+
+let total_freed mgr = Atomic.get mgr.freed
+
+let pending mgr =
+  let rec go n = function
+    | None -> n
+    | Some r -> go (n + r.limbo_len.(0) + r.limbo_len.(1) + r.limbo_len.(2)) r.next
+  in
+  go 0 (Atomic.get mgr.head)

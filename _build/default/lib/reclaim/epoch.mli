@@ -1,0 +1,46 @@
+(** Epoch-based reclamation (Fraser 2004) — an extension baseline.
+
+    Not part of the paper's evaluation, but the natural third point on the
+    reclamation axis next to hazard pointers and the free pool, and used by
+    the MS-EBR extension series in the ablation benchmarks.
+
+    A thread wraps every structure operation in [enter]/[exit] ("pinning"
+    the current global epoch).  Retired nodes go into the limbo bag of the
+    epoch in which they were retired.  The global epoch can advance from [e]
+    to [e+1] once every pinned thread has observed [e]; nodes retired two
+    epochs ago can then be handed to [free] — no thread can still hold a
+    reference from inside a critical region.  Cheap per-operation cost, but
+    a single stalled thread blocks reclamation (the classic trade-off vs
+    hazard pointers — visible in the ablation results). *)
+
+type 'a manager
+
+type 'a record
+(** Per-domain participation state.  Never shared between domains. *)
+
+val create :
+  ?batch_size:int -> free:('a -> unit) -> unit -> 'a manager
+(** [batch_size] (default 64) is how many retirements a thread buffers
+    before it attempts to advance the epoch and collect. *)
+
+val get_record : 'a manager -> 'a record
+(** The calling domain's record, registered on first use. *)
+
+val enter : 'a manager -> 'a record -> unit
+(** Begin a critical region: pin the current epoch.  Must not nest. *)
+
+val exit : 'a record -> unit
+(** End the critical region. *)
+
+val retire : 'a manager -> 'a record -> 'a -> unit
+(** Add a node to the current epoch's limbo bag (must be called between
+    [enter] and [exit]). *)
+
+val try_collect : 'a manager -> 'a record -> unit
+(** Attempt one epoch advance + collection now (tests, shutdown). *)
+
+val global_epoch : 'a manager -> int
+
+val total_freed : 'a manager -> int
+val pending : 'a manager -> int
+(** Limbo-bag population (racy snapshot). *)

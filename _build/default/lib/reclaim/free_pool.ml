@@ -1,0 +1,38 @@
+type 'a cell = Nil | Cons of 'a * 'a cell
+
+type 'a t = {
+  top : 'a cell Atomic.t;
+  puts : int Atomic.t;
+  takes : int Atomic.t;
+}
+
+let create () =
+  { top = Atomic.make Nil; puts = Atomic.make 0; takes = Atomic.make 0 }
+
+let rec push t x =
+  let cur = Atomic.get t.top in
+  if not (Atomic.compare_and_set t.top cur (Cons (x, cur))) then push t x
+
+let put t x =
+  push t x;
+  ignore (Atomic.fetch_and_add t.puts 1)
+
+let rec pop t =
+  match Atomic.get t.top with
+  | Nil -> None
+  | Cons (x, rest) as cur ->
+      if Atomic.compare_and_set t.top cur rest then Some x else pop t
+
+let take t =
+  match pop t with
+  | Some _ as r ->
+      ignore (Atomic.fetch_and_add t.takes 1);
+      r
+  | None -> None
+
+let size t =
+  let rec count n = function Nil -> n | Cons (_, rest) -> count (n + 1) rest in
+  count 0 (Atomic.get t.top)
+
+let stats_puts t = Atomic.get t.puts
+let stats_takes t = Atomic.get t.takes

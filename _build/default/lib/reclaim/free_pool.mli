@@ -1,0 +1,28 @@
+(** A lock-free pool of recycled nodes (Treiber stack).
+
+    OCaml's GC would silently absorb the node-lifecycle cost that the paper's
+    evaluation measures, so "freeing" a node in this repository means pushing
+    it here and "allocating" means popping (falling back to real allocation
+    when empty).  Crucially, popping returns the {e same block} that was
+    pushed, so pointer reuse — and therefore the ABA hazard that hazard
+    pointers exist to prevent — actually happens (DESIGN.md §2).
+
+    The stack's own cells are freshly allocated on every push, so the pool
+    itself is ABA-free under physical-equality CAS. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val put : 'a t -> 'a -> unit
+(** Push a retired node.  Lock-free. *)
+
+val take : 'a t -> 'a option
+(** Pop a recycled node, LIFO.  Lock-free. *)
+
+val size : 'a t -> int
+(** Approximate number of pooled nodes (racy; for tests and stats). *)
+
+val stats_puts : 'a t -> int
+val stats_takes : 'a t -> int
+(** Cumulative traffic counters (exact). *)

@@ -1,0 +1,174 @@
+type 'a record = {
+  hazards : 'a option Atomic.t array;
+  active : bool Atomic.t;
+  (* Private to the owning domain: *)
+  mutable retired : 'a list;
+  mutable retired_len : int;
+  (* Registry chain; write-once before publication. *)
+  mutable next : 'a record option;
+}
+
+type 'a manager = {
+  head : 'a record option Atomic.t;
+  hazards_per_thread : int;
+  sorted_scan : bool;
+  threshold : participants:int -> int;
+  node_id : 'a -> int;
+  free : 'a -> unit;
+  participant_count : int Atomic.t;
+  scans : int Atomic.t;
+  freed : int Atomic.t;
+  retired_total : int Atomic.t;
+  dls : 'a record option ref Domain.DLS.key;
+}
+
+let create ?(hazards_per_thread = 2) ?(sorted_scan = true)
+    ?(threshold = fun ~participants -> 4 * participants) ~node_id ~free () =
+  {
+    head = Atomic.make None;
+    hazards_per_thread;
+    sorted_scan;
+    threshold;
+    node_id;
+    free;
+    participant_count = Atomic.make 0;
+    scans = Atomic.make 0;
+    freed = Atomic.make 0;
+    retired_total = Atomic.make 0;
+    dls = Domain.DLS.new_key (fun () -> ref None);
+  }
+
+let rec find_inactive = function
+  | None -> None
+  | Some r ->
+      if (not (Atomic.get r.active)) && Atomic.compare_and_set r.active false true
+      then Some r
+      else find_inactive r.next
+
+let acquire_record mgr =
+  match find_inactive (Atomic.get mgr.head) with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          hazards = Array.init mgr.hazards_per_thread (fun _ -> Atomic.make None);
+          active = Atomic.make true;
+          retired = [];
+          retired_len = 0;
+          next = None;
+        }
+      in
+      let rec push () =
+        let cur = Atomic.get mgr.head in
+        r.next <- cur;
+        if not (Atomic.compare_and_set mgr.head cur (Some r)) then push ()
+      in
+      push ();
+      ignore (Atomic.fetch_and_add mgr.participant_count 1);
+      r
+
+let get_record mgr =
+  let cache = Domain.DLS.get mgr.dls in
+  match !cache with
+  | Some r -> r
+  | None ->
+      let r = acquire_record mgr in
+      cache := Some r;
+      r
+
+let protect r i node = Atomic.set r.hazards.(i) (Some node)
+
+let clear r i = Atomic.set r.hazards.(i) None
+
+let clear_all r =
+  for i = 0 to Array.length r.hazards - 1 do
+    clear r i
+  done
+
+let release_record mgr =
+  let cache = Domain.DLS.get mgr.dls in
+  match !cache with
+  | Some r ->
+      clear_all r;
+      Atomic.set r.active false;
+      cache := None
+  | None -> ()
+
+let participants mgr = Atomic.get mgr.participant_count
+
+(* Collect every published hazard id into an array. *)
+let collect_hazards mgr =
+  let acc = ref [] in
+  let rec go = function
+    | None -> ()
+    | Some r ->
+        Array.iter
+          (fun h ->
+            match Atomic.get h with
+            | Some node -> acc := mgr.node_id node :: !acc
+            | None -> ())
+          r.hazards;
+        go r.next
+  in
+  go (Atomic.get mgr.head);
+  Array.of_list !acc
+
+let array_mem_linear a x =
+  let n = Array.length a in
+  let rec go i = i < n && (a.(i) = x || go (i + 1)) in
+  go 0
+
+let array_mem_sorted a x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = x then true else if a.(mid) < x then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+let scan mgr r =
+  ignore (Atomic.fetch_and_add mgr.scans 1);
+  let hazards = collect_hazards mgr in
+  let mem =
+    if mgr.sorted_scan then begin
+      Array.sort compare hazards;
+      array_mem_sorted hazards
+    end
+    else array_mem_linear hazards
+  in
+  let kept = ref [] in
+  let kept_len = ref 0 in
+  let freed = ref 0 in
+  List.iter
+    (fun node ->
+      if mem (mgr.node_id node) then begin
+        kept := node :: !kept;
+        incr kept_len
+      end
+      else begin
+        mgr.free node;
+        incr freed
+      end)
+    r.retired;
+  r.retired <- !kept;
+  r.retired_len <- !kept_len;
+  ignore (Atomic.fetch_and_add mgr.freed !freed)
+
+let retire mgr r node =
+  r.retired <- node :: r.retired;
+  r.retired_len <- r.retired_len + 1;
+  ignore (Atomic.fetch_and_add mgr.retired_total 1);
+  let participants = Atomic.get mgr.participant_count in
+  if r.retired_len >= mgr.threshold ~participants then scan mgr r
+
+let total_scans mgr = Atomic.get mgr.scans
+let total_freed mgr = Atomic.get mgr.freed
+let total_retired mgr = Atomic.get mgr.retired_total
+
+let pending mgr =
+  let rec go n = function
+    | None -> n
+    | Some r -> go (n + r.retired_len) r.next
+  in
+  go 0 (Atomic.get mgr.head)

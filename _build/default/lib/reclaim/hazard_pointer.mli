@@ -1,0 +1,74 @@
+(** Hazard pointers (Michael, IEEE TPDS 15(6), 2004) — the safe-reclamation
+    scheme behind the paper's "MS-Hazard Pointers" baselines.
+
+    A thread publishes the node it is about to dereference in a per-thread
+    {e hazard slot}, re-validates its source pointer, and only then uses the
+    node.  A retiring thread buffers removed nodes privately; once the buffer
+    reaches a threshold (the paper's experiment: 4 × number of threads) it
+    {e scans} every thread's published hazards and frees exactly the retired
+    nodes that nobody protects.  The scan can first {b sort} the collected
+    hazards (binary-search membership, the paper's "Sorted" series) or leave
+    them unsorted (linear membership, the "Not Sorted" series) — the
+    crossover between the two as the thread count grows is one of the
+    paper's observations.
+
+    The manager is generic over the node type; it needs [node_id] (a unique,
+    stable integer identity per node — OCaml has no stable addresses) and
+    [free] (what "freeing" means, typically {!Free_pool.put}). *)
+
+type 'a manager
+
+type 'a record
+(** One thread's hazard slots plus its private retire buffer.  Never shared
+    between domains. *)
+
+val create :
+  ?hazards_per_thread:int ->
+  ?sorted_scan:bool ->
+  ?threshold:(participants:int -> int) ->
+  node_id:('a -> int) ->
+  free:('a -> unit) ->
+  unit ->
+  'a manager
+(** [create ~node_id ~free ()] builds a manager.
+    [hazards_per_thread] defaults to 2 (what the MS queue needs);
+    [sorted_scan] defaults to [true];
+    [threshold] defaults to [fun ~participants -> 4 * participants]
+    (the paper's setting). *)
+
+val get_record : 'a manager -> 'a record
+(** The calling domain's record, registering it on first use (recycles a
+    released record when one exists, else appends — population-oblivious,
+    same shape as the paper's tag-variable registry). *)
+
+val protect : 'a record -> int -> 'a -> unit
+(** [protect r i node] publishes [node] in hazard slot [i].  The caller must
+    re-validate its source pointer afterwards, before dereferencing. *)
+
+val clear : 'a record -> int -> unit
+(** Empty hazard slot [i]. *)
+
+val clear_all : 'a record -> unit
+
+val retire : 'a manager -> 'a record -> 'a -> unit
+(** Buffer a removed node; triggers a scan when the buffer reaches the
+    threshold. *)
+
+val scan : 'a manager -> 'a record -> unit
+(** Force a scan now (tests, shutdown). *)
+
+val release_record : 'a manager -> unit
+(** Mark the calling domain's record reusable by other domains.  Pending
+    retired nodes stay buffered in the record and are handled by its next
+    owner's scans. *)
+
+val participants : 'a manager -> int
+(** Number of records ever created (high-water mark of concurrency). *)
+
+(** Cumulative statistics, for the reclamation-cost experiments. *)
+
+val total_scans : 'a manager -> int
+val total_freed : 'a manager -> int
+val total_retired : 'a manager -> int
+val pending : 'a manager -> int
+(** Retired-but-not-yet-freed nodes across all records (racy snapshot). *)

@@ -1,0 +1,1 @@
+test/battery.ml: Alcotest Array Atomic Domain Hashtbl List Nbq_harness Nbq_lincheck Nbq_primitives Option Printf QCheck QCheck_alcotest Registry Test Workload

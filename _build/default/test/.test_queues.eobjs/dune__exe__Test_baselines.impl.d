@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Domain List Nbq_baselines Nbq_reclaim Printf

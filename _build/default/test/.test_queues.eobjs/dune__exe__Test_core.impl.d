@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Atomic Domain List Nbq_core Printf

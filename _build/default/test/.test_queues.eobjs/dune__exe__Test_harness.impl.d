@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Ascii_plot Float Gen Latency List Nbq_harness Printf QCheck QCheck_alcotest Registry Runner Stats String Table Workload

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Domain Gen List Nbq_lincheck QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Array List Nbq_core Nbq_lincheck Nbq_modelcheck Nbq_primitives Printf String

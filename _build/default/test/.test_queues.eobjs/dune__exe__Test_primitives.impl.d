@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Array Atomic Domain List Nbq_primitives Printf QCheck QCheck_alcotest String

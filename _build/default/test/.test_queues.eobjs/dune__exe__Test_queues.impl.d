@@ -1,0 +1,1 @@
+test/test_queues.ml: Alcotest Battery List Nbq_harness

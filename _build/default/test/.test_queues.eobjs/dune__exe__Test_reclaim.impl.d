@@ -1,0 +1,1 @@
+test/test_reclaim.ml: Alcotest Atomic Domain Gen List Mutex Nbq_reclaim Printf QCheck QCheck_alcotest

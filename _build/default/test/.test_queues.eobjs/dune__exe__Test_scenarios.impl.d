@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array Atomic Nbq_core Nbq_primitives

@@ -1,0 +1,308 @@
+(* Tests specific to the paper's two algorithms: monotonic indices, the
+   explicit handle API, space adaptivity of the tag-variable registry, and
+   the weak-cell variant's configuration. *)
+
+module Q1 = Nbq_core.Evequoz_llsc
+module Q2 = Nbq_core.Evequoz_cas
+module Intf = Nbq_core.Queue_intf
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+(* --- Indices (Algorithm 1) --- *)
+
+let llsc_indices_monotonic () =
+  let q = Q1.create ~capacity:4 in
+  Alcotest.(check int) "head 0" 0 (Q1.head_index q);
+  Alcotest.(check int) "tail 0" 0 (Q1.tail_index q);
+  for i = 1 to 10 do
+    ignore (Q1.try_enqueue q i);
+    ignore (Q1.try_dequeue q)
+  done;
+  (* Counters never wrap back even though the 4-slot ring cycled 2.5×
+     (this is precisely the index-ABA defence of paper Fig. 1). *)
+  Alcotest.(check int) "tail counted every enqueue" 10 (Q1.tail_index q);
+  Alcotest.(check int) "head counted every dequeue" 10 (Q1.head_index q)
+
+let llsc_indices_stop_on_rejection () =
+  let q = Q1.create ~capacity:2 in
+  ignore (Q1.try_enqueue q 1);
+  ignore (Q1.try_enqueue q 2);
+  ignore (Q1.try_enqueue q 3);
+  (* rejected *)
+  Alcotest.(check int) "rejected enqueue leaves tail" 2 (Q1.tail_index q);
+  ignore (Q1.try_dequeue q);
+  ignore (Q1.try_dequeue q);
+  ignore (Q1.try_dequeue q);
+  (* empty *)
+  Alcotest.(check int) "empty dequeue leaves head" 2 (Q1.head_index q)
+
+let cas_indices_monotonic () =
+  let q = Q2.create ~capacity:4 in
+  for i = 1 to 12 do
+    ignore (Q2.try_enqueue q i);
+    ignore (Q2.try_dequeue q)
+  done;
+  Alcotest.(check int) "tail" 12 (Q2.tail_index q);
+  Alcotest.(check int) "head" 12 (Q2.head_index q)
+
+(* --- Capacity rounding --- *)
+
+let capacity_rounding () =
+  List.iter
+    (fun (requested, expect) ->
+      let q = Q1.create ~capacity:requested in
+      Alcotest.(check int)
+        (Printf.sprintf "llsc cap %d -> %d" requested expect)
+        expect (Q1.capacity q);
+      let q2 = Q2.create ~capacity:requested in
+      Alcotest.(check int)
+        (Printf.sprintf "cas cap %d -> %d" requested expect)
+        expect (Q2.capacity q2))
+    [ (1, 2); (2, 2); (3, 4); (4, 4); (5, 8); (100, 128) ]
+
+let capacity_invalid () =
+  match Q1.create ~capacity:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- Explicit handles (Algorithm 2) --- *)
+
+let cas_explicit_handles () =
+  let q = Q2.create ~capacity:8 in
+  let h = Q2.register q in
+  Alcotest.(check bool) "enqueue via handle" true (Q2.enqueue_with q h 1);
+  Alcotest.(check bool) "another" true (Q2.enqueue_with q h 2);
+  Alcotest.(check (option int)) "dequeue via handle" (Some 1) (Q2.dequeue_with q h);
+  Alcotest.(check (option int)) "order kept" (Some 2) (Q2.dequeue_with q h);
+  Alcotest.(check (option int)) "empty" None (Q2.dequeue_with q h);
+  Q2.deregister h
+
+let cas_handle_recycling () =
+  let q = Q2.create ~capacity:8 in
+  let h1 = Q2.register q in
+  ignore (Q2.enqueue_with q h1 1);
+  Q2.deregister h1;
+  let before = Q2.registry_size q in
+  (* Sequential register/deregister cycles must reuse the same variable. *)
+  for _ = 1 to 50 do
+    let h = Q2.register q in
+    ignore (Q2.enqueue_with q h 2);
+    ignore (Q2.dequeue_with q h);
+    Q2.deregister h
+  done;
+  Alcotest.(check int) "registry did not grow" before (Q2.registry_size q)
+
+let cas_registry_space_adaptive () =
+  (* The registry grows to the high-water mark of simultaneous threads,
+     not with the number of operations (paper's space-adaptivity claim). *)
+  let q = Q2.create ~capacity:64 in
+  let domains = 4 and per_domain = 2_000 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              ignore (Q2.try_enqueue q ((d * per_domain) + i));
+              ignore (Q2.try_dequeue q)
+            done;
+            Q2.deregister_domain q))
+  in
+  List.iter Domain.join workers;
+  let size = Q2.registry_size q in
+  Alcotest.(check bool)
+    (Printf.sprintf "registry size %d bounded by concurrency" size)
+    true
+    (size >= 1 && size <= domains);
+  (* A second wave of domains must reuse the released variables. *)
+  let wave2 =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            ignore (Q2.try_enqueue q 1);
+            ignore (Q2.try_dequeue q);
+            Q2.deregister_domain q))
+  in
+  List.iter Domain.join wave2;
+  Alcotest.(check bool) "no growth on second wave" true
+    (Q2.registry_size q <= size + domains)
+
+let cas_deregister_domain_idempotent () =
+  let q = Q2.create ~capacity:8 in
+  ignore (Q2.try_enqueue q 1);
+  Q2.deregister_domain q;
+  Q2.deregister_domain q;
+  (* no-op *)
+  Alcotest.(check (option int)) "still usable" (Some 1) (Q2.try_dequeue q)
+
+let cas_interleaved_handles_one_thread () =
+  (* Two logical threads multiplexed on one domain via explicit handles. *)
+  let q = Q2.create ~capacity:8 in
+  let ha = Q2.register q and hb = Q2.register q in
+  ignore (Q2.enqueue_with q ha 1);
+  ignore (Q2.enqueue_with q hb 2);
+  Alcotest.(check (option int)) "a sees 1" (Some 1) (Q2.dequeue_with q hb);
+  Alcotest.(check (option int)) "b sees 2" (Some 2) (Q2.dequeue_with q ha);
+  Q2.deregister ha;
+  Q2.deregister hb
+
+(* --- Peek (extension feature) --- *)
+
+let peek_sequential_llsc () =
+  let q = Q1.create ~capacity:4 in
+  Alcotest.(check (option int)) "empty peek" None (Q1.try_peek q);
+  ignore (Q1.try_enqueue q 1);
+  ignore (Q1.try_enqueue q 2);
+  Alcotest.(check (option int)) "front" (Some 1) (Q1.try_peek q);
+  Alcotest.(check (option int)) "peek does not remove" (Some 1) (Q1.try_peek q);
+  Alcotest.(check int) "length untouched" 2 (Q1.length q);
+  Alcotest.(check (option int)) "dequeue still 1" (Some 1) (Q1.try_dequeue q);
+  Alcotest.(check (option int)) "front now 2" (Some 2) (Q1.try_peek q);
+  ignore (Q1.try_dequeue q);
+  Alcotest.(check (option int)) "empty again" None (Q1.try_peek q)
+
+let peek_sequential_cas () =
+  let q = Q2.create ~capacity:4 in
+  Alcotest.(check (option int)) "empty peek" None (Q2.try_peek q);
+  ignore (Q2.try_enqueue q 1);
+  ignore (Q2.try_enqueue q 2);
+  Alcotest.(check (option int)) "front" (Some 1) (Q2.try_peek q);
+  Alcotest.(check (option int)) "peek does not remove" (Some 1) (Q2.try_peek q);
+  Alcotest.(check (option int)) "dequeue still 1" (Some 1) (Q2.try_dequeue q);
+  let h = Q2.register q in
+  Alcotest.(check (option int)) "peek via handle" (Some 2) (Q2.peek_with q h);
+  Q2.deregister h;
+  Alcotest.(check (option int)) "peek left the item" (Some 2) (Q2.try_dequeue q)
+
+let peek_concurrent_monotone () =
+  (* One producer of an ascending sequence, one peeker: peeked values must
+     be non-decreasing (the front only moves forward). *)
+  let q = Q1.create ~capacity:8 in
+  let stop = Atomic.make false in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to 5_000 do
+          while not (Q1.try_enqueue q i) do
+            ignore (Q1.try_dequeue q)
+          done
+        done;
+        Atomic.set stop true)
+  in
+  let last = ref 0 in
+  let ok = ref true in
+  while not (Atomic.get stop) do
+    match Q1.try_peek q with
+    | Some v ->
+        if v < !last then ok := false;
+        last := v
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "peeks non-decreasing" true !ok
+
+(* --- Functor / weak cells --- *)
+
+let weak_queue_correct_under_failures () =
+  Atomic.set Q1.On_weak_cells.failure_rate 0.3;
+  let q = Q1.On_weak_cells.create ~capacity:8 in
+  for round = 0 to 99 do
+    Alcotest.(check bool) "enq" true (Q1.On_weak_cells.try_enqueue q round);
+    Alcotest.(check (option int)) "deq" (Some round)
+      (Q1.On_weak_cells.try_dequeue q)
+  done;
+  Atomic.set Q1.On_weak_cells.failure_rate 0.05
+
+let weak_queue_concurrent () =
+  Atomic.set Q1.On_weak_cells.failure_rate 0.2;
+  let q = Q1.On_weak_cells.create ~capacity:64 in
+  let domains = 4 and per_domain = 1_000 in
+  let consumed = Atomic.make 0 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              while not (Q1.On_weak_cells.try_enqueue q ((d * per_domain) + i)) do
+                Domain.cpu_relax ()
+              done;
+              let rec drain () =
+                match Q1.On_weak_cells.try_dequeue q with
+                | Some _ -> ignore (Atomic.fetch_and_add consumed 1)
+                | None ->
+                    Domain.cpu_relax ();
+                    drain ()
+              in
+              drain ()
+            done))
+  in
+  List.iter Domain.join workers;
+  Atomic.set Q1.On_weak_cells.failure_rate 0.05;
+  Alcotest.(check int) "all transferred" (domains * per_domain)
+    (Atomic.get consumed);
+  Alcotest.(check int) "drained" 0 (Q1.On_weak_cells.length q)
+
+(* --- Blocking wrapper --- *)
+
+module Q1_conc = Intf.Of_bounded (Q1)
+module Q1_blocking = Intf.Blocking (Q1_conc)
+
+let blocking_wrapper_ping_pong () =
+  let q = Q1_conc.create ~capacity:2 in
+  let n = 2_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Q1_blocking.enqueue q i
+        done)
+  in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Q1_blocking.dequeue q
+  done;
+  Domain.join producer;
+  Alcotest.(check int) "all items through a 2-slot ring" (n * (n + 1) / 2) !sum
+
+let round_capacity_unit () =
+  Alcotest.(check int) "1 -> 2" 2 (Intf.round_capacity 1);
+  Alcotest.(check int) "7 -> 8" 8 (Intf.round_capacity 7);
+  Alcotest.(check int) "8 -> 8" 8 (Intf.round_capacity 8);
+  Alcotest.(check int) "9 -> 16" 16 (Intf.round_capacity 9);
+  match Intf.round_capacity 0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "indices",
+        [
+          quick "llsc monotonic across wraps" llsc_indices_monotonic;
+          quick "llsc indices on rejection" llsc_indices_stop_on_rejection;
+          quick "cas monotonic across wraps" cas_indices_monotonic;
+        ] );
+      ( "capacity",
+        [
+          quick "rounding" capacity_rounding;
+          quick "invalid" capacity_invalid;
+          quick "round_capacity unit" round_capacity_unit;
+        ] );
+      ( "handles",
+        [
+          quick "explicit handles" cas_explicit_handles;
+          quick "handle recycling" cas_handle_recycling;
+          slow "registry space adaptivity" cas_registry_space_adaptive;
+          quick "deregister_domain idempotent" cas_deregister_domain_idempotent;
+          quick "interleaved handles, one thread"
+            cas_interleaved_handles_one_thread;
+        ] );
+      ( "peek",
+        [
+          quick "sequential, llsc queue" peek_sequential_llsc;
+          quick "sequential, cas queue" peek_sequential_cas;
+          slow "concurrent peeks monotone" peek_concurrent_monotone;
+        ] );
+      ( "weak-cells",
+        [
+          quick "sequential under 30% failures" weak_queue_correct_under_failures;
+          slow "concurrent under 20% failures" weak_queue_concurrent;
+        ] );
+      ( "blocking",
+        [ slow "ping-pong through 2-slot ring" blocking_wrapper_ping_pong ] );
+    ]

@@ -1,0 +1,380 @@
+(* Tests for the benchmark harness: registry, stats, tables, workload,
+   runner. *)
+
+open Nbq_harness
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+let feq = Alcotest.float 1e-9
+
+(* --- Registry --- *)
+
+let registry_names_unique () =
+  let names = Registry.names () in
+  Alcotest.(check int) "no duplicate names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let registry_find_roundtrip () =
+  List.iter
+    (fun (impl : Registry.impl) ->
+      let found = Registry.find impl.Registry.name in
+      Alcotest.(check string) "found itself" impl.Registry.name
+        found.Registry.name)
+    Registry.all
+
+let registry_find_unknown () =
+  match Registry.find "no-such-queue" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let registry_concurrent_excludes_sequential () =
+  Alcotest.(check bool) "seq-ring not in concurrent" false
+    (List.exists
+       (fun (i : Registry.impl) -> i.Registry.name = "seq-ring")
+       Registry.concurrent);
+  Alcotest.(check int) "all = concurrent + seq"
+    (List.length Registry.all)
+    (List.length Registry.concurrent + 1);
+  Alcotest.(check int) "sixteen implementations" 16
+    (List.length Registry.all)
+
+let registry_instances_independent () =
+  let impl = Registry.find "evequoz-cas" in
+  let a = impl.Registry.create ~capacity:8 in
+  let b = impl.Registry.create ~capacity:8 in
+  ignore (a.Registry.enqueue { Registry.tag = 1 });
+  Alcotest.(check int) "b unaffected" 0 (b.Registry.length ());
+  Alcotest.(check int) "a has one" 1 (a.Registry.length ())
+
+let registry_expected_members () =
+  List.iter
+    (fun name -> ignore (Registry.find name))
+    [
+      "evequoz-llsc"; "evequoz-cas"; "evequoz-llsc-weak"; "shann";
+      "tsigas-zhang"; "valois-dcas"; "ms-gc"; "ms-hp-sorted"; "ms-hp-unsorted"; "ms-ebr";
+      "ms-doherty"; "herlihy-wing"; "lms-optimistic"; "two-lock";
+      "lock-ring"; "seq-ring";
+    ]
+
+(* --- Stats --- *)
+
+let stats_known_values () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.check feq "mean" 2.5 s.Stats.mean;
+  Alcotest.check feq "min" 1.0 s.Stats.min;
+  Alcotest.check feq "max" 4.0 s.Stats.max;
+  Alcotest.check feq "median" 2.5 s.Stats.median;
+  Alcotest.check (Alcotest.float 1e-6) "stddev" 1.2909944487 s.Stats.stddev;
+  Alcotest.(check int) "n" 4 s.Stats.n
+
+let stats_single_sample () =
+  let s = Stats.summarize [ 7.0 ] in
+  Alcotest.check feq "mean" 7.0 s.Stats.mean;
+  Alcotest.check feq "stddev" 0.0 s.Stats.stddev;
+  Alcotest.check feq "median" 7.0 s.Stats.median
+
+let stats_odd_median () =
+  let s = Stats.summarize [ 5.0; 1.0; 3.0 ] in
+  Alcotest.check feq "median" 3.0 s.Stats.median
+
+let stats_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize []))
+
+let stats_normalize () =
+  Alcotest.check feq "normalize" 2.0 (Stats.normalize ~base:2.0 4.0);
+  Alcotest.(check bool) "zero base is nan" true
+    (Float.is_nan (Stats.normalize ~base:0.0 1.0))
+
+let qcheck_stats_invariants =
+  QCheck.Test.make ~count:300 ~name:"summary invariants"
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.n = List.length xs
+      && s.Stats.min <= s.Stats.median
+      && s.Stats.median <= s.Stats.max
+      && s.Stats.min <= s.Stats.mean +. 1e-9
+      && s.Stats.mean <= s.Stats.max +. 1e-9
+      && s.Stats.stddev >= 0.0)
+
+let qcheck_stats_shift =
+  QCheck.Test.make ~count:300 ~name:"mean is shift-equivariant, stddev invariant"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 2 30) (float_range (-100.0) 100.0))
+        (float_range (-50.0) 50.0))
+    (fun (xs, delta) ->
+      let a = Stats.summarize xs in
+      let b = Stats.summarize (List.map (fun x -> x +. delta) xs) in
+      Float.abs (b.Stats.mean -. (a.Stats.mean +. delta)) < 1e-6
+      && Float.abs (b.Stats.stddev -. a.Stats.stddev) < 1e-6)
+
+(* --- Table --- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "threads"; "a"; "b" ] in
+  Table.add_row t [ "1"; "0.5"; "0.25" ];
+  Table.add_row t [ "2"; "1.5"; "1.25" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 4 && String.sub out 0 4 = "demo");
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %s" needle)
+        true (contains out needle))
+    [ "threads"; "0.25"; "1.5" ]
+
+let table_csv () =
+  let t = Table.create ~title:"demo" ~columns:[ "x"; "y" ] in
+  Table.add_row t [ "a,b"; "c" ];
+  let csv = Table.render_csv t in
+  Alcotest.(check string) "csv with quoting" "x,y\n\"a,b\",c\n" csv
+
+let table_cell_count_checked () =
+  let t = Table.create ~title:"demo" ~columns:[ "x"; "y" ] in
+  match Table.add_row t [ "only-one" ] with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- Latency --- *)
+
+let latency_basic () =
+  let r = Latency.recorder ~capacity:10 in
+  List.iter (Latency.record r) [ 0.001; 0.002; 0.003; 0.004; 0.005 ];
+  let s = Latency.summarize [ r ] in
+  Alcotest.(check int) "samples" 5 s.Latency.samples;
+  Alcotest.check feq "p50" 0.003 s.Latency.p50;
+  Alcotest.check feq "max" 0.005 s.Latency.max;
+  Alcotest.check (Alcotest.float 1e-9) "mean" 0.003 s.Latency.mean
+
+let latency_drop_counting () =
+  let r = Latency.recorder ~capacity:2 in
+  List.iter (Latency.record r) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "dropped" 2 (Latency.dropped r);
+  Alcotest.(check int) "kept" 2 (Latency.summarize [ r ]).Latency.samples
+
+let latency_merge () =
+  let a = Latency.recorder ~capacity:4 and b = Latency.recorder ~capacity:4 in
+  Latency.record a 1.0;
+  Latency.record b 3.0;
+  Latency.record b 2.0;
+  let s = Latency.summarize [ a; b ] in
+  Alcotest.(check int) "merged" 3 s.Latency.samples;
+  Alcotest.check feq "p50 across recorders" 2.0 s.Latency.p50
+
+let latency_percentile_unit () =
+  let sorted = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.check feq "p0" 1.0 (Latency.percentile sorted 0.0);
+  Alcotest.check feq "p100" 5.0 (Latency.percentile sorted 1.0);
+  Alcotest.check feq "p50" 3.0 (Latency.percentile sorted 0.5);
+  Alcotest.check feq "p75 nearest-rank" 4.0 (Latency.percentile sorted 0.75)
+
+let latency_time_records () =
+  let r = Latency.recorder ~capacity:4 in
+  let x = Latency.time r (fun () -> 42) in
+  Alcotest.(check int) "thunk result" 42 x;
+  let s = Latency.summarize [ r ] in
+  Alcotest.(check int) "one sample" 1 s.Latency.samples;
+  Alcotest.(check bool) "nonnegative" true (s.Latency.max >= 0.0)
+
+let latency_empty_raises () =
+  match Latency.summarize [ Latency.recorder ~capacity:1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- Ascii_plot --- *)
+
+let plot_basic () =
+  let out =
+    Ascii_plot.render ~title:"demo plot" ~x_label:"threads" ~y_label:"s"
+      [
+        { Ascii_plot.label = "alpha"; points = [ (1.0, 0.1); (2.0, 0.4) ] };
+        { Ascii_plot.label = "beta"; points = [ (1.0, 0.3); (2.0, 0.2) ] };
+      ]
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("plot contains " ^ needle) true (contains out needle))
+    [ "demo plot"; "alpha"; "beta"; "threads"; "*"; "+" ]
+
+let plot_no_data () =
+  let out =
+    Ascii_plot.render ~title:"empty" ~x_label:"x" ~y_label:"y"
+      [ { Ascii_plot.label = "nothing"; points = [] } ]
+  in
+  Alcotest.(check bool) "placeholder" true (contains out "(no data)")
+
+let plot_single_point () =
+  (* Degenerate spans must not divide by zero. *)
+  let out =
+    Ascii_plot.render ~title:"dot" ~x_label:"x" ~y_label:"y"
+      [ { Ascii_plot.label = "p"; points = [ (5.0, 5.0) ] } ]
+  in
+  Alcotest.(check bool) "marker drawn" true (contains out "*")
+
+let plot_too_small () =
+  match
+    Ascii_plot.render ~width:3 ~height:2 ~title:"t" ~x_label:"x" ~y_label:"y"
+      []
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let plot_marker_cycle () =
+  let series =
+    List.init 10 (fun i ->
+        { Ascii_plot.label = Printf.sprintf "s%d" i; points = [ (float_of_int i, 1.0) ] })
+  in
+  let out = Ascii_plot.render ~title:"many" ~x_label:"x" ~y_label:"y" series in
+  (* 10 series with an 8-marker alphabet: markers cycle, legend lists all. *)
+  Alcotest.(check bool) "legend has s9" true (contains out "s9")
+
+(* --- Workload --- *)
+
+let workload_paper_config () =
+  let c = Workload.paper_config in
+  Alcotest.(check int) "iterations" 100_000 c.Workload.iterations;
+  Alcotest.(check int) "enq batch" 5 c.Workload.enqueue_batch;
+  Alcotest.(check int) "deq batch" 5 c.Workload.dequeue_batch
+
+let workload_scaled () =
+  let c = Workload.scaled_config ~scale:0.01 in
+  Alcotest.(check int) "scaled iterations" 1_000 c.Workload.iterations;
+  let tiny = Workload.scaled_config ~scale:0.0 in
+  Alcotest.(check int) "never below 1" 1 tiny.Workload.iterations
+
+let workload_min_capacity () =
+  let c = Workload.paper_config in
+  let cap = Workload.min_capacity c ~threads:4 in
+  Alcotest.(check bool) "covers in-flight items" true (cap >= 40);
+  Alcotest.(check int) "power of two" 0 (cap land (cap - 1))
+
+let workload_runs_to_completion () =
+  let impl = Registry.find "lock-ring" in
+  let q = impl.Registry.create ~capacity:64 in
+  let cfg = { Workload.iterations = 200; enqueue_batch = 5; dequeue_batch = 5 } in
+  let r = Workload.run_thread cfg ~thread:0 q in
+  Alcotest.(check bool) "nonnegative time" true (r.Workload.seconds >= 0.0);
+  Alcotest.(check int) "queue drained" 0 (q.Registry.length ());
+  Alcotest.(check int) "no empty retries single-threaded" 0
+    r.Workload.empty_retries
+
+(* --- Runner --- *)
+
+let runner_measures () =
+  let impl = Registry.find "evequoz-cas" in
+  let cfg =
+    {
+      Runner.threads = 3;
+      runs = 2;
+      workload = { Workload.iterations = 300; enqueue_batch = 5; dequeue_batch = 5 };
+      capacity = None;
+    }
+  in
+  let m = Runner.measure impl cfg in
+  Alcotest.(check string) "name" "evequoz-cas" m.Runner.impl_name;
+  Alcotest.(check int) "runs recorded" 2 (List.length m.Runner.per_run_seconds);
+  Alcotest.(check bool) "positive time" true (m.Runner.summary.Stats.mean > 0.0)
+
+let runner_rejects_zero_threads () =
+  let impl = Registry.find "evequoz-cas" in
+  let cfg =
+    {
+      Runner.threads = 0;
+      runs = 1;
+      workload = Workload.scaled_config ~scale:0.001;
+      capacity = None;
+    }
+  in
+  match Runner.measure impl cfg with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let runner_all_concurrent_impls_smoke () =
+  (* Every concurrent implementation completes a small multi-domain run. *)
+  let cfg =
+    {
+      Runner.threads = 4;
+      runs = 1;
+      workload = { Workload.iterations = 100; enqueue_batch = 5; dequeue_batch = 5 };
+      capacity = None;
+    }
+  in
+  List.iter
+    (fun impl ->
+      let m = Runner.measure impl cfg in
+      Alcotest.(check bool)
+        (impl.Registry.name ^ " ran")
+        true
+        (m.Runner.summary.Stats.mean >= 0.0))
+    Registry.concurrent
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "registry",
+        [
+          quick "unique names" registry_names_unique;
+          quick "find roundtrip" registry_find_roundtrip;
+          quick "find unknown" registry_find_unknown;
+          quick "concurrent excludes sequential"
+            registry_concurrent_excludes_sequential;
+          quick "instances independent" registry_instances_independent;
+          quick "expected members present" registry_expected_members;
+        ] );
+      ( "stats",
+        [
+          quick "known values" stats_known_values;
+          quick "single sample" stats_single_sample;
+          quick "odd median" stats_odd_median;
+          quick "empty raises" stats_empty_raises;
+          quick "normalize" stats_normalize;
+          QCheck_alcotest.to_alcotest qcheck_stats_invariants;
+          QCheck_alcotest.to_alcotest qcheck_stats_shift;
+        ] );
+      ( "table",
+        [
+          quick "render" table_render;
+          quick "csv quoting" table_csv;
+          quick "cell count checked" table_cell_count_checked;
+        ] );
+      ( "latency",
+        [
+          quick "basic summary" latency_basic;
+          quick "drop counting" latency_drop_counting;
+          quick "merge recorders" latency_merge;
+          quick "percentile unit" latency_percentile_unit;
+          quick "time records" latency_time_records;
+          quick "empty raises" latency_empty_raises;
+        ] );
+      ( "ascii-plot",
+        [
+          quick "basic render" plot_basic;
+          quick "no data" plot_no_data;
+          quick "single point" plot_single_point;
+          quick "too small" plot_too_small;
+          quick "marker cycle" plot_marker_cycle;
+        ] );
+      ( "workload",
+        [
+          quick "paper config" workload_paper_config;
+          quick "scaled config" workload_scaled;
+          quick "min capacity" workload_min_capacity;
+          quick "runs to completion" workload_runs_to_completion;
+        ] );
+      ( "runner",
+        [
+          slow "measures" runner_measures;
+          quick "rejects zero threads" runner_rejects_zero_threads;
+          slow "all concurrent impls smoke" runner_all_concurrent_impls_smoke;
+        ] );
+    ]

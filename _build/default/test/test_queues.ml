@@ -1,0 +1,10 @@
+(* The conformance battery instantiated for every registered queue. *)
+
+let () =
+  let suites =
+    List.map
+      (fun (impl : Nbq_harness.Registry.impl) ->
+        (impl.Nbq_harness.Registry.name, Battery.cases impl))
+      Nbq_harness.Registry.all
+  in
+  Alcotest.run "queue-conformance" suites

@@ -1,0 +1,403 @@
+(* Unit tests for the reclamation substrates: free pool, hazard pointers,
+   epochs. *)
+
+module Fp = Nbq_reclaim.Free_pool
+module Hp = Nbq_reclaim.Hazard_pointer
+module Ebr = Nbq_reclaim.Epoch
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+(* --- Free pool --- *)
+
+let fp_empty () =
+  let p : int Fp.t = Fp.create () in
+  Alcotest.(check (option int)) "empty take" None (Fp.take p);
+  Alcotest.(check int) "size" 0 (Fp.size p)
+
+let fp_lifo () =
+  let p = Fp.create () in
+  Fp.put p 1;
+  Fp.put p 2;
+  Fp.put p 3;
+  Alcotest.(check (option int)) "lifo 3" (Some 3) (Fp.take p);
+  Alcotest.(check (option int)) "lifo 2" (Some 2) (Fp.take p);
+  Alcotest.(check (option int)) "lifo 1" (Some 1) (Fp.take p);
+  Alcotest.(check (option int)) "drained" None (Fp.take p)
+
+let fp_identity_preserved () =
+  (* The pool must return the very same block — that's what makes ABA real
+     for its clients. *)
+  let p = Fp.create () in
+  let x = ref 42 in
+  Fp.put p x;
+  (match Fp.take p with
+  | Some y -> Alcotest.(check bool) "same block" true (x == y)
+  | None -> Alcotest.fail "lost node")
+
+let fp_stats () =
+  let p = Fp.create () in
+  Fp.put p 1;
+  Fp.put p 2;
+  ignore (Fp.take p);
+  Alcotest.(check int) "puts" 2 (Fp.stats_puts p);
+  Alcotest.(check int) "takes" 1 (Fp.stats_takes p);
+  Alcotest.(check int) "size" 1 (Fp.size p)
+
+let fp_concurrent_conservation () =
+  let p = Fp.create () in
+  let per_domain = 10_000 and domains = 4 in
+  let takes = Atomic.make 0 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Fp.put p ((d * per_domain) + i);
+              if i mod 2 = 0 then
+                match Fp.take p with
+                | Some _ -> ignore (Atomic.fetch_and_add takes 1)
+                | None -> ()
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "puts - takes = size"
+    ((domains * per_domain) - Atomic.get takes)
+    (Fp.size p)
+
+(* --- Hazard pointers --- *)
+
+type hp_node = { id : int; mutable live : bool }
+
+let hp_manager ?(sorted_scan = true) ?threshold freed =
+  Hp.create ~sorted_scan
+    ?threshold
+    ~node_id:(fun n -> n.id)
+    ~free:(fun n ->
+      n.live <- false;
+      freed := n :: !freed)
+    ()
+
+let hp_unprotected_is_freed () =
+  let freed = ref [] in
+  let mgr = hp_manager freed in
+  let r = Hp.get_record mgr in
+  let n = { id = 1; live = true } in
+  Hp.retire mgr r n;
+  Hp.scan mgr r;
+  Alcotest.(check int) "freed" 1 (List.length !freed);
+  Alcotest.(check bool) "marked dead" false n.live
+
+let hp_protected_is_kept () =
+  let freed = ref [] in
+  let mgr = hp_manager freed in
+  let r = Hp.get_record mgr in
+  let n = { id = 1; live = true } in
+  Hp.protect r 0 n;
+  Hp.retire mgr r n;
+  Hp.scan mgr r;
+  Alcotest.(check int) "kept" 0 (List.length !freed);
+  Hp.clear r 0;
+  Hp.scan mgr r;
+  Alcotest.(check int) "freed after clear" 1 (List.length !freed)
+
+let hp_cross_thread_protection () =
+  let freed = ref [] in
+  let mgr = hp_manager freed in
+  let n = { id = 7; live = true } in
+  let protected_and_waiting = Atomic.make false in
+  let release = Atomic.make false in
+  let guard =
+    Domain.spawn (fun () ->
+        let r = Hp.get_record mgr in
+        Hp.protect r 0 n;
+        Atomic.set protected_and_waiting true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        Hp.clear r 0)
+  in
+  while not (Atomic.get protected_and_waiting) do
+    Domain.cpu_relax ()
+  done;
+  let r = Hp.get_record mgr in
+  Hp.retire mgr r n;
+  Hp.scan mgr r;
+  Alcotest.(check int) "kept while foreign hazard set" 0 (List.length !freed);
+  Atomic.set release true;
+  Domain.join guard;
+  Hp.scan mgr r;
+  Alcotest.(check int) "freed after foreign clear" 1 (List.length !freed)
+
+let hp_threshold_triggers_scan () =
+  let freed = ref [] in
+  let mgr = hp_manager ~threshold:(fun ~participants:_ -> 3) freed in
+  let r = Hp.get_record mgr in
+  Hp.retire mgr r { id = 1; live = true };
+  Hp.retire mgr r { id = 2; live = true };
+  Alcotest.(check int) "below threshold: nothing freed" 0 (List.length !freed);
+  Hp.retire mgr r { id = 3; live = true };
+  Alcotest.(check int) "threshold scan freed all" 3 (List.length !freed)
+
+let hp_sorted_unsorted_agree () =
+  List.iter
+    (fun sorted_scan ->
+      let freed = ref [] in
+      let mgr = hp_manager ~sorted_scan freed in
+      let r = Hp.get_record mgr in
+      let keep = { id = 10; live = true } in
+      let kill = List.init 20 (fun i -> { id = 20 + i; live = true }) in
+      Hp.protect r 0 keep;
+      Hp.retire mgr r keep;
+      List.iter (Hp.retire mgr r) kill;
+      Hp.scan mgr r;
+      Alcotest.(check int)
+        (Printf.sprintf "sorted=%b frees exactly the unprotected" sorted_scan)
+        20 (List.length !freed);
+      Alcotest.(check bool) "protected survives" true keep.live)
+    [ true; false ]
+
+let hp_clear_all () =
+  let freed = ref [] in
+  let mgr = hp_manager freed in
+  let r = Hp.get_record mgr in
+  let a = { id = 1; live = true } and b = { id = 2; live = true } in
+  Hp.protect r 0 a;
+  Hp.protect r 1 b;
+  Hp.clear_all r;
+  Hp.retire mgr r a;
+  Hp.retire mgr r b;
+  Hp.scan mgr r;
+  Alcotest.(check int) "both freed" 2 (List.length !freed)
+
+let hp_stats_and_participants () =
+  let freed = ref [] in
+  let mgr = hp_manager ~threshold:(fun ~participants:_ -> 1000) freed in
+  let r = Hp.get_record mgr in
+  Alcotest.(check int) "one participant" 1 (Hp.participants mgr);
+  Hp.retire mgr r { id = 1; live = true };
+  Alcotest.(check int) "retired" 1 (Hp.total_retired mgr);
+  Alcotest.(check int) "pending" 1 (Hp.pending mgr);
+  Hp.scan mgr r;
+  Alcotest.(check int) "scans" 1 (Hp.total_scans mgr);
+  Alcotest.(check int) "freed stat" 1 (Hp.total_freed mgr);
+  Alcotest.(check int) "no more pending" 0 (Hp.pending mgr)
+
+let hp_record_released_and_reused () =
+  let freed = ref [] in
+  let mgr = hp_manager freed in
+  let n_before = Hp.participants mgr in
+  let d1 =
+    Domain.spawn (fun () ->
+        ignore (Hp.get_record mgr);
+        Hp.release_record mgr)
+  in
+  Domain.join d1;
+  let d2 =
+    Domain.spawn (fun () ->
+        ignore (Hp.get_record mgr);
+        Hp.release_record mgr)
+  in
+  Domain.join d2;
+  (* The second domain must have recycled the first domain's record. *)
+  Alcotest.(check int) "participants grew by one" (n_before + 1)
+    (Hp.participants mgr)
+
+let hp_configurable_slots () =
+  let freed = ref [] in
+  let mgr =
+    Hp.create ~hazards_per_thread:4
+      ~node_id:(fun (n : hp_node) -> n.id)
+      ~free:(fun n -> freed := n :: !freed)
+      ()
+  in
+  let r = Hp.get_record mgr in
+  let nodes = List.init 4 (fun i -> { id = i; live = true }) in
+  List.iteri (fun i n -> Hp.protect r i n) nodes;
+  List.iter (Hp.retire mgr r) nodes;
+  Hp.scan mgr r;
+  Alcotest.(check int) "all four slots protect" 0 (List.length !freed);
+  Hp.clear_all r;
+  Hp.scan mgr r;
+  Alcotest.(check int) "all freed after clear" 4 (List.length !freed)
+
+let hp_double_protect_single_slot () =
+  (* Re-protecting a slot replaces the previous protection. *)
+  let freed = ref [] in
+  let mgr = hp_manager freed in
+  let r = Hp.get_record mgr in
+  let a = { id = 1; live = true } and b = { id = 2; live = true } in
+  Hp.protect r 0 a;
+  Hp.protect r 0 b;
+  (* a no longer protected *)
+  Hp.retire mgr r a;
+  Hp.retire mgr r b;
+  Hp.scan mgr r;
+  Alcotest.(check int) "only unprotected freed" 1 (List.length !freed);
+  Alcotest.(check bool) "b survived" true b.live;
+  Alcotest.(check bool) "a collected" false a.live
+
+let qcheck_pool_lifo =
+  QCheck.Test.make ~count:200 ~name:"pool pops in LIFO order"
+    QCheck.(list_of_size (Gen.int_range 0 30) (int_bound 1000))
+    (fun xs ->
+      let p = Fp.create () in
+      List.iter (Fp.put p) xs;
+      let popped = List.filter_map (fun _ -> Fp.take p) xs in
+      popped = List.rev xs && Fp.take p = None)
+
+(* --- Epochs --- *)
+
+let ebr_manager freed =
+  Ebr.create ~batch_size:1000
+    ~free:(fun n ->
+      n.live <- false;
+      freed := n :: !freed)
+    ()
+
+let ebr_basic_grace_period () =
+  let freed = ref [] in
+  let mgr = ebr_manager freed in
+  let r = Ebr.get_record mgr in
+  Ebr.enter mgr r;
+  let n = { id = 1; live = true } in
+  Ebr.retire mgr r n;
+  Ebr.exit r;
+  (* Two collections to pass the two-epoch grace period. *)
+  Ebr.try_collect mgr r;
+  Ebr.try_collect mgr r;
+  Ebr.try_collect mgr r;
+  Alcotest.(check int) "freed after grace" 1 (List.length !freed);
+  Alcotest.(check bool) "dead" false n.live
+
+let ebr_pinned_blocks_advance () =
+  let freed = ref [] in
+  let mgr = ebr_manager freed in
+  let pinned = Atomic.make false and release = Atomic.make false in
+  let blocker =
+    Domain.spawn (fun () ->
+        let r = Ebr.get_record mgr in
+        Ebr.enter mgr r;
+        Atomic.set pinned true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        Ebr.exit r)
+  in
+  while not (Atomic.get pinned) do
+    Domain.cpu_relax ()
+  done;
+  let r = Ebr.get_record mgr in
+  Ebr.enter mgr r;
+  Ebr.retire mgr r { id = 1; live = true };
+  Ebr.exit r;
+  let e0 = Ebr.global_epoch mgr in
+  (* The pinned blocker observed the then-current epoch; after at most one
+     advance it blocks all further ones, so repeated collection can never
+     complete the 2-epoch grace period. *)
+  Ebr.try_collect mgr r;
+  Ebr.try_collect mgr r;
+  Ebr.try_collect mgr r;
+  Alcotest.(check bool) "epoch advanced at most once" true
+    (Ebr.global_epoch mgr <= e0 + 1);
+  Alcotest.(check int) "nothing freed while pinned" 0 (List.length !freed);
+  Atomic.set release true;
+  Domain.join blocker;
+  Ebr.try_collect mgr r;
+  Ebr.try_collect mgr r;
+  Ebr.try_collect mgr r;
+  Alcotest.(check int) "freed after unpin" 1 (List.length !freed)
+
+let ebr_batch_triggers_collect () =
+  let freed = ref [] in
+  let mgr =
+    Ebr.create ~batch_size:4
+      ~free:(fun n ->
+        n.live <- false;
+        freed := n :: !freed)
+      ()
+  in
+  let r = Ebr.get_record mgr in
+  for i = 1 to 40 do
+    Ebr.enter mgr r;
+    Ebr.retire mgr r { id = i; live = true };
+    Ebr.exit r
+  done;
+  Ebr.try_collect mgr r;
+  Ebr.try_collect mgr r;
+  Ebr.try_collect mgr r;
+  Alcotest.(check bool) "most retirements collected" true
+    (List.length !freed >= 30);
+  Alcotest.(check int) "accounting matches" (List.length !freed)
+    (Ebr.total_freed mgr);
+  Alcotest.(check int) "pending + freed = retired" 40
+    (Ebr.pending mgr + Ebr.total_freed mgr)
+
+let ebr_concurrent_churn () =
+  let freed = ref [] in
+  let lock = Mutex.create () in
+  let mgr =
+    Ebr.create ~batch_size:16
+      ~free:(fun (n : hp_node) ->
+        Mutex.lock lock;
+        freed := n :: !freed;
+        Mutex.unlock lock)
+      ()
+  in
+  let per_domain = 5_000 and domains = 4 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let r = Ebr.get_record mgr in
+            for i = 1 to per_domain do
+              Ebr.enter mgr r;
+              Ebr.retire mgr r { id = (d * per_domain) + i; live = true };
+              Ebr.exit r
+            done))
+  in
+  List.iter Domain.join workers;
+  (* Drain what's left. *)
+  let r = Ebr.get_record mgr in
+  for _ = 1 to 5 do
+    Ebr.try_collect mgr r
+  done;
+  let total = domains * per_domain in
+  Alcotest.(check int) "free + pending = retired" total
+    (List.length !freed + Ebr.pending mgr);
+  (* No double frees: ids unique. *)
+  let ids = List.map (fun n -> n.id) !freed in
+  Alcotest.(check int) "no double frees" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let () =
+  Alcotest.run "reclaim"
+    [
+      ( "free-pool",
+        [
+          quick "empty" fp_empty;
+          quick "lifo order" fp_lifo;
+          quick "block identity preserved" fp_identity_preserved;
+          quick "stats" fp_stats;
+          slow "concurrent conservation" fp_concurrent_conservation;
+          QCheck_alcotest.to_alcotest qcheck_pool_lifo;
+        ] );
+      ( "hazard-pointers",
+        [
+          quick "unprotected freed" hp_unprotected_is_freed;
+          quick "protected kept" hp_protected_is_kept;
+          slow "cross-thread protection" hp_cross_thread_protection;
+          quick "threshold scan" hp_threshold_triggers_scan;
+          quick "sorted/unsorted agree" hp_sorted_unsorted_agree;
+          quick "clear_all" hp_clear_all;
+          quick "stats and participants" hp_stats_and_participants;
+          slow "record release and reuse" hp_record_released_and_reused;
+          quick "configurable slot count" hp_configurable_slots;
+          quick "re-protecting a slot" hp_double_protect_single_slot;
+        ] );
+      ( "epochs",
+        [
+          quick "grace period" ebr_basic_grace_period;
+          slow "pinned thread blocks reclamation" ebr_pinned_blocks_advance;
+          quick "batch triggers collection" ebr_batch_triggers_collect;
+          slow "concurrent churn" ebr_concurrent_churn;
+        ] );
+    ]
