@@ -31,6 +31,12 @@ let scale = env_float "NBQ_BENCH_SCALE" 0.01
 let runs = env_int "NBQ_BENCH_RUNS" 2
 let max_threads = env_int "NBQ_BENCH_MAXTHREADS" 16
 
+let metrics_enabled =
+  Array.exists (fun a -> a = "--metrics") Sys.argv
+  || (match Sys.getenv_opt "NBQ_BENCH_METRICS" with
+     | Some ("1" | "true" | "yes") -> true
+     | _ -> false)
+
 (* --- Layer 1: bechamel tests --- *)
 
 (* Single-op cost: one enqueue + one dequeue on a pre-filled queue. *)
@@ -194,10 +200,50 @@ let shann_table ~workload =
   print_string (Table.render t);
   print_newline ()
 
+(* E7 / observability: re-run the Evequoz queues at 4 domains with the
+   metrics hub attached.  The iteration count has a floor so the pass
+   produces a usable contention signal (SC failures, tag re-registrations)
+   even at the tiny default bench scale. *)
+let metrics_pass ~workload =
+  let threads = min 4 (max 1 max_threads) in
+  let workload =
+    (* Floor high enough that scheduler preemption produces a visible
+       contention signal (SC failures) even at the tiny default scale. *)
+    { workload with Workload.iterations = max 50_000 workload.Workload.iterations }
+  in
+  let open Nbq_obs in
+  let sink = Sink.open_jsonl (Sink.default_path ~prefix:"bench" ()) in
+  List.iter
+    (fun name ->
+      let metrics = Metrics.create () in
+      let cfg = { Runner.threads; runs = 1; workload; capacity = None } in
+      let m = Runner.measure ~metrics (Registry.find name) cfg in
+      let snap =
+        Option.value ~default:Metrics.empty_snapshot m.Runner.metrics
+      in
+      Printf.printf "\n== metrics: %s @ %d threads ==\n%s\n" name threads
+        (Metrics_report.render snap);
+      Sink.write_snapshot sink
+        ~meta:
+          [
+            ("queue", Sink.String name);
+            ("threads", Sink.Int threads);
+            ("iterations", Sink.Int workload.Workload.iterations);
+            ("runs", Sink.Int 1);
+            ("mean_seconds", Sink.Float m.Runner.summary.Stats.mean);
+          ]
+        snap)
+    [ "evequoz-cas"; "evequoz-llsc" ];
+  (match Sink.path sink with
+  | Some p -> Printf.printf "\nmetrics written to %s\n" p
+  | None -> ());
+  Sink.close sink
+
 let () =
   Printf.printf
     "nbq bench: scale=%.3f runs=%d max-threads=%d (override via \
-     NBQ_BENCH_SCALE / NBQ_BENCH_RUNS / NBQ_BENCH_MAXTHREADS)\n\n%!"
+     NBQ_BENCH_SCALE / NBQ_BENCH_RUNS / NBQ_BENCH_MAXTHREADS; --metrics or \
+     NBQ_BENCH_METRICS=1 adds the observability pass)\n\n%!"
     scale runs max_threads;
   run_bechamel ();
   let workload = Workload.scaled_config ~scale in
@@ -222,4 +268,5 @@ let () =
     ~threads:(clamp [ 1; 4; 8; 16; 24; 32; 48; 64 ])
     ~normalized:true ~workload;
   overhead_table ~workload;
-  shann_table ~workload
+  shann_table ~workload;
+  if metrics_enabled then metrics_pass ~workload

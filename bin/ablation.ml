@@ -11,13 +11,7 @@ open Cmdliner
 open Nbq_harness
 
 let custom_impl ~name ~family create_instance =
-  {
-    Registry.name;
-    family;
-    bounded = false;
-    bounded_delay_assumption = false;
-    create = create_instance;
-  }
+  Registry.custom ~name ~family create_instance
 
 let measure impl threads runs workload capacity =
   let cfg = { Runner.threads; runs; workload; capacity } in

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 gate: everything must build and the full test suite must pass.
+# Formatting is advisory (the repo does not pin an ocamlformat version).
+set -e
+cd "$(dirname "$0")/.."
+dune build @all
+dune runtest
+dune build @fmt 2>/dev/null || true
+echo "check: OK"

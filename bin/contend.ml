@@ -1,0 +1,164 @@
+(* Contention profile: sweep the thread count on one queue with the
+   observability hub attached and report how the internal friction —
+   SC failures, Tail/Head helping, tag re-registrations — scales alongside
+   throughput.  This is the mechanism behind the Figure 6 slowdowns made
+   visible: as preemption and interleaving grow, SC failures and helping
+   rise, and the per-op cost follows. *)
+
+open Cmdliner
+open Nbq_harness
+open Nbq_obs
+
+type row = {
+  threads : int;
+  mops : float;  (* successful enqueue+dequeue pairs per second, millions *)
+  sc_fail_per_kop : float;
+  rereg_per_kop : float;
+  helps_per_kop : float;  (* tail_help + head_help *)
+  p99_enq_ns : float;
+  snapshot : Metrics.snapshot;
+  mean_seconds : float;
+}
+
+let sweep ~queue ~threads_list ~runs ~workload =
+  List.map
+    (fun threads ->
+      let metrics = Metrics.create () in
+      let cfg = { Runner.threads; runs; workload; capacity = None } in
+      let m = Runner.measure ~metrics (Registry.find queue) cfg in
+      let s = Option.value ~default:Metrics.empty_snapshot m.Runner.metrics in
+      let ops_per_run =
+        (* enqueue_batch + dequeue_batch operations per iteration, all of
+           which eventually succeed (the workload spins on full/empty). *)
+        float_of_int
+          (threads * workload.Workload.iterations
+          * (workload.Workload.enqueue_batch + workload.Workload.dequeue_batch))
+      in
+      let total_ops = ops_per_run *. float_of_int runs in
+      let per_kop c = 1000.0 *. float_of_int c /. total_ops in
+      let mean = m.Runner.summary.Stats.mean in
+      {
+        threads;
+        mops = (if mean > 0.0 then ops_per_run /. mean /. 1e6 else nan);
+        sc_fail_per_kop = per_kop (Metrics.get s Event.Sc_fail);
+        rereg_per_kop = per_kop (Metrics.get s Event.Tag_reregister);
+        helps_per_kop =
+          per_kop (Metrics.get s Event.Tail_help + Metrics.get s Event.Head_help);
+        p99_enq_ns = Histogram.percentile_ns s.Metrics.enq 0.99;
+        snapshot = s;
+        mean_seconds = mean;
+      })
+    threads_list
+
+let run queue threads_csv runs scale csv max_threads with_plot =
+  let workload = Fig_common.workload_of_scale scale in
+  let parse_thread s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ ->
+        Printf.eprintf
+          "contend: invalid --threads %S (expected comma-separated positive \
+           integers, e.g. 1,2,4,8)\n%!"
+          threads_csv;
+        exit 2
+  in
+  let threads_list =
+    Fig_common.clamp_threads max_threads
+      (List.map parse_thread (String.split_on_char ',' threads_csv))
+  in
+  Printf.eprintf "# contend: %s over threads [%s], %d runs\n%!" queue
+    (String.concat "; " (List.map string_of_int threads_list))
+    runs;
+  let rows = sweep ~queue ~threads_list ~runs ~workload in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Contention profile: %s [%d iterations/thread, %d runs]" queue
+           workload.Workload.iterations runs)
+      ~columns:
+        [
+          "threads"; "Mops/s"; "sc-fail/kop"; "rereg/kop"; "helps/kop";
+          "p99-enq-ns";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.threads;
+          Table.cell_float r.mops;
+          Table.cell_float r.sc_fail_per_kop;
+          Table.cell_float r.rereg_per_kop;
+          Table.cell_float r.helps_per_kop;
+          (if Float.is_nan r.p99_enq_ns then "-"
+           else Printf.sprintf "%.0f" r.p99_enq_ns);
+        ])
+    rows;
+  Fig_common.emit ~csv t;
+  if with_plot then begin
+    let series label f =
+      {
+        Ascii_plot.label;
+        points = List.map (fun r -> (float_of_int r.threads, f r)) rows;
+      }
+    in
+    print_string
+      (Ascii_plot.render ~title:(queue ^ ": throughput vs threads")
+         ~x_label:"threads" ~y_label:"Mops/s"
+         [ series "Mops/s" (fun r -> r.mops) ]);
+    print_newline ();
+    print_string
+      (Ascii_plot.render ~title:(queue ^ ": contention events vs threads")
+         ~x_label:"threads" ~y_label:"events/kop"
+         [
+           series "sc-fail" (fun r -> r.sc_fail_per_kop);
+           series "rereg" (fun r -> r.rereg_per_kop);
+           series "helps" (fun r -> r.helps_per_kop);
+         ]);
+    print_newline ()
+  end;
+  let sink = Sink.open_jsonl (Sink.default_path ~prefix:"contend" ()) in
+  List.iter
+    (fun r ->
+      Sink.write_snapshot sink
+        ~meta:
+          [
+            ("queue", Sink.String queue);
+            ("threads", Sink.Int r.threads);
+            ("iterations", Sink.Int workload.Workload.iterations);
+            ("runs", Sink.Int runs);
+            ("mean_seconds", Sink.Float r.mean_seconds);
+            ("mops", Sink.Float r.mops);
+          ]
+        r.snapshot)
+    rows;
+  (match Sink.path sink with
+  | Some p -> Printf.printf "metrics written to %s\n" p
+  | None -> ());
+  Sink.close sink
+
+let queue_term =
+  let doc = "Queue to profile (see `fig6 --help` for names)." in
+  Arg.(value & opt string "evequoz-cas" & info [ "queue"; "q" ] ~docv:"NAME" ~doc)
+
+let threads_term =
+  let doc = "Comma-separated thread counts to sweep." in
+  Arg.(value & opt string "1,2,4,8" & info [ "threads"; "t" ] ~docv:"LIST" ~doc)
+
+let plot_term =
+  let doc = "Also render terminal line charts of the sweep." in
+  Arg.(value & flag & info [ "plot" ] ~doc)
+
+let cmd =
+  let doc =
+    "Contention profile: SC-failure / helping / re-registration rates vs \
+     throughput as the thread count grows"
+  in
+  Cmd.v (Cmd.info "contend" ~doc)
+    Term.(
+      const run $ queue_term $ threads_term $ Fig_common.runs_term
+      $ Fig_common.scale_term $ Fig_common.csv_term
+      $ Fig_common.max_threads_term $ plot_term)
+
+let () = exit (Cmd.eval cmd)

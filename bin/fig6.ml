@@ -20,7 +20,7 @@ let threads_b = [ 1; 4; 8; 12; 16; 20; 24; 28; 32; 40; 48; 56; 64 ]
 
 let base = "evequoz-cas"
 
-let run_figure figure runs scale csv max_threads with_plot =
+let run_figure figure runs scale csv max_threads with_plot with_metrics =
   let workload = Fig_common.workload_of_scale scale in
   let print_one fig =
     let series, threads, normalized, paper_name =
@@ -50,9 +50,18 @@ let run_figure figure runs scale csv max_threads with_plot =
         ~base:(if normalized then Some base else None)
         results
   in
-  match figure with
+  (match figure with
   | Some f -> print_one f
-  | None -> List.iter print_one [ `A; `B; `C; `D ]
+  | None -> List.iter print_one [ `A; `B; `C; `D ]);
+  if with_metrics then
+    let threads =
+      match Fig_common.clamp_threads max_threads [ 4 ] with
+      | [] -> 1
+      | t :: _ -> t
+    in
+    Fig_common.metrics_pass ~prefix:"fig6"
+      ~series:[ "evequoz-cas"; "evequoz-llsc" ]
+      ~threads ~runs ~workload
 
 let figure_term =
   let fig_conv = Arg.enum [ ("a", `A); ("b", `B); ("c", `C); ("d", `D) ] in
@@ -70,6 +79,6 @@ let cmd =
     Term.(
       const run_figure $ figure_term $ Fig_common.runs_term
       $ Fig_common.scale_term $ Fig_common.csv_term
-      $ Fig_common.max_threads_term $ plot_term)
+      $ Fig_common.max_threads_term $ plot_term $ Fig_common.metrics_term)
 
 let () = exit (Cmd.eval cmd)

@@ -85,8 +85,49 @@ let plot ~title ~series ?(base = None) results =
        (List.map curve series));
   print_newline ()
 
+(* Measure [series] once more with the metrics hub attached and report
+   events + sampled latency; one JSON line per queue goes to
+   results/metrics-<prefix>-*.jsonl. *)
+let metrics_pass ~prefix ~series ~threads ~runs ~workload =
+  let open Nbq_obs in
+  let sink = Sink.open_jsonl (Sink.default_path ~prefix ()) in
+  List.iter
+    (fun name ->
+      let metrics = Metrics.create () in
+      let impl = Registry.find name in
+      let cfg = { Runner.threads; runs; workload; capacity = None } in
+      let m = Runner.measure ~metrics impl cfg in
+      let snap =
+        Option.value ~default:Metrics.empty_snapshot m.Runner.metrics
+      in
+      Printf.printf "\n== metrics: %s @ %d threads ==\n%s\n" name threads
+        (Metrics_report.render snap);
+      Sink.write_snapshot sink
+        ~meta:
+          [
+            ("queue", Sink.String name);
+            ("threads", Sink.Int threads);
+            ("iterations", Sink.Int workload.Workload.iterations);
+            ("runs", Sink.Int runs);
+            ("mean_seconds", Sink.Float m.Runner.summary.Stats.mean);
+          ]
+        snap)
+    series;
+  (match Sink.path sink with
+  | Some p -> Printf.printf "\nmetrics written to %s\n" p
+  | None -> ());
+  Sink.close sink
+
 (* Common cmdliner terms. *)
 open Cmdliner
+
+let metrics_term =
+  let doc =
+    "After the figures, re-run the Evequoz queues with the observability \
+     hub attached and print event counts, helping/SC-failure rates and \
+     sampled latency percentiles; also write results/metrics-*.jsonl."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
 
 let runs_term =
   let doc = "Independent runs per configuration (paper: 50)." in

@@ -1,0 +1,61 @@
+(* Measures what the observability hub costs: the same paper workload on
+   the same queue, once through the plain registry path and once through
+   create_probed (deep probes + sampled latency), at 4 domains.  The
+   acceptance bar is instrumented/uninstrumented <= 1.10.
+
+   The comparison uses the best (minimum) run of each variant: on an
+   oversubscribed box the mean is dominated by one-sided scheduler noise
+   (a run can only be made slower, never faster), so min-vs-min isolates
+   the actual instrumentation cost. *)
+
+open Cmdliner
+open Nbq_harness
+
+let run queue threads runs scale =
+  let workload = Fig_common.workload_of_scale scale in
+  let impl = Registry.find queue in
+  let cfg = { Runner.threads; runs; workload; capacity = None } in
+  (* Interleave plain/probed in short blocks so drift (thermal, scheduler
+     mood) hits both variants of a block equally, compare best runs
+     within each block, and take the median block ratio: a single block
+     where the oversubscribed scheduler parks one variant unluckily then
+     cannot drive the verdict. *)
+  let blocks = 6 in
+  let ratios =
+    List.init blocks (fun _ ->
+        let plain = (Runner.measure impl cfg).Runner.summary.Stats.min in
+        let metrics = Nbq_obs.Metrics.create () in
+        let probed =
+          (Runner.measure ~metrics impl cfg).Runner.summary.Stats.min
+        in
+        probed /. plain)
+  in
+  let ratio = (Nbq_harness.Stats.summarize ratios).Nbq_harness.Stats.median in
+  Printf.printf
+    "obs overhead: %s @ %d threads, %d runs x %d blocks, %d \
+     iterations/thread\n"
+    queue threads runs blocks workload.Workload.iterations;
+  Printf.printf "  block ratios: %s\n"
+    (String.concat " "
+       (List.map (fun r -> Printf.sprintf "%.3f" r) ratios));
+  Printf.printf "  median ratio: %.3fx (%+.1f%%)  [target <= 1.10x]  %s\n" ratio
+    ((ratio -. 1.0) *. 100.0)
+    (if ratio <= 1.10 then "PASS" else "WARN");
+  if ratio > 1.10 then exit 1
+
+let queue_term =
+  let doc = "Queue to measure." in
+  Arg.(value & opt string "evequoz-cas" & info [ "queue"; "q" ] ~docv:"NAME" ~doc)
+
+let threads_term =
+  let doc = "Domains." in
+  Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "Measure the throughput cost of the observability instrumentation" in
+  Cmd.v (Cmd.info "obs_overhead" ~doc)
+    Term.(
+      const run $ queue_term $ threads_term $ Fig_common.runs_term
+      $ Fig_common.scale_term)
+
+let () = exit (Cmd.eval cmd)

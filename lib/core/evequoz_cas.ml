@@ -1,8 +1,11 @@
 module Atomic_intf = Nbq_primitives.Atomic_intf
+module Probe = Nbq_primitives.Probe
 
-(* The algorithm core (paper Fig. 5, right column), over any atomics. *)
-module Make (A : Atomic_intf.ATOMIC) = struct
-  module Llsc_cas = Nbq_primitives.Llsc_cas.Make (A)
+(* The algorithm core (paper Fig. 5, right column), over any atomics and
+   any instrumentation probe (Noop by default; the observability layer
+   supplies counting probes). *)
+module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
+  module Llsc_cas = Nbq_primitives.Llsc_cas.Make_probed (A) (P)
 
   type 'a slot = Empty | Item of 'a
 
@@ -34,6 +37,8 @@ module Make (A : Atomic_intf.ATOMIC) = struct
 
   let registry_size t = Llsc_cas.registered_count t.registry
 
+  let owned_count t = Llsc_cas.owned_count t.registry
+
   let head_index t = A.get t.head
   let tail_index t = A.get t.tail
 
@@ -50,6 +55,7 @@ module Make (A : Atomic_intf.ATOMIC) = struct
         | Item _ ->
             (* Slot filled but Tail lagging: undo the reservation, help. *)
             ignore (Llsc_cas.sc cell h slot);
+            P.tail_help ();
             ignore (A.compare_and_set t.tail tl (tl + 1));
             enqueue_loop t h x
         | Empty ->
@@ -57,7 +63,10 @@ module Make (A : Atomic_intf.ATOMIC) = struct
               ignore (A.compare_and_set t.tail tl (tl + 1));
               true
             end
-            else enqueue_loop t h x
+            else begin
+              P.sc_fail ();
+              enqueue_loop t h x
+            end
       else begin
         (* Tail moved under us: release the reservation and retry. *)
         ignore (Llsc_cas.sc cell h slot);
@@ -76,6 +85,7 @@ module Make (A : Atomic_intf.ATOMIC) = struct
         | Empty ->
             (* Item removed but Head lagging: undo, help. *)
             ignore (Llsc_cas.sc cell h slot);
+            P.head_help ();
             ignore (A.compare_and_set t.head hd (hd + 1));
             dequeue_loop t h
         | Item x ->
@@ -83,7 +93,10 @@ module Make (A : Atomic_intf.ATOMIC) = struct
               ignore (A.compare_and_set t.head hd (hd + 1));
               Some x
             end
-            else dequeue_loop t h
+            else begin
+              P.sc_fail ();
+              dequeue_loop t h
+            end
       else begin
         ignore (Llsc_cas.sc cell h slot);
         dequeue_loop t h
@@ -105,6 +118,7 @@ module Make (A : Atomic_intf.ATOMIC) = struct
         match slot with
         | Item x -> Some x
         | Empty ->
+            P.head_help ();
             ignore (A.compare_and_set t.head hd (hd + 1));
             peek_loop t h
       else peek_loop t h
@@ -127,58 +141,85 @@ module Make (A : Atomic_intf.ATOMIC) = struct
     if n < 0 then 0 else if n > t.mask + 1 then t.mask + 1 else n
 end
 
-(* --- Default instantiation with the domain-local implicit-handle layer --- *)
+module Make (A : Atomic_intf.ATOMIC) = Make_probed (A) (Probe.Noop)
+
+(* --- The domain-local implicit-handle layer, over any core --- *)
+
+module type CORE = sig
+  type 'a t
+  type 'a handle
+
+  val create : capacity:int -> 'a t
+  val capacity : 'a t -> int
+  val register : 'a t -> 'a handle
+  val deregister : 'a handle -> unit
+  val enqueue_with : 'a t -> 'a handle -> 'a -> bool
+  val dequeue_with : 'a t -> 'a handle -> 'a option
+  val peek_with : 'a t -> 'a handle -> 'a option
+  val length : 'a t -> int
+  val registry_size : 'a t -> int
+  val owned_count : 'a t -> int
+  val head_index : 'a t -> int
+  val tail_index : 'a t -> int
+end
+
+module With_implicit_handles (Core : CORE) = struct
+  let name = "evequoz-cas"
+
+  type 'a handle = 'a Core.handle
+
+  type 'a t = {
+    core : 'a Core.t;
+    (* Implicit per-domain handle cache.  [option ref] so that
+       [deregister_domain] can drop it. *)
+    implicit : 'a handle option ref Domain.DLS.key;
+  }
+
+  let create ~capacity =
+    {
+      core = Core.create ~capacity;
+      implicit = Domain.DLS.new_key (fun () -> ref None);
+    }
+
+  let capacity t = Core.capacity t.core
+  let register t = Core.register t.core
+  let deregister = Core.deregister
+  let enqueue_with t h x = Core.enqueue_with t.core h x
+  let dequeue_with t h = Core.dequeue_with t.core h
+  let registry_size t = Core.registry_size t.core
+  let owned_count t = Core.owned_count t.core
+  let head_index t = Core.head_index t.core
+  let tail_index t = Core.tail_index t.core
+  let length t = Core.length t.core
+
+  let implicit_handle t =
+    let cache = Domain.DLS.get t.implicit in
+    match !cache with
+    | Some h -> h
+    | None ->
+        let h = register t in
+        cache := Some h;
+        h
+
+  let deregister_domain t =
+    let cache = Domain.DLS.get t.implicit in
+    match !cache with
+    | Some h ->
+        deregister h;
+        cache := None
+    | None -> ()
+
+  let peek_with t h = Core.peek_with t.core h
+
+  let try_enqueue t x = enqueue_with t (implicit_handle t) x
+
+  let try_dequeue t = dequeue_with t (implicit_handle t)
+
+  let try_peek t = peek_with t (implicit_handle t)
+end
+
+(* --- Default instantiation with real atomics and no-op probes --- *)
 
 module Core = Make (Atomic_intf.Real)
 
-let name = "evequoz-cas"
-
-type 'a handle = 'a Core.handle
-
-type 'a t = {
-  core : 'a Core.t;
-  (* Implicit per-domain handle cache.  [option ref] so that
-     [deregister_domain] can drop it. *)
-  implicit : 'a handle option ref Domain.DLS.key;
-}
-
-let create ~capacity =
-  {
-    core = Core.create ~capacity;
-    implicit = Domain.DLS.new_key (fun () -> ref None);
-  }
-
-let capacity t = Core.capacity t.core
-let register t = Core.register t.core
-let deregister = Core.deregister
-let enqueue_with t h x = Core.enqueue_with t.core h x
-let dequeue_with t h = Core.dequeue_with t.core h
-let registry_size t = Core.registry_size t.core
-let head_index t = Core.head_index t.core
-let tail_index t = Core.tail_index t.core
-let length t = Core.length t.core
-
-let implicit_handle t =
-  let cache = Domain.DLS.get t.implicit in
-  match !cache with
-  | Some h -> h
-  | None ->
-      let h = register t in
-      cache := Some h;
-      h
-
-let deregister_domain t =
-  let cache = Domain.DLS.get t.implicit in
-  match !cache with
-  | Some h ->
-      deregister h;
-      cache := None
-  | None -> ()
-
-let peek_with t h = Core.peek_with t.core h
-
-let try_enqueue t x = enqueue_with t (implicit_handle t) x
-
-let try_dequeue t = dequeue_with t (implicit_handle t)
-
-let try_peek t = peek_with t (implicit_handle t)
+include With_implicit_handles (Core)

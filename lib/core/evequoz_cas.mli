@@ -27,10 +27,10 @@
     Both entry points perform the paper-mandated [ReRegister] at the start of
     every operation. *)
 
-(** The algorithm core, parameterized over the atomics (for the model
-    checker).  Only the explicit-handle API: the domain-local convenience
-    layer lives in the default instantiation below. *)
-module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : sig
+(** What the algorithm core provides: the explicit-handle API.  The
+    domain-local convenience layer ({!With_implicit_handles}) builds the
+    {!Queue_intf.BOUNDED} view on top of any core. *)
+module type CORE = sig
   type 'a t
   type 'a handle
 
@@ -43,6 +43,44 @@ module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : sig
   val peek_with : 'a t -> 'a handle -> 'a option
   val length : 'a t -> int
   val registry_size : 'a t -> int
+
+  val owned_count : 'a t -> int
+  (** Tag variables whose reference count is currently non-zero — the
+      live-reservation footprint.  Racy O(registry) scan, for tests. *)
+
+  val head_index : 'a t -> int
+  val tail_index : 'a t -> int
+end
+
+(** The algorithm core, parameterized over the atomics (for the model
+    checker) and an instrumentation probe (for the observability layer).
+    Probe events: [sc_fail] on failed update-path store-conditionals,
+    [tail_help]/[head_help] when helping a lagging counter, plus the tag
+    registry events fired by {!Nbq_primitives.Llsc_cas.Make_probed}. *)
+module Make_probed
+    (A : Nbq_primitives.Atomic_intf.ATOMIC)
+    (P : Nbq_primitives.Probe.S) : CORE
+
+(** [Make_probed] with {!Nbq_primitives.Probe.Noop}: the uninstrumented
+    core. *)
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : CORE
+
+(** The domain-local implicit-handle layer over any core: caches one handle
+    per domain in DLS and exposes the plain bounded-queue interface. *)
+module With_implicit_handles (Core : CORE) : sig
+  include Queue_intf.BOUNDED
+
+  type 'a handle = 'a Core.handle
+
+  val register : 'a t -> 'a handle
+  val deregister : 'a handle -> unit
+  val enqueue_with : 'a t -> 'a handle -> 'a -> bool
+  val dequeue_with : 'a t -> 'a handle -> 'a option
+  val try_peek : 'a t -> 'a option
+  val peek_with : 'a t -> 'a handle -> 'a option
+  val deregister_domain : 'a t -> unit
+  val registry_size : 'a t -> int
+  val owned_count : 'a t -> int
   val head_index : 'a t -> int
   val tail_index : 'a t -> int
 end
@@ -79,6 +117,11 @@ val registry_size : 'a t -> int
 (** Number of tag variables ever allocated for this queue — the space
     adaptivity metric of the paper (tracks the high-water mark of concurrent
     threads, not operation count). *)
+
+val owned_count : 'a t -> int
+(** Number of tag variables with a non-zero reference count right now; a
+    rolled-back reservation (e.g. {!try_peek}) must leave this at the number
+    of registered handles.  Racy O(registry) scan, for tests. *)
 
 val head_index : 'a t -> int
 val tail_index : 'a t -> int

@@ -9,7 +9,15 @@ module type CELL = sig
   val get : 'a t -> 'a
 end
 
-module Make (Cell : CELL) = struct
+module type QUEUE = sig
+  include Queue_intf.BOUNDED
+
+  val try_peek : 'a t -> 'a option
+  val head_index : 'a t -> int
+  val tail_index : 'a t -> int
+end
+
+module Make_probed (Cell : CELL) (P : Nbq_primitives.Probe.S) = struct
   let name = "evequoz-llsc"
 
   type 'a slot = Empty | Item of 'a
@@ -64,6 +72,7 @@ module Make (Cell : CELL) = struct
         | Item _ ->
             (* E11-E13: a delayed enqueuer filled the slot but has not yet
                advanced Tail; help it and retry. *)
+            P.tail_help ();
             help_advance t.tail tl;
             try_enqueue t x
         | Empty ->
@@ -71,7 +80,10 @@ module Make (Cell : CELL) = struct
               help_advance t.tail tl;
               true
             end
-            else try_enqueue t x
+            else begin
+              P.sc_fail ();
+              try_enqueue t x
+            end
       else try_enqueue t x
     end
 
@@ -86,6 +98,7 @@ module Make (Cell : CELL) = struct
         match Cell.value link with
         | Empty ->
             (* D11-D13: the item was removed but Head lags; help. *)
+            P.head_help ();
             help_advance t.head hd;
             try_dequeue t
         | Item x ->
@@ -93,7 +106,10 @@ module Make (Cell : CELL) = struct
               help_advance t.head hd;
               Some x
             end
-            else try_dequeue t
+            else begin
+              P.sc_fail ();
+              try_dequeue t
+            end
       else try_dequeue t
     end
 
@@ -109,6 +125,7 @@ module Make (Cell : CELL) = struct
       | Item x -> if Cell.get t.head = hd then Some x else try_peek t
       | Empty ->
           (* Removed but Head lagging: help and retry. *)
+          P.head_help ();
           help_advance t.head hd;
           try_peek t
 
@@ -116,6 +133,8 @@ module Make (Cell : CELL) = struct
     let n = Cell.get t.tail - Cell.get t.head in
     if n < 0 then 0 else if n > t.mask + 1 then t.mask + 1 else n
 end
+
+module Make (Cell : CELL) = Make_probed (Cell) (Nbq_primitives.Probe.Noop)
 
 include Make (Nbq_primitives.Llsc)
 

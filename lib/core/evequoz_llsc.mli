@@ -27,7 +27,8 @@ module type CELL = sig
   val get : 'a t -> 'a
 end
 
-module Make (Cell : CELL) : sig
+(** What the functors produce: the bounded queue plus introspection. *)
+module type QUEUE = sig
   include Queue_intf.BOUNDED
 
   val try_peek : 'a t -> 'a option
@@ -38,6 +39,16 @@ module Make (Cell : CELL) : sig
   val tail_index : 'a t -> int
   (** Raw monotonic counters, for tests and scenario replays. *)
 end
+
+(** The algorithm over any cell type and instrumentation probe.  Probe
+    events: [sc_fail] on failed update-path store-conditionals,
+    [tail_help]/[head_help] when the operation helps a lagging counter on
+    behalf of a delayed thread ([ll_reserve] is fired by the cell itself —
+    see {!Nbq_primitives.Llsc.Make_probed}). *)
+module Make_probed (Cell : CELL) (P : Nbq_primitives.Probe.S) : QUEUE
+
+(** [Make_probed] with {!Nbq_primitives.Probe.Noop}: uninstrumented. *)
+module Make (Cell : CELL) : QUEUE
 
 include module type of Make (Nbq_primitives.Llsc)
 

@@ -51,7 +51,7 @@ let summarize recorders =
       Array.blit r.buffer 0 all !pos r.used;
       pos := !pos + r.used)
     recorders;
-  Array.sort compare all;
+  Array.sort Float.compare all;
   let sum = Array.fold_left ( +. ) 0.0 all in
   {
     samples = total;

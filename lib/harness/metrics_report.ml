@@ -1,0 +1,78 @@
+module Metrics = Nbq_obs.Metrics
+module Event = Nbq_obs.Event
+module Histogram = Nbq_obs.Histogram
+
+let event_table ?(title = "events") (s : Metrics.snapshot) =
+  let ops =
+    (* Successful operations = total enq+deq attempts minus retries is not
+       recoverable from the snapshot alone; rate columns are therefore per
+       1000 LL reservations when available, else raw counts only. *)
+    Metrics.get s Event.Ll_reserve
+  in
+  let t = Table.create ~title ~columns:[ "event"; "count"; "per-1k-ll" ] in
+  List.iter
+    (fun ev ->
+      let c = Metrics.get s ev in
+      let rate =
+        if ops = 0 then "-"
+        else Printf.sprintf "%.2f" (1000.0 *. float_of_int c /. float_of_int ops)
+      in
+      Table.add_row t [ Event.to_string ev; string_of_int c; rate ])
+    Event.all;
+  Table.render t
+
+let latency_row label (h : Histogram.snapshot) =
+  let p q =
+    let v = Histogram.percentile_ns h q in
+    if Float.is_nan v then "-" else Printf.sprintf "%.0f" v
+  in
+  [
+    label;
+    string_of_int (Histogram.total h);
+    (if Histogram.total h = 0 then "-"
+     else Printf.sprintf "%.0f" (Histogram.mean_ns h));
+    p 0.5;
+    p 0.95;
+    p 0.99;
+    p 0.999;
+  ]
+
+let latency_table ?(title = "sampled operation latency [ns]")
+    (s : Metrics.snapshot) =
+  let t =
+    Table.create ~title
+      ~columns:[ "op"; "samples"; "mean"; "p50"; "p95"; "p99"; "p99.9" ]
+  in
+  Table.add_row t (latency_row "enqueue" s.Metrics.enq);
+  Table.add_row t (latency_row "dequeue" s.Metrics.deq);
+  Table.render t
+
+let histogram_plot ?(title = "latency distribution") (s : Metrics.snapshot) =
+  let series_of label (h : Histogram.snapshot) =
+    (* x = log10(bucket lower bound), y = share of samples, so wildly
+       different latency scales stay on one readable axis. *)
+    let total = float_of_int (Histogram.total h) in
+    if total = 0.0 then { Ascii_plot.label; points = [] }
+    else
+      {
+        Ascii_plot.label;
+        points =
+          List.map
+            (fun (lo, _hi, n) ->
+              (log10 (float_of_int (max 1 lo)), float_of_int n /. total))
+            (Histogram.nonempty h);
+      }
+  in
+  Ascii_plot.render ~title ~x_label:"log10(ns)" ~y_label:"share"
+    [ series_of "enq" s.Metrics.enq; series_of "deq" s.Metrics.deq ]
+
+let render ?(label = "") (s : Metrics.snapshot) =
+  let title suffix = if label = "" then suffix else label ^ ": " ^ suffix in
+  String.concat "\n"
+    [
+      event_table ~title:(title "events") s;
+      "";
+      latency_table ~title:(title "sampled operation latency [ns]") s;
+      "";
+      histogram_plot ~title:(title "latency distribution") s;
+    ]

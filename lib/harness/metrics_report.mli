@@ -1,0 +1,10 @@
+(** Terminal rendering of {!Nbq_obs.Metrics.snapshot}: an event-count
+    table (with per-1000-LL-reservation rates), a latency percentile table,
+    and an {!Ascii_plot} of the latency distribution on a log10 axis. *)
+
+val event_table : ?title:string -> Nbq_obs.Metrics.snapshot -> string
+val latency_table : ?title:string -> Nbq_obs.Metrics.snapshot -> string
+val histogram_plot : ?title:string -> Nbq_obs.Metrics.snapshot -> string
+
+val render : ?label:string -> Nbq_obs.Metrics.snapshot -> string
+(** All three, blank-line separated; [label] prefixes each title. *)

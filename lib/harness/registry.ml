@@ -20,7 +20,20 @@ type impl = {
   bounded : bool;
   bounded_delay_assumption : bool;
   create : capacity:int -> instance;
+  create_probed : metrics:Nbq_obs.Metrics.t -> capacity:int -> instance;
+      (** Like [create], but with the queue's operations feeding the given
+          metrics hub; Evéquoz queues are rebuilt with probes inside the
+          algorithm ({!Nbq_obs.Instrumented.deep}), everything else gets
+          the shallow retry/latency wrapper. *)
 }
+
+let instance_of (module Q : Queue_intf.CONC) ~capacity =
+  let q = Q.create ~capacity in
+  {
+    enqueue = (fun p -> Q.try_enqueue q p);
+    dequeue = (fun () -> Q.try_dequeue q);
+    length = (fun () -> Q.length q);
+  }
 
 let of_conc ~name ~family ?(bounded_delay_assumption = false)
     (module Q : Queue_intf.CONC) =
@@ -29,14 +42,23 @@ let of_conc ~name ~family ?(bounded_delay_assumption = false)
     family;
     bounded = Q.bounded;
     bounded_delay_assumption;
+    create = (fun ~capacity -> instance_of (module Q) ~capacity);
+    create_probed =
+      (fun ~metrics ~capacity ->
+        instance_of (Nbq_obs.Instrumented.deep metrics ~name (module Q)) ~capacity);
+  }
+
+let custom ~name ~family ?(bounded_delay_assumption = false) ?(bounded = false)
     create =
-      (fun ~capacity ->
-        let q = Q.create ~capacity in
-        {
-          enqueue = (fun p -> Q.try_enqueue q p);
-          dequeue = (fun () -> Q.try_dequeue q);
-          length = (fun () -> Q.length q);
-        });
+  {
+    name;
+    family;
+    bounded;
+    bounded_delay_assumption;
+    create;
+    (* No CONC module to wrap: probed creation falls back to the plain
+       instance — callers still get workload-level retry counts. *)
+    create_probed = (fun ~metrics:_ -> create);
   }
 
 module Evequoz_llsc_conc = Queue_intf.Of_bounded (Nbq_core.Evequoz_llsc)

@@ -31,6 +31,11 @@ type impl = {
           very §3 limitation the paper's algorithms remove).  Harnesses
           honour it by sizing rings generously; see DESIGN.md §7a. *)
   create : capacity:int -> instance;
+  create_probed : metrics:Nbq_obs.Metrics.t -> capacity:int -> instance;
+      (** Like [create] but with operations feeding the metrics hub:
+          Evéquoz queues are rebuilt with probes inside the algorithm
+          ({!Nbq_obs.Instrumented.deep}); other queues get the shallow
+          retry/latency wrapper; {!custom} impls fall back to [create]. *)
 }
 
 val all : impl list
@@ -53,3 +58,14 @@ val of_conc :
   impl
 (** Wrap any {!Nbq_core.Queue_intf.CONC} implementation.
     [bounded_delay_assumption] defaults to [false]. *)
+
+val custom :
+  name:string ->
+  family:family ->
+  ?bounded_delay_assumption:bool ->
+  ?bounded:bool ->
+  (capacity:int -> instance) ->
+  impl
+(** Build an impl from a bare instance constructor (ad-hoc experiment
+    queues, e.g. the ablation binaries).  [create_probed] degrades to the
+    uninstrumented [create]. *)

@@ -14,6 +14,7 @@ type measurement = {
   summary : Stats.summary;
   full_retries : int;
   empty_retries : int;
+  metrics : Nbq_obs.Metrics.snapshot option;
 }
 
 let default_config ?(threads = 4) ?(runs = 5) workload =
@@ -21,13 +22,17 @@ let default_config ?(threads = 4) ?(runs = 5) workload =
 
 let available_domains () = Domain.recommended_domain_count ()
 
-let one_run (impl : Registry.impl) cfg =
+let one_run ?metrics (impl : Registry.impl) cfg =
   let capacity =
     match cfg.capacity with
     | Some c -> c
     | None -> Workload.min_capacity cfg.workload ~threads:cfg.threads
   in
-  let q = impl.Registry.create ~capacity in
+  let q =
+    match metrics with
+    | Some m -> impl.Registry.create_probed ~metrics:m ~capacity
+    | None -> impl.Registry.create ~capacity
+  in
   let barrier = Barrier.create ~parties:cfg.threads in
   let domains =
     List.init cfg.threads (fun thread ->
@@ -37,12 +42,12 @@ let one_run (impl : Registry.impl) cfg =
   in
   List.map Domain.join domains
 
-let measure impl cfg =
+let measure ?metrics impl cfg =
   if cfg.threads < 1 then invalid_arg "Runner.measure: threads < 1";
   let full = ref 0 and empty = ref 0 in
   let per_run =
     List.init cfg.runs (fun _ ->
-        let results = one_run impl cfg in
+        let results = one_run ?metrics impl cfg in
         List.iter
           (fun (r : Workload.thread_result) ->
             full := !full + r.full_retries;
@@ -51,11 +56,25 @@ let measure impl cfg =
         Stats.mean
           (List.map (fun (r : Workload.thread_result) -> r.seconds) results))
   in
+  let snapshot = Option.map Nbq_obs.Metrics.snapshot metrics in
+  (* An instrumented queue counts its own failed operations; the workload's
+     spin-loop counters see exactly the same [false]/[None] returns, so
+     under instrumentation the snapshot is authoritative and the workload
+     refs are the (equal) derived view.  Keep the snapshot values to make
+     the two reporting paths consistent. *)
+  let full_retries, empty_retries =
+    match snapshot with
+    | Some s ->
+        ( Nbq_obs.Metrics.get s Nbq_obs.Event.Full_retry,
+          Nbq_obs.Metrics.get s Nbq_obs.Event.Empty_retry )
+    | None -> (!full, !empty)
+  in
   {
     impl_name = impl.Registry.name;
     threads_used = cfg.threads;
     per_run_seconds = per_run;
     summary = Stats.summarize per_run;
-    full_retries = !full;
-    empty_retries = !empty;
+    full_retries;
+    empty_retries;
+    metrics = snapshot;
   }

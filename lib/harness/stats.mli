@@ -12,6 +12,8 @@ type summary = {
   min : float;
   max : float;
   median : float;
+  p95 : float;  (** nearest-rank 95th percentile *)
+  p99 : float;  (** nearest-rank 99th percentile *)
 }
 
 val summarize : float list -> summary

@@ -1,0 +1,4 @@
+(* Nanosecond monotonic clock.  bechamel's monotonic_clock stub reads
+   CLOCK_MONOTONIC directly; Unix.gettimeofday only gives microseconds. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())

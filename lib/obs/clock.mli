@@ -1,0 +1,3 @@
+val now_ns : unit -> int
+(** Monotonic time in nanoseconds (CLOCK_MONOTONIC via bechamel's stub).
+    Fits an OCaml int for ~292 years of uptime. *)

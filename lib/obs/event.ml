@@ -1,0 +1,68 @@
+type t =
+  | Sc_fail
+  | Ll_reserve
+  | Tail_help
+  | Head_help
+  | Full_retry
+  | Empty_retry
+  | Tag_register
+  | Tag_reregister
+  | Tag_deregister
+  | Tag_recycle
+
+let count = 10
+
+let index = function
+  | Sc_fail -> 0
+  | Ll_reserve -> 1
+  | Tail_help -> 2
+  | Head_help -> 3
+  | Full_retry -> 4
+  | Empty_retry -> 5
+  | Tag_register -> 6
+  | Tag_reregister -> 7
+  | Tag_deregister -> 8
+  | Tag_recycle -> 9
+
+let all =
+  [
+    Sc_fail; Ll_reserve; Tail_help; Head_help; Full_retry; Empty_retry;
+    Tag_register; Tag_reregister; Tag_deregister; Tag_recycle;
+  ]
+
+let to_string = function
+  | Sc_fail -> "sc_fail"
+  | Ll_reserve -> "ll_reserve"
+  | Tail_help -> "tail_help"
+  | Head_help -> "head_help"
+  | Full_retry -> "full_retry"
+  | Empty_retry -> "empty_retry"
+  | Tag_register -> "tag_register"
+  | Tag_reregister -> "tag_reregister"
+  | Tag_deregister -> "tag_deregister"
+  | Tag_recycle -> "tag_recycle"
+
+let of_string = function
+  | "sc_fail" -> Some Sc_fail
+  | "ll_reserve" -> Some Ll_reserve
+  | "tail_help" -> Some Tail_help
+  | "head_help" -> Some Head_help
+  | "full_retry" -> Some Full_retry
+  | "empty_retry" -> Some Empty_retry
+  | "tag_register" -> Some Tag_register
+  | "tag_reregister" -> Some Tag_reregister
+  | "tag_deregister" -> Some Tag_deregister
+  | "tag_recycle" -> Some Tag_recycle
+  | _ -> None
+
+let describe = function
+  | Sc_fail -> "store-conditional failed on the update path (reservation stolen)"
+  | Ll_reserve -> "load-linked reservation taken on a cell"
+  | Tail_help -> "helped advance a lagging Tail for a delayed enqueuer"
+  | Head_help -> "helped advance a lagging Head for a delayed dequeuer"
+  | Full_retry -> "operation observed a full queue"
+  | Empty_retry -> "operation observed an empty queue"
+  | Tag_register -> "tag variable acquired (Register)"
+  | Tag_reregister -> "per-operation ReRegister step (swaps the tag variable if a foreign reference is held)"
+  | Tag_deregister -> "tag variable released (Deregister)"
+  | Tag_recycle -> "registration recycled a free tag variable"

@@ -1,0 +1,39 @@
+(** The event taxonomy: every countable thing the queue stack can do on its
+    failure/helping paths.
+
+    The first four events come from the paper's two synchronization cores
+    (LL/SC reservations and their races, counter helping); [Full_retry] /
+    [Empty_retry] are the workload-visible outcomes; the [Tag_*] events
+    trace the CAS-simulated LL/SC tag-variable registry ([Register] /
+    [ReRegister] / [Deregister] and recycling) whose churn the paper's
+    space experiment measures. *)
+
+type t =
+  | Sc_fail        (** update-path store-conditional failed *)
+  | Ll_reserve     (** load-linked reservation taken *)
+  | Tail_help      (** helped advance a lagging [Tail] *)
+  | Head_help      (** helped advance a lagging [Head] *)
+  | Full_retry     (** operation observed a full queue *)
+  | Empty_retry    (** operation observed an empty queue *)
+  | Tag_register   (** tag variable acquired *)
+  | Tag_reregister (** [ReRegister] had to swap tag variables *)
+  | Tag_deregister (** tag variable released *)
+  | Tag_recycle    (** registration recycled a free tag variable *)
+
+val count : int
+(** Number of distinct events. *)
+
+val index : t -> int
+(** Dense index in [0, count); stable across runs, used as array index and
+    JSON field order. *)
+
+val all : t list
+(** Every event, in [index] order. *)
+
+val to_string : t -> string
+(** Snake-case wire name, e.g. ["sc_fail"]; the JSON-lines field name. *)
+
+val of_string : string -> t option
+
+val describe : t -> string
+(** One-line human description for reports. *)

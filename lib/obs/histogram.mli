@@ -1,0 +1,62 @@
+(** Lock-free log-bucketed latency histogram (HDR-style).
+
+    Values are nanoseconds.  Buckets [0..7] are exact; beyond that every
+    power-of-two octave splits into 8 sub-buckets, bounding the relative
+    bucket width by 12.5% across the whole 63-bit range — percentiles are
+    read with at most that error, regardless of the latency scale.
+
+    Recording is wait-free: one [fetch_and_add] on the calling domain's
+    shard of the bucket array plus one on the shard's running sum; no
+    allocation, no locks.  Use {!snapshot} (quiescent, or accept a slightly
+    torn view) and the pure accessors for reporting. *)
+
+type t
+
+val default_shards : int
+
+val create : ?shards:int -> unit -> t
+(** [shards] is rounded up to a power of two; default {!default_shards}. *)
+
+val record : t -> int -> unit
+(** [record t ns] counts one sample of [ns] nanoseconds (negative values
+    clamp to 0).  Wait-free, allocation-free. *)
+
+(** {2 Bucket geometry (exposed for tests and renderers)} *)
+
+val bucket_count : int
+val bucket_of_ns : int -> int
+val bucket_lower_ns : int -> int
+(** Smallest ns value mapping to the bucket. *)
+
+val bucket_upper_ns : int -> int
+(** Largest ns value mapping to the bucket ([max_int] for the last). *)
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  counts : int array;  (** per-bucket counts, length {!bucket_count} *)
+  total : int;
+  sum : int;           (** total recorded nanoseconds *)
+}
+
+val snapshot : t -> snapshot
+val empty : snapshot
+val merge : snapshot -> snapshot -> snapshot
+val total : snapshot -> int
+
+val mean_ns : snapshot -> float
+(** [nan] when empty. *)
+
+val percentile_ns : snapshot -> float -> float
+(** [percentile_ns s q] for [q] in [0,1]: nearest-rank percentile, reported
+    as the containing bucket's upper bound.  [nan] when empty; raises
+    [Invalid_argument] when [q] is outside [0,1]. *)
+
+val max_ns : snapshot -> float
+(** Upper bound of the highest non-empty bucket; [nan] when empty. *)
+
+val nonempty : snapshot -> (int * int * int) list
+(** [(lower_ns, upper_ns, count)] for each non-empty bucket, ascending. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** One-line "n= mean= p50= p95= p99= p99.9=" rendering. *)

@@ -1,0 +1,105 @@
+module Queue_intf = Nbq_core.Queue_intf
+
+module type METRICS = sig
+  val metrics : Metrics.t
+end
+
+(* Latency is sampled 1-in-64 so the two clock reads (the dominant cost)
+   stay off most operations; the tick counters are plain refs shared
+   across domains — lost updates merely perturb the sampling rate, never
+   correctness. *)
+let sample_mask = 63
+
+module Make (M : METRICS) (Q : Queue_intf.CONC) :
+  Queue_intf.CONC with type 'a t = 'a Q.t = struct
+  type 'a t = 'a Q.t
+
+  let name = Q.name
+  let bounded = Q.bounded
+  let create = Q.create
+  let m = M.metrics
+  let enq_tick = ref 0
+  let deq_tick = ref 0
+
+  let try_enqueue t x =
+    let n = !enq_tick + 1 in
+    enq_tick := n;
+    let ok =
+      if n land sample_mask = 0 then begin
+        let t0 = Clock.now_ns () in
+        let ok = Q.try_enqueue t x in
+        Metrics.record_enq_ns m (Clock.now_ns () - t0);
+        ok
+      end
+      else Q.try_enqueue t x
+    in
+    if not ok then Metrics.emit m Event.Full_retry;
+    ok
+
+  let try_dequeue t =
+    let n = !deq_tick + 1 in
+    deq_tick := n;
+    let r =
+      if n land sample_mask = 0 then begin
+        let t0 = Clock.now_ns () in
+        let r = Q.try_dequeue t in
+        Metrics.record_deq_ns m (Clock.now_ns () - t0);
+        r
+      end
+      else Q.try_dequeue t
+    in
+    if r = None then Metrics.emit m Event.Empty_retry;
+    r
+
+  let length = Q.length
+end
+
+(* --- Deep instrumentation ------------------------------------------------
+   The wrapper above sees only the public queue interface; the evequoz
+   queues additionally accept a probe functor argument, letting the hub
+   count SC failures, helping, and tag-registry traffic from inside the
+   algorithm.  These rebuild the queue with [Metrics.probe] plugged in and
+   then add the shallow wrapper for retries/latency. *)
+
+module Deep_evequoz_cas (M : METRICS) : Queue_intf.CONC = struct
+  module P = (val Metrics.probe M.metrics)
+  module Core =
+    Nbq_core.Evequoz_cas.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+  module Q = Nbq_core.Evequoz_cas.With_implicit_handles (Core)
+  module C = Queue_intf.Of_bounded (Q)
+  include Make (M) (C)
+end
+
+module Deep_evequoz_llsc (M : METRICS) : Queue_intf.CONC = struct
+  module P = (val Metrics.probe M.metrics)
+  module Cell =
+    Nbq_primitives.Llsc.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+  module Q = Nbq_core.Evequoz_llsc.Make_probed (Cell) (P)
+  module C = Queue_intf.Of_bounded (Q)
+  include Make (M) (C)
+end
+
+let instrument (m : Metrics.t) (module Q : Queue_intf.CONC) :
+    (module Queue_intf.CONC) =
+  (module Make
+            (struct
+              let metrics = m
+            end)
+            (Q))
+
+let evequoz_cas (m : Metrics.t) : (module Queue_intf.CONC) =
+  (module Deep_evequoz_cas (struct
+    let metrics = m
+  end))
+
+let evequoz_llsc (m : Metrics.t) : (module Queue_intf.CONC) =
+  (module Deep_evequoz_llsc (struct
+    let metrics = m
+  end))
+
+let deep (m : Metrics.t) ~name (q : (module Queue_intf.CONC)) :
+    (module Queue_intf.CONC) =
+  match name with
+  | "evequoz-cas" -> evequoz_cas m
+  | "evequoz-llsc" -> evequoz_llsc m
+  | _ -> instrument m q

@@ -1,0 +1,42 @@
+(** The per-run metrics hub: one per-domain-sharded counter per {!Event.t}
+    plus enqueue/dequeue latency histograms.  All recording paths are
+    wait-free and allocation-free; snapshots are taken by the harness once
+    workers are quiescent. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [shards] is forwarded to {!Histogram.create} (counters shard per
+    domain id and need no sizing hint). *)
+
+val emit : t -> Event.t -> unit
+val add : t -> Event.t -> int -> unit
+val count : t -> Event.t -> int
+val record_enq_ns : t -> int -> unit
+val record_deq_ns : t -> int -> unit
+
+val reset : t -> unit
+(** Zero the counters (histograms are left as-is; create a fresh [t] for a
+    fresh run). *)
+
+val probe : t -> (module Nbq_primitives.Probe.S)
+(** A first-class probe module whose callbacks bump this hub's counters —
+    plug it into [Llsc_cas.Make_probed] / [Evequoz_cas.Make_probed] etc.
+
+    The two events that fire once per queue operation by construction
+    ([Ll_reserve] and [Tag_reregister]) are sampled 1-in-64 with weight
+    64, so their counts are statistical (±64 per domain); all other
+    events are recorded exactly. *)
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  counts : int array;  (** indexed by {!Event.index} *)
+  enq : Histogram.snapshot;
+  deq : Histogram.snapshot;
+}
+
+val snapshot : t -> snapshot
+val empty_snapshot : snapshot
+val merge : snapshot -> snapshot -> snapshot
+val get : snapshot -> Event.t -> int

@@ -1,0 +1,23 @@
+(* Cache-line padding for hot atomics (OCaml 5.1 has no
+   [Atomic.make_contended]; this is the multicore-magic idiom).  A value's
+   block is copied into a block of [cache_line_words] words, so two padded
+   blocks can never share a 64-byte line — false sharing between two
+   domains' counter shards becomes impossible.  128 bytes also defeats the
+   adjacent-line prefetcher pairing found on x86. *)
+
+let cache_line_words = 16
+
+let copy_padded (x : 'a) : 'a =
+  let src = Obj.repr x in
+  if Obj.is_int src || Obj.size src >= cache_line_words then x
+  else begin
+    let dst = Obj.new_block (Obj.tag src) cache_line_words in
+    for i = 0 to Obj.size src - 1 do
+      Obj.set_field dst i (Obj.field src i)
+    done;
+    (* The extra fields stay [()] (caml_obj_block initializes them), so the
+       GC scans the block safely; Atomic primitives only touch field 0. *)
+    Obj.magic dst
+  end
+
+let atomic n : int Atomic.t = copy_padded (Atomic.make n)

@@ -1,0 +1,20 @@
+(** Cache-line padding for contended heap blocks.
+
+    OCaml 5.1 lacks [Atomic.make_contended]; {!copy_padded} re-allocates a
+    block with trailing padding words so that two padded blocks never share
+    a cache line.  Used for counter shards, where cross-domain false
+    sharing would reintroduce exactly the coherence traffic the sharding
+    exists to avoid. *)
+
+val cache_line_words : int
+(** Padded block size in words (16 words = 128 bytes: a cache line plus the
+    adjacent prefetched line). *)
+
+val copy_padded : 'a -> 'a
+(** [copy_padded x] is [x] for immediates and already-large blocks,
+    otherwise a shallow copy of [x]'s block padded to {!cache_line_words}
+    words.  Only safe for values whose primitive operations address fields
+    by index (records, [Atomic.t]); the copy is a distinct physical value. *)
+
+val atomic : int -> int Atomic.t
+(** A padded atomic counter cell. *)

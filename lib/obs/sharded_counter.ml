@@ -1,0 +1,41 @@
+(* Each domain owns a private padded cell reached through [Domain.DLS], so
+   the hot-path increment is a domain-local load ([%dls_get] — a plain
+   read off the domain state, no C call, unlike [Domain.self]) plus a
+   non-atomic add on a word no other domain writes.  Cells are published
+   to a lock-free list the moment a domain first touches the counter, so
+   readers can sum them without stopping writers.  Exactness relies on
+   cell exclusivity plus the happens-before edge of [Domain.join]: the
+   harness always reads after joining its workers. *)
+
+type t = {
+  key : int ref Domain.DLS.key;
+  cells : int ref list Atomic.t;  (* every domain's cell, for [read] *)
+}
+
+let create () =
+  let cells = Atomic.make [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let c = Padding.copy_padded (ref 0) in
+        let rec publish () =
+          let l = Atomic.get cells in
+          if not (Atomic.compare_and_set cells l (c :: l)) then publish ()
+        in
+        publish ();
+        c)
+  in
+  { key; cells }
+
+let incr t =
+  let c = Domain.DLS.get t.key in
+  c := !c + 1
+
+let add t n =
+  if n <> 0 then begin
+    let c = Domain.DLS.get t.key in
+    c := !c + n
+  end
+
+let read t = List.fold_left (fun acc c -> acc + !c) 0 (Atomic.get t.cells)
+
+let reset t = List.iter (fun c -> c := 0) (Atomic.get t.cells)

@@ -1,0 +1,30 @@
+(** A monotonically growing counter with one exclusive cell per domain.
+
+    Each domain increments a private cache-line-padded cell reached
+    through [Domain.DLS], so the hot path is a domain-local load plus a
+    plain (non-atomic) add — no C call, no lock-prefixed instruction, no
+    coherence traffic.  Cells are published to a lock-free list on a
+    domain's first increment, letting {!read} sum them without stopping
+    writers.
+
+    {!read} is a benignly racy snapshot, exact once writers are quiescent
+    — e.g. after [Domain.join], whose happens-before edge publishes every
+    plain write.  Each [create] allocates a [Domain.DLS] key, which OCaml
+    never reclaims: create counters per run or per subsystem, not per
+    operation. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> unit
+(** Add one to the calling domain's private cell: a plain increment. *)
+
+val add : t -> int -> unit
+(** Add [n] (no-op when [n = 0]). *)
+
+val read : t -> int
+(** Sum over all domains' cells. *)
+
+val reset : t -> unit
+(** Zero every cell.  Only sensible while writers are quiescent. *)

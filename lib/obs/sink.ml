@@ -1,0 +1,120 @@
+(* Hand-rolled JSON — the toolchain has no JSON library and the schema is
+   flat enough that pulling one in would be all cost. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    (* JSON has no NaN/inf; emit null so every line stays parseable. *)
+    if Float.is_nan f || Float.abs f = Float.infinity then
+      Buffer.add_string buf "null"
+    else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | String s ->
+    Buffer.add_char buf '"';
+    escape_into buf s;
+    Buffer.add_char buf '"'
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_json buf x)
+      l;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape_into buf k;
+        Buffer.add_string buf "\":";
+        add_json buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 256 in
+  add_json buf j;
+  Buffer.contents buf
+
+let pct s q =
+  let v = Histogram.percentile_ns s q in
+  if Float.is_nan v then Null else Float v
+
+let histogram_json (s : Histogram.snapshot) =
+  Obj
+    [
+      ("total", Int s.total);
+      ("mean_ns", if s.total = 0 then Null else Float (Histogram.mean_ns s));
+      ("p50_ns", pct s 0.5);
+      ("p95_ns", pct s 0.95);
+      ("p99_ns", pct s 0.99);
+      ("p999_ns", pct s 0.999);
+      ( "buckets",
+        List
+          (List.map
+             (fun (lo, _hi, n) -> List [ Int lo; Int n ])
+             (Histogram.nonempty s)) );
+    ]
+
+let snapshot_fields (s : Metrics.snapshot) =
+  let events =
+    List.map (fun ev -> (Event.to_string ev, Int (Metrics.get s ev))) Event.all
+  in
+  [ ("events", Obj events); ("enq_latency", histogram_json s.enq); ("deq_latency", histogram_json s.deq) ]
+
+(* --- JSON-lines file sink ------------------------------------------------ *)
+
+type t = Null_sink | Jsonl of { path : string; oc : out_channel }
+
+let null = Null_sink
+
+let default_path ?(dir = "results") ~prefix () =
+  Printf.sprintf "%s/metrics-%s-%d-%d.jsonl" dir prefix (Unix.getpid ())
+    (int_of_float (Unix.gettimeofday ()))
+
+let open_jsonl path =
+  (match Filename.dirname path with
+  | "" | "." -> ()
+  | dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755);
+  Jsonl { path; oc = open_out path }
+
+let path = function Null_sink -> None | Jsonl { path; _ } -> Some path
+
+let write t ~fields =
+  match t with
+  | Null_sink -> ()
+  | Jsonl { oc; _ } ->
+    output_string oc (json_to_string (Obj fields));
+    output_char oc '\n';
+    flush oc
+
+let write_snapshot t ~meta (s : Metrics.snapshot) =
+  write t ~fields:(meta @ snapshot_fields s)
+
+let close = function Null_sink -> () | Jsonl { oc; _ } -> close_out oc

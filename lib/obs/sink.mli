@@ -1,0 +1,42 @@
+(** Metric sinks: a minimal JSON value type, a JSON-lines file writer, and
+    a [Null_sink] that swallows everything (so call sites need no
+    conditionals). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** NaN/infinity serialize as [null] *)
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+
+val histogram_json : Histogram.snapshot -> json
+(** [{total, mean_ns, p50_ns, p95_ns, p99_ns, p999_ns, buckets: [[lower_ns,
+    count], ...]}]; percentiles are [null] when the histogram is empty. *)
+
+val snapshot_fields : Metrics.snapshot -> (string * json) list
+(** [events] object (wire names from {!Event.to_string}) plus
+    [enq_latency]/[deq_latency] histogram objects. *)
+
+type t
+
+val null : t
+
+val default_path : ?dir:string -> prefix:string -> unit -> string
+(** [results/metrics-<prefix>-<pid>-<epoch>.jsonl]. *)
+
+val open_jsonl : string -> t
+(** Creates the parent directory (one level) when missing. *)
+
+val path : t -> string option
+
+val write : t -> fields:(string * json) list -> unit
+(** Write one JSON object as a line and flush.  No-op on {!null}. *)
+
+val write_snapshot : t -> meta:(string * json) list -> Metrics.snapshot -> unit
+(** [write] of [meta @ snapshot_fields s]. *)
+
+val close : t -> unit

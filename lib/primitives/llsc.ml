@@ -11,7 +11,7 @@ module type S = sig
   val set : 'a t -> 'a -> unit
 end
 
-module Make (A : Atomic_intf.ATOMIC) = struct
+module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
   type 'a box = { contents : 'a }
 
   type 'a t = 'a box A.t
@@ -20,7 +20,9 @@ module Make (A : Atomic_intf.ATOMIC) = struct
 
   let make v = A.make { contents = v }
 
-  let ll t = A.get t
+  let ll t =
+    P.ll_reserve ();
+    A.get t
 
   let value (link : 'a link) = link.contents
 
@@ -33,6 +35,8 @@ module Make (A : Atomic_intf.ATOMIC) = struct
 
   let set t v = A.set t { contents = v }
 end
+
+module Make (A : Atomic_intf.ATOMIC) = Make_probed (A) (Probe.Noop)
 
 include Make (Atomic_intf.Real)
 

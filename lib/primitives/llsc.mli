@@ -56,7 +56,13 @@ module type S = sig
   (** Unconditional store.  Invalidates all outstanding reservations. *)
 end
 
+module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) : S
+(** Like {!Make}, with an instrumentation hook: [P.ll_reserve] fires on
+    every load-linked.  [sc] failures are probed by callers, which can tell
+    update-path failures from benign helping races. *)
+
 module Make (A : Atomic_intf.ATOMIC) : S
+(** [Make_probed] with {!Probe.Noop}: the uninstrumented default. *)
 
 include S
 

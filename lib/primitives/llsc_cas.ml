@@ -19,7 +19,7 @@ module type S = sig
   val owned_count : 'a registry -> int
 end
 
-module Make (A : Atomic_intf.ATOMIC) = struct
+module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
   type 'a content =
     | Unset  (* initial placeholder only; never stored in a cell *)
     | Value of 'a
@@ -64,7 +64,9 @@ module Make (A : Atomic_intf.ATOMIC) = struct
 
   let register_var reg =
     match find_free (A.get reg.first) with
-    | Some v -> v
+    | Some v ->
+        P.tag_recycle ();
+        v
     | None ->
         let v = { placeholder = Unset; refcount = A.make 1; next = None } in
         let rec push () =
@@ -77,12 +79,15 @@ module Make (A : Atomic_intf.ATOMIC) = struct
 
   let register reg =
     let var = register_var reg in
+    P.tag_register ();
     { registry = reg; var; mark = Mark var }
 
   let reregister h =
+    P.tag_reregister ();
     (* Keep the variable only if we are its sole referent; otherwise a
        reader could later validate a stale marker observation against our
-       reused marker block (the ABA of paper §5). *)
+       reused marker block (the ABA of paper §5).  The swap shows up as a
+       [tag_recycle] (or registry growth) on top of this event. *)
     if A.get h.var.refcount <> 1 then begin
       ignore (A.fetch_and_add h.var.refcount (-1));
       let var = register_var h.registry in
@@ -90,7 +95,9 @@ module Make (A : Atomic_intf.ATOMIC) = struct
       h.mark <- Mark var
     end
 
-  let deregister h = ignore (A.fetch_and_add h.var.refcount (-1))
+  let deregister h =
+    P.tag_deregister ();
+    ignore (A.fetch_and_add h.var.refcount (-1))
 
   (* --- Simulated LL / SC (paper L1-L17) --- *)
 
@@ -110,10 +117,12 @@ module Make (A : Atomic_intf.ATOMIC) = struct
     (match cur with
     | Mark other -> ignore (A.fetch_and_add other.refcount (-1))
     | Value _ | Unset -> ());
-    if installed then
+    if installed then begin
+      P.ll_reserve ();
       match h.var.placeholder with
       | Value v -> v
       | Mark _ | Unset -> assert false
+    end
     else ll cell h
 
   let sc (cell : 'a t) (h : 'a handle) v =
@@ -147,5 +156,7 @@ module Make (A : Atomic_intf.ATOMIC) = struct
   let owned_count reg =
     fold_vars reg (fun n v -> if A.get v.refcount > 0 then n + 1 else n) 0
 end
+
+module Make (A : Atomic_intf.ATOMIC) = Make_probed (A) (Probe.Noop)
 
 include Make (Atomic_intf.Real)

@@ -99,6 +99,15 @@ module type S = sig
       O(n) scan; racy by nature, for tests and experiments. *)
 end
 
+module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) : S
+(** Like {!Make}, with instrumentation hooks: [P.ll_reserve] fires on every
+    successful reservation, [P.tag_register] / [P.tag_reregister] /
+    [P.tag_deregister] on the corresponding protocol calls and
+    [P.tag_recycle] when a registration reuses a free variable.  [sc]
+    failures are {e not} probed here — rollbacks use [sc] too and their
+    failures are benign; callers probe the update path. *)
+
 module Make (A : Atomic_intf.ATOMIC) : S
+(** [Make_probed] with {!Probe.Noop}: the uninstrumented default. *)
 
 include S

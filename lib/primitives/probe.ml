@@ -1,0 +1,21 @@
+module type S = sig
+  val ll_reserve : unit -> unit
+  val sc_fail : unit -> unit
+  val tail_help : unit -> unit
+  val head_help : unit -> unit
+  val tag_register : unit -> unit
+  val tag_reregister : unit -> unit
+  val tag_deregister : unit -> unit
+  val tag_recycle : unit -> unit
+end
+
+module Noop : S = struct
+  let ll_reserve () = ()
+  let sc_fail () = ()
+  let tail_help () = ()
+  let head_help () = ()
+  let tag_register () = ()
+  let tag_reregister () = ()
+  let tag_deregister () = ()
+  let tag_recycle () = ()
+end

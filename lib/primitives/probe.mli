@@ -1,0 +1,40 @@
+(** Instrumentation hooks threaded through the lock-free algorithms.
+
+    Each function marks one occurrence of the event it is named after; the
+    algorithms call them from their hot paths, so implementations must be
+    cheap, non-blocking and allocation-free.  The algorithm functors take a
+    probe module as a parameter and are instantiated with {!Noop} by
+    default, so uninstrumented builds pay nothing beyond a direct call to an
+    empty function.  The observability library ([Nbq_obs]) supplies probes
+    that increment sharded per-domain counters.
+
+    Event meanings (see the paper, Fig. 5, and DESIGN.md):
+    - [ll_reserve] — a simulated (or ideal) load-linked reservation was
+      taken on a cell;
+    - [sc_fail] — a store-conditional on the {e update} path failed (the
+      reservation was stolen between LL and SC);
+    - [tail_help] / [head_help] — the operation found a filled/emptied slot
+      with a lagging counter and helped advance [Tail]/[Head] on behalf of
+      the delayed thread;
+    - [tag_register] — a tag variable was acquired ([Register]);
+    - [tag_reregister] — the per-operation [ReRegister] step ran (it swaps
+      tag variables when a foreign reader holds a reference count on the
+      current one; a swap additionally shows up as [tag_recycle] or
+      registry growth);
+    - [tag_deregister] — a tag variable was released ([Deregister]);
+    - [tag_recycle] — a registration was satisfied by recycling a free
+      variable from the registry instead of appending a fresh one. *)
+
+module type S = sig
+  val ll_reserve : unit -> unit
+  val sc_fail : unit -> unit
+  val tail_help : unit -> unit
+  val head_help : unit -> unit
+  val tag_register : unit -> unit
+  val tag_reregister : unit -> unit
+  val tag_deregister : unit -> unit
+  val tag_recycle : unit -> unit
+end
+
+module Noop : S
+(** Every hook does nothing; the default instantiation. *)

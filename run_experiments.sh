@@ -5,10 +5,12 @@ dune exec bin/modelcheck_run.exe > results/modelcheck.txt 2>&1
 dune exec bin/space.exe > results/space.txt 2>&1
 dune exec bin/overhead.exe -- --runs 5 --scale 0.1 > results/overhead.txt 2>&1
 dune exec bin/shann_vs_cas.exe -- --runs 3 --scale 0.1 > results/shann_vs_cas.txt 2>&1
-dune exec bin/fig6.exe -- --figure a --runs 3 --scale 0.1 --plot > results/fig6a.txt 2>&1
+dune exec bin/fig6.exe -- --figure a --runs 3 --scale 0.1 --plot --metrics > results/fig6a.txt 2>&1
 dune exec bin/fig6.exe -- --figure b --runs 3 --scale 0.1 --plot > results/fig6b.txt 2>&1
 dune exec bin/fig6.exe -- --figure c --runs 3 --scale 0.1 > results/fig6c.txt 2>&1
 dune exec bin/fig6.exe -- --figure d --runs 3 --scale 0.1 > results/fig6d.txt 2>&1
 dune exec bin/latency.exe -- --threads 8 --ops 20000 > results/latency.txt 2>&1
 dune exec bin/ablation.exe -- --runs 2 --scale 0.02 --threads 8 > results/ablation.txt 2>&1
+dune exec bin/contend.exe -- --queue evequoz-cas --threads 1,2,4,8 --runs 2 --scale 0.1 --plot > results/contend.txt 2>&1
+dune exec bin/obs_overhead.exe -- --runs 3 --scale 0.5 > results/obs_overhead.txt 2>&1
 echo DONE > results/STATUS

@@ -67,7 +67,18 @@ let stats_known_values () =
   Alcotest.check feq "max" 4.0 s.Stats.max;
   Alcotest.check feq "median" 2.5 s.Stats.median;
   Alcotest.check (Alcotest.float 1e-6) "stddev" 1.2909944487 s.Stats.stddev;
+  Alcotest.check feq "p95" 4.0 s.Stats.p95;
+  Alcotest.check feq "p99" 4.0 s.Stats.p99;
   Alcotest.(check int) "n" 4 s.Stats.n
+
+let stats_percentiles () =
+  (* 1..100: nearest-rank on the sorted array (rank = round(q * (n-1))). *)
+  let s = Stats.summarize (List.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.check feq "p95" 95.0 s.Stats.p95;
+  Alcotest.check feq "p99" 99.0 s.Stats.p99;
+  (* Order must not matter: Float.compare sorts, not polymorphic compare. *)
+  let r = Stats.summarize (List.init 100 (fun i -> float_of_int (100 - i))) in
+  Alcotest.check feq "p95 order-independent" 95.0 r.Stats.p95
 
 let stats_single_sample () =
   let s = Stats.summarize [ 7.0 ] in
@@ -98,6 +109,9 @@ let qcheck_stats_invariants =
       && s.Stats.median <= s.Stats.max
       && s.Stats.min <= s.Stats.mean +. 1e-9
       && s.Stats.mean <= s.Stats.max +. 1e-9
+      && s.Stats.median <= s.Stats.p95
+      && s.Stats.p95 <= s.Stats.p99
+      && s.Stats.p99 <= s.Stats.max
       && s.Stats.stddev >= 0.0)
 
 let qcheck_stats_shift =
@@ -336,6 +350,7 @@ let () =
           quick "known values" stats_known_values;
           quick "single sample" stats_single_sample;
           quick "odd median" stats_odd_median;
+          quick "percentiles" stats_percentiles;
           quick "empty raises" stats_empty_raises;
           quick "normalize" stats_normalize;
           QCheck_alcotest.to_alcotest qcheck_stats_invariants;
