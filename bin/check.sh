@@ -5,5 +5,9 @@ set -e
 cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
+# Fast deterministic fault gate: stall one domain inside every injection
+# point of both Evequoz queues; fixed seed, reduced op target (<30s).
+dune exec bin/torture.exe -- --queue evequoz-cas --seed 42 --ops 2000 > /dev/null
+dune exec bin/torture.exe -- --queue evequoz-llsc --seed 42 --ops 2000 > /dev/null
 dune build @fmt 2>/dev/null || true
 echo "check: OK"

@@ -1,11 +1,14 @@
 module Atomic_intf = Nbq_primitives.Atomic_intf
 module Probe = Nbq_primitives.Probe
+module Fault = Nbq_primitives.Fault
 
-(* The algorithm core (paper Fig. 5, right column), over any atomics and
-   any instrumentation probe (Noop by default; the observability layer
-   supplies counting probes). *)
-module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
-  module Llsc_cas = Nbq_primitives.Llsc_cas.Make_probed (A) (P)
+(* The algorithm core (paper Fig. 5, right column), over any atomics, any
+   instrumentation probe (Noop by default; the observability layer supplies
+   counting probes) and any fault hook (Noop by default; the torture
+   harness supplies stalling/crashing ones). *)
+module Make_injected (A : Atomic_intf.ATOMIC) (P : Probe.S) (F : Fault.S) =
+struct
+  module Llsc_cas = Nbq_primitives.Llsc_cas.Make_injected (A) (P) (F)
 
   type 'a slot = Empty | Item of 'a
 
@@ -39,6 +42,8 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
 
   let owned_count t = Llsc_cas.owned_count t.registry
 
+  let audit t = Llsc_cas.audit t.registry
+
   let head_index t = A.get t.head
   let tail_index t = A.get t.tail
 
@@ -56,10 +61,14 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
             (* Slot filled but Tail lagging: undo the reservation, help. *)
             ignore (Llsc_cas.sc cell h slot);
             P.tail_help ();
+            F.hit Fault.Counter_bump;
             ignore (A.compare_and_set t.tail tl (tl + 1));
             enqueue_loop t h x
         | Empty ->
             if Llsc_cas.sc cell h (Item x) then begin
+              (* The item is in the slot; a thread frozen here leaves Tail
+                 lagging and everyone else must help (paper E11-E13). *)
+              F.hit Fault.Counter_bump;
               ignore (A.compare_and_set t.tail tl (tl + 1));
               true
             end
@@ -86,10 +95,12 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
             (* Item removed but Head lagging: undo, help. *)
             ignore (Llsc_cas.sc cell h slot);
             P.head_help ();
+            F.hit Fault.Counter_bump;
             ignore (A.compare_and_set t.head hd (hd + 1));
             dequeue_loop t h
         | Item x ->
             if Llsc_cas.sc cell h Empty then begin
+              F.hit Fault.Counter_bump;
               ignore (A.compare_and_set t.head hd (hd + 1));
               Some x
             end
@@ -119,6 +130,7 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
         | Item x -> Some x
         | Empty ->
             P.head_help ();
+            F.hit Fault.Counter_bump;
             ignore (A.compare_and_set t.head hd (hd + 1));
             peek_loop t h
       else peek_loop t h
@@ -141,6 +153,9 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
     if n < 0 then 0 else if n > t.mask + 1 then t.mask + 1 else n
 end
 
+module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) =
+  Make_injected (A) (P) (Fault.Noop)
+
 module Make (A : Atomic_intf.ATOMIC) = Make_probed (A) (Probe.Noop)
 
 (* --- The domain-local implicit-handle layer, over any core --- *)
@@ -159,6 +174,7 @@ module type CORE = sig
   val length : 'a t -> int
   val registry_size : 'a t -> int
   val owned_count : 'a t -> int
+  val audit : 'a t -> Nbq_primitives.Llsc_cas.audit
   val head_index : 'a t -> int
   val tail_index : 'a t -> int
 end
@@ -188,6 +204,7 @@ module With_implicit_handles (Core : CORE) = struct
   let dequeue_with t h = Core.dequeue_with t.core h
   let registry_size t = Core.registry_size t.core
   let owned_count t = Core.owned_count t.core
+  let audit t = Core.audit t.core
   let head_index t = Core.head_index t.core
   let tail_index t = Core.tail_index t.core
   let length t = Core.length t.core

@@ -48,9 +48,28 @@ module type CORE = sig
   (** Tag variables whose reference count is currently non-zero — the
       live-reservation footprint.  Racy O(registry) scan, for tests. *)
 
+  val audit : 'a t -> Nbq_primitives.Llsc_cas.audit
+  (** One racy snapshot of the tag registry: ever-allocated, currently
+      owned (including variables abandoned by crashed threads) and
+      recyclable counts.  The torture harness's no-unbounded-growth
+      oracle. *)
+
   val head_index : 'a t -> int
   val tail_index : 'a t -> int
 end
+
+(** The algorithm core with fault injection on top of instrumentation:
+    [F.hit] fires at every linearization-critical window —
+    {!Nbq_primitives.Fault.Counter_bump} between a slot update (or the
+    decision to help) and the Head/Tail CAS it mandates (paper E11-E13 /
+    D11-D13: a thread frozen there forces everyone else into the helping
+    path), plus the [Ll_reserve] / [Slot_swap] / [Sc_attempt] /
+    [Tag_register] / [Tag_reregister] / [Tag_deregister] windows fired
+    inside {!Nbq_primitives.Llsc_cas.Make_injected}. *)
+module Make_injected
+    (A : Nbq_primitives.Atomic_intf.ATOMIC)
+    (P : Nbq_primitives.Probe.S)
+    (F : Nbq_primitives.Fault.S) : CORE
 
 (** The algorithm core, parameterized over the atomics (for the model
     checker) and an instrumentation probe (for the observability layer).
@@ -81,6 +100,7 @@ module With_implicit_handles (Core : CORE) : sig
   val deregister_domain : 'a t -> unit
   val registry_size : 'a t -> int
   val owned_count : 'a t -> int
+  val audit : 'a t -> Nbq_primitives.Llsc_cas.audit
   val head_index : 'a t -> int
   val tail_index : 'a t -> int
 end
@@ -122,6 +142,10 @@ val owned_count : 'a t -> int
 (** Number of tag variables with a non-zero reference count right now; a
     rolled-back reservation (e.g. {!try_peek}) must leave this at the number
     of registered handles.  Racy O(registry) scan, for tests. *)
+
+val audit : 'a t -> Nbq_primitives.Llsc_cas.audit
+(** {!registry_size} and {!owned_count} in one scan, plus the recyclable
+    remainder.  For registry-leak assertions in tests and torture runs. *)
 
 val head_index : 'a t -> int
 val tail_index : 'a t -> int

@@ -17,7 +17,13 @@ module type QUEUE = sig
   val tail_index : 'a t -> int
 end
 
-module Make_probed (Cell : CELL) (P : Nbq_primitives.Probe.S) = struct
+module Make_injected
+    (Cell : CELL)
+    (P : Nbq_primitives.Probe.S)
+    (F : Nbq_primitives.Fault.S) =
+struct
+  module Fault = Nbq_primitives.Fault
+
   let name = "evequoz-llsc"
 
   type 'a slot = Empty | Item of 'a
@@ -51,6 +57,10 @@ module Make_probed (Cell : CELL) (P : Nbq_primitives.Probe.S) = struct
      is observed past [expected].  On ideal cells the retry never triggers
      more than once. *)
   let help_advance counter expected =
+    (* A thread frozen here has updated (or decided to help on) a slot but
+       not yet bumped the counter — the window that forces every other
+       thread through the helping path (paper E11-E13 / D11-D13). *)
+    F.hit Fault.Counter_bump;
     let rec go () =
       let link = Cell.ll counter in
       if Cell.value link = expected then
@@ -133,6 +143,9 @@ module Make_probed (Cell : CELL) (P : Nbq_primitives.Probe.S) = struct
     let n = Cell.get t.tail - Cell.get t.head in
     if n < 0 then 0 else if n > t.mask + 1 then t.mask + 1 else n
 end
+
+module Make_probed (Cell : CELL) (P : Nbq_primitives.Probe.S) =
+  Make_injected (Cell) (P) (Nbq_primitives.Fault.Noop)
 
 module Make (Cell : CELL) = Make_probed (Cell) (Nbq_primitives.Probe.Noop)
 

@@ -40,6 +40,17 @@ module type QUEUE = sig
   (** Raw monotonic counters, for tests and scenario replays. *)
 end
 
+(** The algorithm with fault injection on top of instrumentation:
+    [F.hit Counter_bump] fires on entry to the counter-advance helper —
+    between a slot update and the Head/Tail bump it mandates, the window
+    where a frozen thread forces everyone else into the helping path
+    (paper E11-E13 / D11-D13).  The [Ll_reserve]/[Sc_attempt] windows live
+    in the cell; inject there via {!Nbq_primitives.Llsc.Make_injected}. *)
+module Make_injected
+    (Cell : CELL)
+    (P : Nbq_primitives.Probe.S)
+    (F : Nbq_primitives.Fault.S) : QUEUE
+
 (** The algorithm over any cell type and instrumentation probe.  Probe
     events: [sc_fail] on failed update-path store-conditionals,
     [tail_help]/[head_help] when the operation helps a lagging counter on

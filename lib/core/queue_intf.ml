@@ -90,13 +90,36 @@ module Of_unbounded (Q : UNBOUNDED) : CONC with type 'a t = 'a Q.t = struct
   let length = Q.length
 end
 
-(** Spinning blocking operations over any {!CONC} queue. *)
+(** Spinning blocking operations over any {!CONC} queue, with graceful
+    degradation: besides the spin-forever entry points, each operation has a
+    deadline-aware variant (absolute wall-clock deadline) and a retry-budget
+    variant (bounded number of attempts), both returning [`Timeout] instead
+    of spinning unboundedly.  All variants back off exponentially with
+    jitter between attempts, so a convoy of blocked threads does not retry
+    in lockstep against a stalled peer. *)
 module Blocking (Q : CONC) : sig
   val enqueue : 'a Q.t -> 'a -> unit
   (** Spin (with exponential backoff) until the item is accepted. *)
 
   val dequeue : 'a Q.t -> 'a
   (** Spin (with exponential backoff) until an item is available. *)
+
+  val enqueue_until : 'a Q.t -> deadline:float -> 'a -> [ `Ok | `Timeout ]
+  (** Retry until accepted or until [Unix.gettimeofday () >= deadline]
+      (absolute seconds, as returned by [Unix.gettimeofday]).  Always makes
+      at least one attempt, so a past deadline still succeeds on an
+      uncontended queue. *)
+
+  val dequeue_until : 'a Q.t -> deadline:float -> [ `Ok of 'a | `Timeout ]
+  (** Retry until an item arrives or the absolute deadline passes. *)
+
+  val enqueue_budget : 'a Q.t -> retries:int -> 'a -> [ `Ok | `Timeout ]
+  (** Make [1 + max retries 0] attempts, backing off between them.  A
+      budget instead of a clock: deterministic under simulation and immune
+      to wall-time stalls of the caller itself. *)
+
+  val dequeue_budget : 'a Q.t -> retries:int -> [ `Ok of 'a | `Timeout ]
+  (** Make [1 + max retries 0] attempts, backing off between them. *)
 end = struct
   let enqueue t x =
     if not (Q.try_enqueue t x) then begin
@@ -119,12 +142,81 @@ end = struct
               spin ()
         in
         spin ()
+
+  let jittered () = Nbq_primitives.Backoff.create ~jitter:true ()
+
+  let enqueue_until t ~deadline x =
+    if Q.try_enqueue t x then `Ok
+    else begin
+      let b = jittered () in
+      let rec spin () =
+        if Unix.gettimeofday () >= deadline then `Timeout
+        else begin
+          Nbq_primitives.Backoff.once b;
+          if Q.try_enqueue t x then `Ok else spin ()
+        end
+      in
+      spin ()
+    end
+
+  let dequeue_until t ~deadline =
+    match Q.try_dequeue t with
+    | Some x -> `Ok x
+    | None ->
+        let b = jittered () in
+        let rec spin () =
+          if Unix.gettimeofday () >= deadline then `Timeout
+          else begin
+            Nbq_primitives.Backoff.once b;
+            match Q.try_dequeue t with Some x -> `Ok x | None -> spin ()
+          end
+        in
+        spin ()
+
+  let enqueue_budget t ~retries x =
+    if Q.try_enqueue t x then `Ok
+    else begin
+      let b = jittered () in
+      let rec spin left =
+        if left <= 0 then `Timeout
+        else begin
+          Nbq_primitives.Backoff.once b;
+          if Q.try_enqueue t x then `Ok else spin (left - 1)
+        end
+      in
+      spin (max retries 0)
+    end
+
+  let dequeue_budget t ~retries =
+    match Q.try_dequeue t with
+    | Some x -> `Ok x
+    | None ->
+        let b = jittered () in
+        let rec spin left =
+          if left <= 0 then `Timeout
+          else begin
+            Nbq_primitives.Backoff.once b;
+            match Q.try_dequeue t with
+            | Some x -> `Ok x
+            | None -> spin (left - 1)
+          end
+        in
+        spin (max retries 0)
 end
+
+(** The largest capacity {!round_capacity} accepts: the biggest power of two
+    representable in OCaml's native [int] (2{^61} on 64-bit platforms).
+    Anything above would make the doubling loop overflow into negative
+    numbers and spin forever. *)
+let max_capacity = (max_int / 2) + 1
 
 (** [round_capacity c] is the smallest power of two [>= max c 2].  Shared by
     every array-based implementation so that head/tail counters can wrap
-    without skipping slots (paper §4: "Q_LENGTH is a power of 2"). *)
+    without skipping slots (paper §4: "Q_LENGTH is a power of 2").  Raises
+    [Invalid_argument] when [c < 1] or [c > max_capacity]. *)
 let round_capacity capacity =
   if capacity < 1 then invalid_arg "Queue.create: capacity < 1";
+  if capacity > max_capacity then
+    invalid_arg "Queue.create: capacity exceeds max_capacity";
   let rec go n = if n >= capacity then n else go (n * 2) in
   go 2

@@ -1,0 +1,176 @@
+module Sim = Nbq_modelcheck.Sim
+module Prng = Nbq_primitives.Prng
+
+(* A fault schedule is stored sparsely: only the scheduling points where
+   the run deviated from the default policy (keep running the last task;
+   else the lowest enabled one).  This keeps schedules short, makes
+   delta-debugging meaningful (dropping a decision = removing one
+   preemption) and lets a shrunk schedule replay leniently: a decision
+   whose task is not enabled at its step simply falls back to the
+   default. *)
+type decision = { step : int; task : int }
+
+type failure = {
+  seed : int;
+  trials : int;
+  decisions : decision list;
+  message : string;
+}
+
+module Yield_at_faults : Nbq_primitives.Fault.S = struct
+  (* Turn every fault-injection window into a scheduling point, so the
+     explorer can preempt a simulated thread exactly where a real one
+     could be stalled or killed. *)
+  let hit _ = Sim.yield ()
+end
+
+let default_choose () =
+  let last = ref (-1) in
+  fun ~enabled ->
+    let pick = if List.mem !last enabled then !last else List.hd enabled in
+    last := pick;
+    pick
+
+let choose_of decisions =
+  let default = default_choose () in
+  fun ~step ~enabled ->
+    match List.find_opt (fun d -> d.step = step) decisions with
+    | Some d when List.mem d.task enabled ->
+        (* Replay the recorded preemption and resync the default policy's
+           notion of the running task. *)
+        ignore (default ~enabled:[ d.task ]);
+        d.task
+    | Some _ | None -> default ~enabled
+
+type verdict = Passed | Diverged | Failed of exn
+
+let run_decisions ?(max_steps = 100_000) scenario decisions =
+  match Sim.run_guided ~max_steps ~choose:(choose_of decisions) scenario with
+  | `Completed, _ -> Passed
+  | `Diverged, _ -> Diverged
+  | exception e -> Failed e
+
+(* One seeded random run: at each scheduling point, preempt to a uniformly
+   random other task with probability 1/preempt_bias, recording only the
+   deviations. *)
+let random_run ~prng ~max_steps ~preempt_bias scenario =
+  let decisions = ref [] in
+  let default = default_choose () in
+  let choose ~step ~enabled =
+    let d = default ~enabled in
+    match List.filter (fun t -> t <> d) enabled with
+    | [] -> d
+    | others ->
+        if Prng.int prng preempt_bias = 0 then begin
+          let t = List.nth others (Prng.int prng (List.length others)) in
+          decisions := { step; task = t } :: !decisions;
+          ignore (default ~enabled:[ t ]);
+          t
+        end
+        else d
+  in
+  let verdict =
+    match Sim.run_guided ~max_steps ~choose scenario with
+    | `Completed, _ -> Passed
+    | `Diverged, _ -> Diverged
+    | exception e -> Failed e
+  in
+  (verdict, List.rev !decisions)
+
+let fails ?max_steps scenario decisions =
+  match run_decisions ?max_steps scenario decisions with
+  | Failed _ -> true
+  | Passed | Diverged -> false
+
+(* Greedy delta debugging (ddmin): repeatedly try to drop chunks of the
+   decision list while the failure persists, halving chunk size when
+   nothing can be dropped.  Deterministic, so the shrunk schedule is as
+   reproducible as the original. *)
+let shrink ?max_steps scenario decisions =
+  if not (fails ?max_steps scenario decisions) then decisions
+  else begin
+    let drop_range l lo hi =
+      List.filteri (fun i _ -> i < lo || i >= hi) l
+    in
+    let rec go current chunk =
+      let len = List.length current in
+      if len <= 1 then current
+      else begin
+        let chunk = min chunk len in
+        let rec try_from lo =
+          if lo >= len then None
+          else
+            let cand = drop_range current lo (min len (lo + chunk)) in
+            if fails ?max_steps scenario cand then Some cand
+            else try_from (lo + chunk)
+        in
+        match try_from 0 with
+        | Some cand -> go cand chunk
+        | None -> if chunk = 1 then current else go current (chunk / 2)
+      end
+    in
+    go decisions (max 1 (List.length decisions / 2))
+  end
+
+let search ?(trials = 500) ?(max_steps = 50_000) ?(preempt_bias = 4) ~seed
+    scenario =
+  let prng = Prng.create ~seed in
+  let rec go i =
+    if i >= trials then None
+    else
+      let verdict, decisions =
+        random_run ~prng ~max_steps ~preempt_bias scenario
+      in
+      match verdict with
+      | Failed e ->
+          let shrunk = shrink ~max_steps scenario decisions in
+          let message =
+            match run_decisions ~max_steps scenario shrunk with
+            | Failed e' -> Printexc.to_string e'
+            | Passed | Diverged -> Printexc.to_string e
+          in
+          Some { seed; trials = i + 1; decisions = shrunk; message }
+      | Passed | Diverged -> go (i + 1)
+  in
+  go 0
+
+(* --- Repro lines --- *)
+
+let repro_line f =
+  let ds =
+    match f.decisions with
+    | [] -> "-"
+    | ds ->
+        String.concat ","
+          (List.map (fun d -> Printf.sprintf "%d:%d" d.step d.task) ds)
+  in
+  Printf.sprintf "NBQ-FAULT-REPRO v1 seed=%d decisions=%s" f.seed ds
+
+let parse_repro line =
+  let ( let* ) = Option.bind in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "NBQ-FAULT-REPRO"; "v1"; seed_kv; dec_kv ] ->
+      let* seed =
+        match String.split_on_char '=' seed_kv with
+        | [ "seed"; s ] -> int_of_string_opt s
+        | _ -> None
+      in
+      let* decisions =
+        match String.split_on_char '=' dec_kv with
+        | [ "decisions"; "-" ] -> Some []
+        | [ "decisions"; ds ] ->
+            List.fold_right
+              (fun part acc ->
+                let* acc = acc in
+                match String.split_on_char ':' part with
+                | [ s; t ] -> (
+                    match (int_of_string_opt s, int_of_string_opt t) with
+                    | Some step, Some task -> Some ({ step; task } :: acc)
+                    | _ -> None)
+                | _ -> None)
+              (String.split_on_char ',' ds)
+              (Some [])
+        | _ -> None
+      in
+      Some (seed, decisions)
+  | _ -> None

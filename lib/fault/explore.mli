@@ -1,0 +1,70 @@
+(** Randomized fault-schedule exploration with delta-debugging shrinking.
+
+    Complements the exhaustive checker ({!Nbq_modelcheck.Sim.explore}):
+    instead of enumerating every interleaving of a tiny scenario, this
+    drives {!Nbq_modelcheck.Sim.run_guided} with a seeded random scheduler
+    over bigger scenarios, and when a check fails it shrinks the schedule
+    to a minimal set of preemptions and prints a one-line repro.
+
+    A schedule is stored {e sparsely} as the list of {!decision}s — the
+    scheduling points where the run deviated from the default policy (keep
+    running the current task, else the lowest enabled).  Replay is lenient:
+    a decision whose task is not enabled at its step falls back to the
+    default, which is what makes delta-debugging sound (dropping one
+    preemption still yields a valid schedule). *)
+
+type decision = { step : int; task : int }
+(** "At scheduling point [step], preempt to task [task]." *)
+
+type failure = {
+  seed : int;  (** the search seed that found it *)
+  trials : int;  (** random runs executed up to and including the failing one *)
+  decisions : decision list;  (** shrunk preemption list *)
+  message : string;  (** the check's exception, printed *)
+}
+
+(** A {!Nbq_primitives.Fault.S} whose [hit] performs a simulation yield:
+    instantiate a [Make_injected] functor over {!Nbq_modelcheck.Sim.Atomic}
+    with this to make every fault-injection window a scheduling point, so
+    the explorer preempts simulated threads exactly where real ones could
+    be stalled or killed. *)
+module Yield_at_faults : Nbq_primitives.Fault.S
+
+type verdict = Passed | Diverged | Failed of exn
+
+val run_decisions :
+  ?max_steps:int ->
+  (unit -> (unit -> unit) array * (unit -> unit)) ->
+  decision list ->
+  verdict
+(** Deterministically replay a sparse schedule.  [Failed e] carries the
+    exception raised by the scenario's check (or a task). *)
+
+val shrink :
+  ?max_steps:int ->
+  (unit -> (unit -> unit) array * (unit -> unit)) ->
+  decision list ->
+  decision list
+(** Greedy ddmin: drop chunks of decisions while the replay still fails.
+    Returns the input unchanged if it does not fail.  Deterministic. *)
+
+val search :
+  ?trials:int ->
+  ?max_steps:int ->
+  ?preempt_bias:int ->
+  seed:int ->
+  (unit -> (unit -> unit) array * (unit -> unit)) ->
+  failure option
+(** [search ~seed scenario] runs up to [trials] (default 500) seeded random
+    schedules, preempting with probability [1/preempt_bias] (default 4) at
+    each scheduling point.  Equal seeds explore equal schedule sequences.
+    On the first failing run the schedule is shrunk and returned; [None]
+    means no failure was found (not a proof of correctness). *)
+
+val repro_line : failure -> string
+(** One greppable line, e.g.
+    ["NBQ-FAULT-REPRO v1 seed=42 decisions=12:1,57:0"]. *)
+
+val parse_repro : string -> (int * decision list) option
+(** Inverse of {!repro_line}: the seed and the decision list, ready for
+    {!run_decisions}. *)

@@ -1,0 +1,270 @@
+module Fault = Nbq_primitives.Fault
+module Registry = Nbq_harness.Registry
+
+type built = {
+  enqueue : int -> bool;
+  dequeue : unit -> int option;
+  audit : unit -> Nbq_primitives.Llsc_cas.audit option;
+}
+
+type target = {
+  name : string;
+  deep_points : Fault.point list;
+  build : Injector.t -> capacity:int -> built;
+}
+
+let name t = t.name
+
+(* Every target additionally supports the harness-level between-operations
+   stall; it is the only point available on uninstrumented (including
+   lock-based) queues. *)
+let points t = t.deep_points @ [ Fault.Op_gap ]
+
+let build_cas inj ~capacity =
+  let module F = (val Injector.hook inj) in
+  let module Q =
+    Nbq_core.Evequoz_cas.Make_injected
+      (Nbq_primitives.Atomic_intf.Real)
+      (Nbq_primitives.Probe.Noop)
+      (F)
+  in
+  let q = Q.create ~capacity in
+  (* Register and deregister around every operation so all three
+     tag-protocol windows fire on each call — and so a crash anywhere
+     inside abandons the handle acquired at entry, which is exactly the
+     paper-§5 adversary the registry must tolerate. *)
+  {
+    enqueue =
+      (fun v ->
+        let h = Q.register q in
+        let r = Q.enqueue_with q h v in
+        Q.deregister h;
+        r);
+    dequeue =
+      (fun () ->
+        let h = Q.register q in
+        let r = Q.dequeue_with q h in
+        Q.deregister h;
+        r);
+    audit = (fun () -> Some (Q.audit q));
+  }
+
+let build_llsc inj ~capacity =
+  let module F = (val Injector.hook inj) in
+  let module Cell =
+    Nbq_primitives.Llsc.Make_injected
+      (Nbq_primitives.Atomic_intf.Real)
+      (Nbq_primitives.Probe.Noop)
+      (F)
+  in
+  let module Q =
+    Nbq_core.Evequoz_llsc.Make_injected (Cell) (Nbq_primitives.Probe.Noop) (F)
+  in
+  let q = Q.create ~capacity in
+  {
+    enqueue = (fun v -> Q.try_enqueue q v);
+    dequeue = (fun () -> Q.try_dequeue q);
+    audit = (fun () -> None);
+  }
+
+let evequoz_cas =
+  {
+    name = "evequoz-cas";
+    deep_points =
+      [
+        Fault.Ll_reserve;
+        Fault.Slot_swap;
+        Fault.Sc_attempt;
+        Fault.Tag_register;
+        Fault.Tag_reregister;
+        Fault.Tag_deregister;
+        Fault.Counter_bump;
+      ];
+    build = build_cas;
+  }
+
+let evequoz_llsc =
+  {
+    name = "evequoz-llsc";
+    deep_points = [ Fault.Ll_reserve; Fault.Sc_attempt; Fault.Counter_bump ];
+    build = build_llsc;
+  }
+
+let deep_targets = [ evequoz_llsc; evequoz_cas ]
+
+let generic_of_impl (impl : Registry.impl) =
+  {
+    name = impl.Registry.name;
+    deep_points = [];
+    build =
+      (fun _inj ~capacity ->
+        let inst = impl.Registry.create ~capacity in
+        {
+          enqueue = (fun v -> inst.Registry.enqueue { Registry.tag = v });
+          dequeue =
+            (fun () ->
+              Option.map (fun p -> p.Registry.tag) (inst.Registry.dequeue ()));
+          audit = (fun () -> None);
+        });
+  }
+
+let targets () =
+  let deep_names = List.map (fun t -> t.name) deep_targets in
+  deep_targets
+  @ List.filter_map
+      (fun impl ->
+        if List.mem impl.Registry.name deep_names then None
+        else Some (generic_of_impl impl))
+      Registry.concurrent
+
+let find name' =
+  List.find_opt (fun t -> t.name = name') (targets ())
+
+(* --- One torture round --- *)
+
+type outcome = {
+  target : string;
+  point : Fault.point;
+  action : Injector.action;
+  triggered : bool;
+  survivors : int;
+  min_survivor_ops : int;
+  balance : int;
+  conserved : bool;
+  audit : Nbq_primitives.Llsc_cas.audit option;
+  recovered : bool;
+}
+
+type worker = {
+  ops : int Atomic.t;
+  enq : int Atomic.t;
+  deq : int Atomic.t;
+  crashed : bool Atomic.t;
+  dom : int Atomic.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+let run ?(workers = 4) ?(target_ops = 10_000) ?(capacity = 64)
+    ?(trigger_after = 50) ?(timeout = 30.) t ~point ~action =
+  if workers < 2 then invalid_arg "Torture.run: workers < 2";
+  if not (List.mem point (points t)) then
+    invalid_arg
+      (Printf.sprintf "Torture.run: %s has no %s point" t.name
+         (Fault.to_string point));
+  let inj = Injector.create () in
+  let b = t.build inj ~capacity in
+  let stop = Atomic.make false in
+  let ws =
+    Array.init workers (fun _ ->
+        {
+          ops = Atomic.make 0;
+          enq = Atomic.make 0;
+          deq = Atomic.make 0;
+          crashed = Atomic.make false;
+          dom = Atomic.make (-1);
+        })
+  in
+  Injector.arm inj ~point ~action ~after:trigger_after;
+  let body i w () =
+    Atomic.set w.dom (Domain.self () :> int);
+    let v = ref i in
+    try
+      while not (Atomic.get stop) do
+        (* Op_gap is harness-level: fired here, between operations, rather
+           than inside the queue's protocol. *)
+        if point = Fault.Op_gap then Injector.hit inj Fault.Op_gap;
+        v := !v + workers;
+        if b.enqueue !v then Atomic.incr w.enq;
+        Atomic.incr w.ops;
+        (match b.dequeue () with
+        | Some _ -> Atomic.incr w.deq
+        | None -> ());
+        Atomic.incr w.ops
+      done
+    with Injector.Crashed ->
+      (* Thread death mid-protocol: no cleanup, no deregistration. *)
+      Atomic.set w.crashed true
+  in
+  let doms = Array.mapi (fun i w -> Domain.spawn (body i w)) ws in
+  let deadline = now () +. timeout in
+  while (not (Injector.triggered inj)) && now () < deadline do
+    Domain.cpu_relax ()
+  done;
+  let fired = Injector.triggered inj in
+  let vict = Injector.victim inj in
+  let is_victim w =
+    match vict with Some id -> Atomic.get w.dom = id | None -> false
+  in
+  (* The progress oracle: with the victim frozen (or dead) inside the armed
+     window, every other worker must still advance by [target_ops]
+     operations — the lock-freedom claim made concrete. *)
+  let snapshot = Array.map (fun w -> Atomic.get w.ops) ws in
+  let survivors_done () =
+    let ok = ref true in
+    Array.iteri
+      (fun i w ->
+        if (not (is_victim w)) && Atomic.get w.ops - snapshot.(i) < target_ops
+        then ok := false)
+      ws;
+    !ok
+  in
+  if fired then
+    while (not (survivors_done ())) && now () < deadline do
+      Domain.cpu_relax ()
+    done;
+  let min_survivor_ops =
+    let m = ref max_int and any = ref false in
+    Array.iteri
+      (fun i w ->
+        if not (is_victim w) then begin
+          any := true;
+          m := min !m (Atomic.get w.ops - snapshot.(i))
+        end)
+      ws;
+    if !any then !m else 0
+  in
+  let survivors =
+    Array.fold_left (fun n w -> if is_victim w then n else n + 1) 0 ws
+  in
+  Atomic.set stop true;
+  Injector.release inj;
+  Array.iter Domain.join doms;
+  Injector.disarm inj;
+  (* Conservation: everything successfully enqueued is either already
+     dequeued or still drainable.  Exact after a stall (the released victim
+     finishes its operation normally); a crashed thread's in-flight item
+     may be silently present or lost, so the crash tolerance is +-1. *)
+  let drained = ref 0 in
+  let rec drain () =
+    match b.dequeue () with
+    | Some _ ->
+        incr drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let total f = Array.fold_left (fun n w -> n + Atomic.get (f w)) 0 ws in
+  let balance = !drained + total (fun w -> w.deq) - total (fun w -> w.enq) in
+  let conserved =
+    match action with
+    | Injector.Stall -> balance = 0
+    | Injector.Crash -> abs balance <= 1
+  in
+  (* Recovery: the structure must remain fully usable after the fault. *)
+  let recovered =
+    b.enqueue 424242
+    && (match b.dequeue () with Some 424242 -> true | _ -> false)
+  in
+  {
+    target = t.name;
+    point;
+    action;
+    triggered = fired;
+    survivors;
+    min_survivor_ops;
+    balance;
+    conserved;
+    audit = b.audit ();
+    recovered;
+  }

@@ -1,0 +1,95 @@
+(** Stall/crash torture for the queue stack.
+
+    One torture round freezes (or kills) exactly one domain inside a chosen
+    injection point while the other domains keep hammering the queue, and
+    then checks the paper's robustness claims concretely:
+
+    - {b progress} — every non-victim worker completes at least
+      [target_ops] operations while the victim is held in the window
+      (lock-freedom: no thread's delay blocks the others);
+    - {b conservation} — after release/join, successful enqueues equal
+      successful dequeues plus a full drain (exactly for a stall; a crashed
+      thread's single in-flight item may be present or lost, so ±1);
+    - {b registry hygiene} — for the CAS queue, the tag-variable registry
+      stays bounded even when a crash abandons a registered variable
+      mid-protocol (the paper-§5 adversary);
+    - {b recovery} — a post-fault enqueue/dequeue roundtrip succeeds.
+
+    Deep targets (the two Evéquoz queues) are rebuilt through their
+    [Make_injected] functors so faults fire {e inside} the algorithm; every
+    other registry queue is a generic target supporting only the
+    harness-level {!Nbq_primitives.Fault.Op_gap} point (stalling between
+    operations — the strongest fault one can inject without instrumenting
+    the implementation, and the only one lock-based queues survive). *)
+
+type built = {
+  enqueue : int -> bool;
+  dequeue : unit -> int option;
+  audit : unit -> Nbq_primitives.Llsc_cas.audit option;
+      (** Tag-registry snapshot; [None] for queues without a registry. *)
+}
+(** A queue instance wired to an injector, reduced to what the torture
+    loop needs.  For the CAS queue, [enqueue]/[dequeue] register and
+    deregister a fresh handle around every call, so all tag-protocol
+    windows fire each operation and a crash abandons the handle. *)
+
+type target
+(** A queue that can be tortured: a name, its injectable points, and a
+    builder. *)
+
+val name : target -> string
+
+val points : target -> Nbq_primitives.Fault.point list
+(** The target's deep points plus {!Nbq_primitives.Fault.Op_gap} (always
+    last). *)
+
+val evequoz_cas : target
+(** All seven deep points: the LL/SC-simulation windows, the tag-registry
+    protocol and the counter-bump helping window. *)
+
+val evequoz_llsc : target
+(** [Ll_reserve], [Sc_attempt] (fired by the injected ideal cells) and
+    [Counter_bump]. *)
+
+val targets : unit -> target list
+(** The deep targets plus a generic (Op_gap-only) target for every other
+    queue in {!Nbq_harness.Registry.concurrent}. *)
+
+val find : string -> target option
+
+type outcome = {
+  target : string;
+  point : Nbq_primitives.Fault.point;
+  action : Injector.action;
+  triggered : bool;  (** the armed point actually fired *)
+  survivors : int;  (** workers not selected as the victim *)
+  min_survivor_ops : int;
+      (** least operations any survivor completed while the victim was held
+          in the window *)
+  balance : int;  (** drained + dequeued - enqueued; 0 = exact *)
+  conserved : bool;  (** balance within the action's tolerance *)
+  audit : Nbq_primitives.Llsc_cas.audit option;
+      (** registry snapshot after drain and recovery, when applicable *)
+  recovered : bool;  (** post-fault roundtrip succeeded *)
+}
+
+val run :
+  ?workers:int ->
+  ?target_ops:int ->
+  ?capacity:int ->
+  ?trigger_after:int ->
+  ?timeout:float ->
+  target ->
+  point:Nbq_primitives.Fault.point ->
+  action:Injector.action ->
+  outcome
+(** [run t ~point ~action] executes one torture round: build a fresh
+    instance of [t] wired to a fresh injector, arm the [trigger_after]-th
+    (default 50) hit of [point] with [action], spawn [workers] (default 4,
+    minimum 2) domains looping enqueue/dequeue pairs, wait for the trigger,
+    require every survivor to advance [target_ops] (default 10_000)
+    operations, then stop, release, join and evaluate the oracles above.
+    [timeout] (default 30s) bounds the whole round; a round that times out
+    reports [triggered = false] or a small [min_survivor_ops] rather than
+    hanging.  Raises [Invalid_argument] if [point] is not one of
+    [points t] or [workers < 2]. *)

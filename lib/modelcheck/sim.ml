@@ -194,6 +194,31 @@ let run_sequential f =
           | _ -> None);
     }
 
+(* Externally guided execution: the caller's [choose] picks the next task
+   at every scheduling point, with full freedom over the enabled set (no
+   preemption bound).  This is the entry point for randomized fault-schedule
+   exploration: a seeded chooser gives a reproducible run, and the returned
+   trace is the exact schedule for replay/shrinking. *)
+let run_guided ?(max_steps = 100_000) ~choose scenario =
+  let tasks, check = scenario () in
+  let st = Array.map (fun f -> Pending f) tasks in
+  let rec loop steps rev_trace =
+    match enabled st with
+    | [] ->
+        check ();
+        (`Completed, List.rev rev_trace)
+    | en ->
+        if steps >= max_steps then (`Diverged, List.rev rev_trace)
+        else begin
+          let chosen = choose ~step:steps ~enabled:en in
+          if not (List.mem chosen en) then
+            invalid_arg "Sim.run_guided: choose picked a disabled task";
+          step st chosen;
+          loop (steps + 1) (chosen :: rev_trace)
+        end
+  in
+  loop 0 []
+
 let run_schedule scenario schedule =
   let tasks, check = scenario () in
   let status, _ =

@@ -66,6 +66,22 @@ val explore :
     [max_steps] (default 10_000) bounds one schedule's length;
     [max_schedules] (default 1_000_000) bounds the exploration. *)
 
+val run_guided :
+  ?max_steps:int ->
+  choose:(step:int -> enabled:int list -> int) ->
+  (unit -> (unit -> unit) array * (unit -> unit)) ->
+  [ `Completed | `Diverged ] * int list
+(** [run_guided ~choose scenario] executes one schedule driven by an
+    external chooser: at every scheduling point [choose ~step ~enabled] must
+    return one of the [enabled] task indices (anything else raises
+    [Invalid_argument]).  No preemption bound — the chooser has full
+    adversarial freedom.  Runs the scenario check on completion (its
+    exceptions propagate) and returns the status together with the exact
+    task trace taken, suitable for {!run_schedule}-style replay or
+    shrinking.  [max_steps] (default 100_000) cuts off divergent runs.
+    The entry point for randomized fault-schedule exploration
+    ([Nbq_fault.Explore]). *)
+
 val run_schedule :
   (unit -> (unit -> unit) array * (unit -> unit)) -> int list ->
   [ `Completed | `Diverged ]

@@ -1,20 +1,34 @@
 type t = {
   min_wait : int;
   max_wait : int;
+  jitter : bool;
   mutable wait : int;
+  mutable last : int;
 }
 
-let create ?(min_wait = 1) ?(max_wait = 4096) () =
+let create ?(min_wait = 1) ?(max_wait = 4096) ?(jitter = false) () =
   if min_wait < 1 then invalid_arg "Backoff.create: min_wait < 1";
   if max_wait < min_wait then invalid_arg "Backoff.create: max_wait < min_wait";
-  { min_wait; max_wait; wait = min_wait }
+  { min_wait; max_wait; jitter; wait = min_wait; last = 0 }
 
 let once t =
-  for _ = 1 to t.wait do
+  let spins =
+    if t.jitter then
+      (* Uniform in [min_wait, wait]: decorrelates convoys of retriers that
+         entered the loop together, while keeping the envelope exponential. *)
+      t.min_wait + Prng.int (Prng.domain_local ()) (t.wait - t.min_wait + 1)
+    else t.wait
+  in
+  t.last <- spins;
+  for _ = 1 to spins do
     Domain.cpu_relax ()
   done;
   t.wait <- min (t.wait * 2) t.max_wait
 
-let reset t = t.wait <- t.min_wait
+let reset t =
+  t.wait <- t.min_wait;
+  t.last <- 0
 
 let current t = t.wait
+
+let last_wait t = t.last

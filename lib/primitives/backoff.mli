@@ -9,18 +9,29 @@ type t
 (** Mutable per-call-site backoff state.  Not thread-safe; allocate one per
     domain and per loop (they are two words, this is cheap). *)
 
-val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+val create : ?min_wait:int -> ?max_wait:int -> ?jitter:bool -> unit -> t
 (** [create ~min_wait ~max_wait ()] bounds the spin count between
     [min_wait] (default 1) and [max_wait] (default 4096) iterations of
-    [Domain.cpu_relax].  Raises [Invalid_argument] if
+    [Domain.cpu_relax].  With [~jitter:true] (default [false]) each {!once}
+    spins for a uniformly random count in [\[min_wait, envelope\]] drawn from
+    the calling domain's {!Prng.domain_local} stream — decorrelating convoys
+    of threads that hit contention together — while the envelope itself still
+    doubles deterministically.  Raises [Invalid_argument] if
     [min_wait < 1 || max_wait < min_wait]. *)
 
 val once : t -> unit
-(** Spin for the current wait amount, then double it (saturating at
-    [max_wait]). *)
+(** Spin for the current wait amount (exact, or jittered below the envelope),
+    then double the envelope (saturating at [max_wait]). *)
 
 val reset : t -> unit
 (** Forget accumulated contention; the next {!once} waits [min_wait]. *)
 
 val current : t -> int
-(** Current spin count; exposed for tests. *)
+(** The current envelope: the spin count the next non-jittered {!once} would
+    use, and the inclusive upper bound on a jittered one.  Always within
+    [\[min_wait, max_wait\]]; exposed for tests. *)
+
+val last_wait : t -> int
+(** The spin count actually used by the most recent {!once} (0 before the
+    first, and after {!reset}).  With jitter it lies in
+    [\[min_wait, current-before-that-once\]]; exposed for tests. *)

@@ -1,0 +1,35 @@
+type point =
+  | Ll_reserve
+  | Slot_swap
+  | Sc_attempt
+  | Tag_register
+  | Tag_reregister
+  | Tag_deregister
+  | Counter_bump
+  | Op_gap
+
+let all =
+  [
+    Ll_reserve; Slot_swap; Sc_attempt; Tag_register; Tag_reregister;
+    Tag_deregister; Counter_bump; Op_gap;
+  ]
+
+let to_string = function
+  | Ll_reserve -> "ll-reserve"
+  | Slot_swap -> "slot-swap"
+  | Sc_attempt -> "sc-attempt"
+  | Tag_register -> "tag-register"
+  | Tag_reregister -> "tag-reregister"
+  | Tag_deregister -> "tag-deregister"
+  | Counter_bump -> "counter-bump"
+  | Op_gap -> "op-gap"
+
+let of_string s = List.find_opt (fun p -> to_string p = s) all
+
+module type S = sig
+  val hit : point -> unit
+end
+
+module Noop : S = struct
+  let hit _ = ()
+end

@@ -1,0 +1,68 @@
+(** Named fault-injection points at the linearization-critical windows of
+    the paper's algorithms.
+
+    The paper's progress and space claims are {e adversarial} claims: a
+    thread may stall — or die — at the worst possible instant, and the
+    remaining threads must still complete operations while the tag-variable
+    registry stays bounded.  Each {!point} names one such worst instant.  An
+    algorithm functor takes an {!S} alongside its {!Probe.S}; the default
+    {!Noop} compiles to nothing, while [Nbq_fault.Injector] supplies hooks
+    that freeze ({e stall}) or unwind ({e crash}) the first thread to reach
+    an armed point, so torture tests can park a victim inside the window and
+    prove the rest of the system keeps going.
+
+    Where each point sits (see DESIGN.md §7c for the paper mapping):
+    - [Ll_reserve] — on entry to a load-linked, before the cell is read.
+      The victim holds nothing yet.
+    - [Slot_swap] — in the CAS-simulated LL/SC, {e just after} the handle's
+      tag marker was swapped into the cell.  A victim frozen here has
+      published its tag and never returns: the paper's §5 window, which
+      other threads must resolve by reading through the tag variable.
+    - [Sc_attempt] — before the store-conditional's CAS.  In the simulated
+      LL/SC the victim still owns an installed marker that others must be
+      able to steal.
+    - [Tag_register] — after a tag variable was acquired (refcount 0→1) but
+      before the handle is returned.  A crash here abandons one owned
+      variable (the paper accepts this bounded leak).
+    - [Tag_reregister] / [Tag_deregister] — on entry to the corresponding
+      registry protocol calls.
+    - [Counter_bump] — after a slot update succeeded but before the lagging
+      [Head]/[Tail] counter is CASed forward; other threads must help
+      (paper E11-E13 / D11-D13).
+    - [Op_gap] — between two queue operations, holding nothing.  This point
+      is hit by harness-level wrappers only, and is meaningful for {e
+      every} queue in the registry (even the lock-based baselines survive a
+      stall at an operation boundary). *)
+
+type point =
+  | Ll_reserve
+  | Slot_swap
+  | Sc_attempt
+  | Tag_register
+  | Tag_reregister
+  | Tag_deregister
+  | Counter_bump
+  | Op_gap
+
+val all : point list
+(** Every point, in declaration order. *)
+
+val to_string : point -> string
+(** Stable kebab-case name, e.g. ["slot-swap"] (used by [torture --point]
+    and in reports). *)
+
+val of_string : string -> point option
+(** Inverse of {!to_string}. *)
+
+(** The hook interface threaded through the algorithm functors.  [hit p] is
+    called every time execution reaches point [p]; an implementation may
+    return (no fault), block (stall the calling thread inside the window),
+    raise (crash the operation mid-window), or add a scheduling point (the
+    model-checker integration). *)
+module type S = sig
+  val hit : point -> unit
+end
+
+(** No faults: every [hit] is a no-op the compiler can erase.  All
+    production instantiations use this. *)
+module Noop : S

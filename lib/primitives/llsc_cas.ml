@@ -1,6 +1,8 @@
 (* Paper Fig. 5: LL / Register / ReRegister / Deregister, generalized to a
    reusable cell type.  See the .mli for the pointer-tagging substitution. *)
 
+type audit = { registered : int; owned : int; free : int }
+
 module type S = sig
   type 'a t
   type 'a registry
@@ -17,9 +19,11 @@ module type S = sig
   val unsafe_set : 'a t -> 'a -> unit
   val registered_count : 'a registry -> int
   val owned_count : 'a registry -> int
+  val audit : 'a registry -> audit
 end
 
-module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
+module Make_injected (A : Atomic_intf.ATOMIC) (P : Probe.S) (F : Fault.S) =
+struct
   type 'a content =
     | Unset  (* initial placeholder only; never stored in a cell *)
     | Value of 'a
@@ -79,10 +83,14 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
 
   let register reg =
     let var = register_var reg in
+    (* Past this point the variable is owned; a crash here abandons it — the
+       bounded leak the paper accepts for a thread dying mid-[Register]. *)
+    F.hit Fault.Tag_register;
     P.tag_register ();
     { registry = reg; var; mark = Mark var }
 
   let reregister h =
+    F.hit Fault.Tag_reregister;
     P.tag_reregister ();
     (* Keep the variable only if we are its sole referent; otherwise a
        reader could later validate a stale marker observation against our
@@ -96,12 +104,14 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
     end
 
   let deregister h =
+    F.hit Fault.Tag_deregister;
     P.tag_deregister ();
     ignore (A.fetch_and_add h.var.refcount (-1))
 
   (* --- Simulated LL / SC (paper L1-L17) --- *)
 
   let rec ll (cell : 'a t) (h : 'a handle) =
+    F.hit Fault.Ll_reserve;
     let cur = A.get cell in
     (match cur with
     | Value _ ->
@@ -118,6 +128,10 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
     | Mark other -> ignore (A.fetch_and_add other.refcount (-1))
     | Value _ | Unset -> ());
     if installed then begin
+      (* Our tag is now published in the cell.  A victim frozen (or killed)
+         here is the paper's §5 adversary: everyone else must be able to
+         read and steal through the abandoned marker. *)
+      F.hit Fault.Slot_swap;
       P.ll_reserve ();
       match h.var.placeholder with
       | Value v -> v
@@ -126,6 +140,7 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
     else ll cell h
 
   let sc (cell : 'a t) (h : 'a handle) v =
+    F.hit Fault.Sc_attempt;
     A.compare_and_set cell h.mark (Value v)
 
   let rec peek (cell : 'a t) =
@@ -155,7 +170,18 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) = struct
 
   let owned_count reg =
     fold_vars reg (fun n v -> if A.get v.refcount > 0 then n + 1 else n) 0
+
+  let audit reg =
+    let registered, owned =
+      fold_vars reg
+        (fun (r, o) v -> (r + 1, if A.get v.refcount > 0 then o + 1 else o))
+        (0, 0)
+    in
+    { registered; owned; free = registered - owned }
 end
+
+module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) =
+  Make_injected (A) (P) (Fault.Noop)
 
 module Make (A : Atomic_intf.ATOMIC) = Make_probed (A) (Probe.Noop)
 

@@ -37,6 +37,13 @@
     Functorized over {!Atomic_intf.ATOMIC} for the model checker; the
     toplevel interface is the real-atomics instantiation. *)
 
+type audit = { registered : int; owned : int; free : int }
+(** One racy snapshot of a registry: variables ever allocated, variables
+    with a non-zero reference count (owned by a handle or pinned by a
+    reader — including variables abandoned by a crashed thread), and the
+    recyclable remainder.  For tests and the torture harness's
+    no-unbounded-growth assertions. *)
+
 module type S = sig
   type 'a t
   (** A simulated LL/SC cell holding logical values of type ['a]. *)
@@ -97,7 +104,19 @@ module type S = sig
   val owned_count : 'a registry -> int
   (** Number of tag variables whose reference count is non-zero right now.
       O(n) scan; racy by nature, for tests and experiments. *)
+
+  val audit : 'a registry -> audit
+  (** {!registered_count} and {!owned_count} in one scan. *)
 end
+
+module Make_injected (A : Atomic_intf.ATOMIC) (P : Probe.S) (F : Fault.S) : S
+(** Like {!Make_probed}, additionally firing [F.hit] at the protocol's
+    fault-injection windows: {!Fault.Ll_reserve} on entry to [ll],
+    {!Fault.Slot_swap} just {e after} the handle's marker was swapped into
+    the cell (the §5 abandonment window), {!Fault.Sc_attempt} before [sc]'s
+    CAS, and {!Fault.Tag_register} / {!Fault.Tag_reregister} /
+    {!Fault.Tag_deregister} inside the registry protocol ([Tag_register]
+    fires after the variable is owned, so a crash there abandons it). *)
 
 module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) : S
 (** Like {!Make}, with instrumentation hooks: [P.ll_reserve] fires on every

@@ -13,4 +13,5 @@ dune exec bin/latency.exe -- --threads 8 --ops 20000 > results/latency.txt 2>&1
 dune exec bin/ablation.exe -- --runs 2 --scale 0.02 --threads 8 > results/ablation.txt 2>&1
 dune exec bin/contend.exe -- --queue evequoz-cas --threads 1,2,4,8 --runs 2 --scale 0.1 --plot > results/contend.txt 2>&1
 dune exec bin/obs_overhead.exe -- --runs 3 --scale 0.5 > results/obs_overhead.txt 2>&1
+dune exec bin/torture.exe -- --seed 42 --ops 10000 --crash > results/torture.txt 2>&1
 echo DONE > results/STATUS

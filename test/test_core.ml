@@ -268,6 +268,83 @@ let round_capacity_unit () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+(* Regression: capacities above the largest representable power of two used
+   to make the doubling loop overflow into negatives and spin forever. *)
+let round_capacity_clamp () =
+  Alcotest.(check int) "max power of two accepted" Intf.max_capacity
+    (Intf.round_capacity Intf.max_capacity);
+  Alcotest.(check int) "rounds up to the max" Intf.max_capacity
+    (Intf.round_capacity (Intf.max_capacity - 1));
+  (match Intf.round_capacity (Intf.max_capacity + 1) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match Intf.round_capacity max_int with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- Graceful degradation: deadlines and retry budgets --- *)
+
+let blocking_deadline_timeout () =
+  let q = Q1_conc.create ~capacity:2 in
+  ignore (Q1_conc.try_enqueue q 1);
+  ignore (Q1_conc.try_enqueue q 2);
+  (match
+     Q1_blocking.enqueue_until q ~deadline:(Unix.gettimeofday () +. 0.02) 3
+   with
+  | `Timeout -> ()
+  | `Ok -> Alcotest.fail "full queue must time out");
+  let empty = Q1_conc.create ~capacity:2 in
+  match
+    Q1_blocking.dequeue_until empty ~deadline:(Unix.gettimeofday () +. 0.02)
+  with
+  | `Timeout -> ()
+  | `Ok _ -> Alcotest.fail "empty queue must time out"
+
+let blocking_deadline_past_still_tries () =
+  (* A deadline already in the past still makes one attempt, so an
+     uncontended operation never spuriously times out. *)
+  let q = Q1_conc.create ~capacity:2 in
+  (match Q1_blocking.enqueue_until q ~deadline:0.0 7 with
+  | `Ok -> ()
+  | `Timeout -> Alcotest.fail "uncontended enqueue must succeed");
+  match Q1_blocking.dequeue_until q ~deadline:0.0 with
+  | `Ok 7 -> ()
+  | `Ok _ | `Timeout -> Alcotest.fail "the item must come back"
+
+let blocking_budget () =
+  let q = Q1_conc.create ~capacity:2 in
+  ignore (Q1_conc.try_enqueue q 1);
+  ignore (Q1_conc.try_enqueue q 2);
+  (match Q1_blocking.enqueue_budget q ~retries:3 9 with
+  | `Timeout -> ()
+  | `Ok -> Alcotest.fail "full queue must exhaust its budget");
+  (match Q1_blocking.dequeue_budget q ~retries:0 with
+  | `Ok 1 -> ()
+  | `Ok _ | `Timeout -> Alcotest.fail "first attempt must dequeue 1");
+  (match Q1_blocking.enqueue_budget q ~retries:0 9 with
+  | `Ok -> ()
+  | `Timeout -> Alcotest.fail "freed slot must accept without retries");
+  let empty = Q1_conc.create ~capacity:2 in
+  match Q1_blocking.dequeue_budget empty ~retries:2 with
+  | `Timeout -> ()
+  | `Ok _ -> Alcotest.fail "empty queue must exhaust its budget"
+
+let blocking_deadline_cross_domain () =
+  let q = Q1_conc.create ~capacity:2 in
+  ignore (Q1_conc.try_enqueue q 1);
+  ignore (Q1_conc.try_enqueue q 2);
+  let consumer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.01;
+        Q1_blocking.dequeue q)
+  in
+  (match
+     Q1_blocking.enqueue_until q ~deadline:(Unix.gettimeofday () +. 10.0) 3
+   with
+  | `Ok -> ()
+  | `Timeout -> Alcotest.fail "slot was freed well before the deadline");
+  ignore (Domain.join consumer)
+
 let () =
   Alcotest.run "core"
     [
@@ -282,6 +359,7 @@ let () =
           quick "rounding" capacity_rounding;
           quick "invalid" capacity_invalid;
           quick "round_capacity unit" round_capacity_unit;
+          quick "round_capacity overflow clamp" round_capacity_clamp;
         ] );
       ( "handles",
         [
@@ -304,5 +382,12 @@ let () =
           slow "concurrent under 20% failures" weak_queue_concurrent;
         ] );
       ( "blocking",
-        [ slow "ping-pong through 2-slot ring" blocking_wrapper_ping_pong ] );
+        [
+          slow "ping-pong through 2-slot ring" blocking_wrapper_ping_pong;
+          quick "deadline times out" blocking_deadline_timeout;
+          quick "past deadline still tries once"
+            blocking_deadline_past_still_tries;
+          quick "retry budgets" blocking_budget;
+          slow "deadline met across domains" blocking_deadline_cross_domain;
+        ] );
     ]

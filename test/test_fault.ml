@@ -1,0 +1,312 @@
+(* Fault layer tests: injector semantics, the stall/crash torture matrix
+   over both Evequoz queues (the lock-freedom acceptance criterion: every
+   survivor completes >= 10k ops while one domain is frozen inside each
+   injection point), tag-registry abandonment, and the randomized schedule
+   explorer with its shrinker and repro lines. *)
+
+module Fault = Nbq_primitives.Fault
+module Injector = Nbq_fault.Injector
+module Torture = Nbq_fault.Torture
+module Explore = Nbq_fault.Explore
+module Sim = Nbq_modelcheck.Sim
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+(* --- Fault points --- *)
+
+let point_strings () =
+  Alcotest.(check int) "eight points" 8 (List.length Fault.all);
+  List.iter
+    (fun p ->
+      match Fault.of_string (Fault.to_string p) with
+      | Some p' -> Alcotest.(check bool) "round trip" true (p = p')
+      | None -> Alcotest.fail ("unparsable: " ^ Fault.to_string p))
+    Fault.all;
+  Alcotest.(check bool) "unknown rejected" true (Fault.of_string "nope" = None)
+
+(* --- Injector --- *)
+
+let injector_disarmed_noop () =
+  let i = Injector.create () in
+  Injector.hit i Fault.Op_gap;
+  Alcotest.(check int) "no hits counted" 0 (Injector.hits i);
+  Alcotest.(check bool) "not triggered" false (Injector.triggered i)
+
+let injector_crash_on_nth () =
+  let i = Injector.create () in
+  Injector.arm i ~point:Fault.Op_gap ~action:Injector.Crash ~after:3;
+  Injector.hit i Fault.Ll_reserve;
+  (* wrong point: ignored *)
+  Injector.hit i Fault.Op_gap;
+  Injector.hit i Fault.Op_gap;
+  Alcotest.(check bool) "not yet" false (Injector.triggered i);
+  (try
+     Injector.hit i Fault.Op_gap;
+     Alcotest.fail "third hit must crash"
+   with Injector.Crashed -> ());
+  Alcotest.(check bool) "triggered" true (Injector.triggered i);
+  Alcotest.(check int) "three hits" 3 (Injector.hits i);
+  (match Injector.victim i with
+  | Some id ->
+      Alcotest.(check int) "victim is us" (Domain.self () :> int) id
+  | None -> Alcotest.fail "victim recorded");
+  (* One-shot: the fourth hit passes through. *)
+  Injector.hit i Fault.Op_gap;
+  Alcotest.(check int) "keeps counting" 4 (Injector.hits i)
+
+let injector_stall_release () =
+  let i = Injector.create () in
+  Injector.arm i ~point:Fault.Sc_attempt ~action:Injector.Stall ~after:1;
+  let d =
+    Domain.spawn (fun () ->
+        Injector.hit i Fault.Sc_attempt;
+        42)
+  in
+  while not (Injector.triggered i) do
+    Domain.cpu_relax ()
+  done;
+  Injector.release i;
+  Alcotest.(check int) "victim resumed after release" 42 (Domain.join d)
+
+let injector_arm_validation () =
+  let i = Injector.create () in
+  Alcotest.check_raises "after < 1" (Invalid_argument "Injector.arm: after < 1")
+    (fun () ->
+      Injector.arm i ~point:Fault.Op_gap ~action:Injector.Stall ~after:0)
+
+(* --- Stall torture matrix (the acceptance criterion) --- *)
+
+let stall_point target point () =
+  let o =
+    Torture.run ~workers:4 ~target_ops:10_000 target ~point
+      ~action:Injector.Stall
+  in
+  Alcotest.(check bool) "point fired" true o.Torture.triggered;
+  Alcotest.(check bool)
+    (Printf.sprintf "survivors completed >= 10k ops (got %d)"
+       o.Torture.min_survivor_ops)
+    true
+    (o.Torture.min_survivor_ops >= 10_000);
+  Alcotest.(check int) "exact conservation" 0 o.Torture.balance;
+  Alcotest.(check bool) "recovered" true o.Torture.recovered
+
+let stall_matrix target =
+  List.map
+    (fun p ->
+      slow
+        (Printf.sprintf "%s / %s" (Torture.name target) (Fault.to_string p))
+        (stall_point target p))
+    (Torture.points target)
+
+let opgap_generic name () =
+  match Torture.find name with
+  | None -> Alcotest.fail ("unknown torture target: " ^ name)
+  | Some t -> stall_point t Fault.Op_gap ()
+
+(* --- Crash torture and registry abandonment --- *)
+
+let crash_point ?(check_audit = false) target point () =
+  let o =
+    Torture.run ~workers:4 ~target_ops:5_000 target ~point
+      ~action:Injector.Crash
+  in
+  Alcotest.(check bool) "point fired" true o.Torture.triggered;
+  Alcotest.(check bool) "survivors progressed" true
+    (o.Torture.min_survivor_ops >= 5_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "conservation within +-1 (got %d)" o.Torture.balance)
+    true o.Torture.conserved;
+  Alcotest.(check bool) "recovered" true o.Torture.recovered;
+  if check_audit then
+    match o.Torture.audit with
+    | None -> Alcotest.fail "cas target must expose an audit"
+    | Some a ->
+        (* The crashed worker abandoned the handle it registered at
+           operation entry: exactly one variable stays owned forever (the
+           bounded leak the paper accepts), and the registry stays at the
+           concurrency high-water mark. *)
+        Alcotest.(check int) "one abandoned variable" 1
+          a.Nbq_primitives.Llsc_cas.owned;
+        Alcotest.(check bool)
+          (Printf.sprintf "registry bounded (%d registered)"
+             a.Nbq_primitives.Llsc_cas.registered)
+          true
+          (a.Nbq_primitives.Llsc_cas.registered <= 6)
+
+(* --- Schedule explorer --- *)
+
+(* A deliberately racy counter: get-then-set increments lose updates under
+   preemption, but never under the default non-preemptive schedule.  The
+   explorer must find the race, shrink it to (almost) one preemption, and
+   replay it from the printed repro. *)
+let racy_scenario () =
+  let c = Sim.Atomic.make 0 in
+  let incr () =
+    let v = Sim.Atomic.get c in
+    Sim.Atomic.set c (v + 1)
+  in
+  ( [| incr; incr |],
+    fun () ->
+      let v = Sim.run_sequential (fun () -> Sim.Atomic.get c) in
+      if v <> 2 then failwith "lost update" )
+
+let correct_scenario () =
+  let c = Sim.Atomic.make 0 in
+  let incr () = ignore (Sim.Atomic.fetch_and_add c 1) in
+  ( [| incr; incr |],
+    fun () ->
+      let v = Sim.run_sequential (fun () -> Sim.Atomic.get c) in
+      if v <> 2 then failwith "atomic increment lost" )
+
+let explore_default_passes () =
+  match Explore.run_decisions racy_scenario [] with
+  | Explore.Passed -> ()
+  | Explore.Diverged -> Alcotest.fail "default schedule diverged"
+  | Explore.Failed _ ->
+      Alcotest.fail "non-preemptive schedule cannot lose the update"
+
+let explore_finds_shrinks_replays () =
+  match Explore.search ~trials:200 ~seed:42 racy_scenario with
+  | None -> Alcotest.fail "randomized search missed the lost update"
+  | Some f ->
+      Alcotest.(check bool) "at least one preemption" true
+        (f.Explore.decisions <> []);
+      Alcotest.(check bool)
+        (Printf.sprintf "shrunk to <= 2 decisions (got %d)"
+           (List.length f.Explore.decisions))
+        true
+        (List.length f.Explore.decisions <= 2);
+      (match Explore.run_decisions racy_scenario f.Explore.decisions with
+      | Explore.Failed _ -> ()
+      | _ -> Alcotest.fail "shrunk schedule must still fail");
+      let line = Explore.repro_line f in
+      (match Explore.parse_repro line with
+      | Some (seed, ds) ->
+          Alcotest.(check int) "seed round-trips" f.Explore.seed seed;
+          Alcotest.(check bool) "decisions round-trip" true
+            (ds = f.Explore.decisions);
+          (* The acceptance criterion: the printed repro replays the
+             failure deterministically. *)
+          (match Explore.run_decisions racy_scenario ds with
+          | Explore.Failed _ -> ()
+          | _ -> Alcotest.fail "parsed repro must fail deterministically")
+      | None -> Alcotest.fail ("repro line must parse: " ^ line))
+
+let explore_deterministic () =
+  match
+    ( Explore.search ~trials:200 ~seed:7 racy_scenario,
+      Explore.search ~trials:200 ~seed:7 racy_scenario )
+  with
+  | Some a, Some b ->
+      Alcotest.(check int) "same trial count" a.Explore.trials
+        b.Explore.trials;
+      Alcotest.(check bool) "same shrunk schedule" true
+        (a.Explore.decisions = b.Explore.decisions)
+  | _ -> Alcotest.fail "seeded search must find the race both times"
+
+let explore_correct_scenario_clean () =
+  match Explore.search ~trials:100 ~seed:3 correct_scenario with
+  | None -> ()
+  | Some f ->
+      Alcotest.fail ("false positive: " ^ Explore.repro_line f)
+
+let repro_empty_round_trip () =
+  let f = { Explore.seed = 5; trials = 1; decisions = []; message = "m" } in
+  match Explore.parse_repro (Explore.repro_line f) with
+  | Some (5, []) -> ()
+  | _ -> Alcotest.fail "empty decision list must round-trip"
+
+let repro_parse_rejects_garbage () =
+  Alcotest.(check bool) "garbage" true (Explore.parse_repro "hello" = None);
+  Alcotest.(check bool) "bad decisions" true
+    (Explore.parse_repro "NBQ-FAULT-REPRO v1 seed=1 decisions=x:y" = None)
+
+(* --- Fault windows as scheduling points in the model checker --- *)
+
+module SimCas =
+  Nbq_core.Evequoz_cas.Make_injected (Sim.Atomic) (Nbq_primitives.Probe.Noop)
+    (Explore.Yield_at_faults)
+
+let injected_cas_scenario () =
+  let q = SimCas.create ~capacity:2 in
+  let deq_ok = Array.make 2 false in
+  let worker i () =
+    let h = SimCas.register q in
+    ignore (SimCas.enqueue_with q h (100 + i));
+    (match SimCas.dequeue_with q h with
+    | Some _ -> deq_ok.(i) <- true
+    | None -> ());
+    SimCas.deregister h
+  in
+  ( [| worker 0; worker 1 |],
+    fun () ->
+      if not (deq_ok.(0) && deq_ok.(1)) then
+        failwith "a dequeue lost its item";
+      let len = Sim.run_sequential (fun () -> SimCas.length q) in
+      if len <> 0 then failwith "queue not drained" )
+
+let explore_injected_cas_exhaustive () =
+  let stats =
+    Sim.explore ~max_schedules:200_000 ~preemption_bound:(Some 2)
+      injected_cas_scenario
+  in
+  Alcotest.(check bool) "schedules completed" true (stats.Sim.completed > 0)
+
+let explore_injected_cas_random () =
+  match Explore.search ~trials:100 ~seed:11 injected_cas_scenario with
+  | None -> ()
+  | Some f ->
+      Alcotest.fail
+        ("randomized schedules broke evequoz-cas: " ^ Explore.repro_line f)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ("points", [ quick "to_string/of_string round trip" point_strings ]);
+      ( "injector",
+        [
+          quick "disarmed is a no-op" injector_disarmed_noop;
+          quick "crash on the nth hit, one-shot" injector_crash_on_nth;
+          quick "stall until release" injector_stall_release;
+          quick "arm validation" injector_arm_validation;
+        ] );
+      ("stall-matrix evequoz-llsc", stall_matrix Torture.evequoz_llsc);
+      ("stall-matrix evequoz-cas", stall_matrix Torture.evequoz_cas);
+      ( "stall-op-gap generic",
+        [
+          slow "two-lock" (opgap_generic "two-lock");
+          slow "ms-gc" (opgap_generic "ms-gc");
+        ] );
+      ( "crash",
+        [
+          slow "llsc / counter-bump"
+            (crash_point Torture.evequoz_llsc Fault.Counter_bump);
+          slow "cas / slot-swap abandons marker"
+            (crash_point ~check_audit:true Torture.evequoz_cas Fault.Slot_swap);
+          slow "cas / tag-register abandons variable"
+            (crash_point ~check_audit:true Torture.evequoz_cas
+               Fault.Tag_register);
+          slow "cas / tag-deregister abandons variable"
+            (crash_point ~check_audit:true Torture.evequoz_cas
+               Fault.Tag_deregister);
+        ] );
+      ( "explore",
+        [
+          quick "default schedule passes" explore_default_passes;
+          quick "finds, shrinks, replays the race"
+            explore_finds_shrinks_replays;
+          quick "seeded search is deterministic" explore_deterministic;
+          quick "no false positive on atomic counter"
+            explore_correct_scenario_clean;
+          quick "empty repro round trip" repro_empty_round_trip;
+          quick "repro parser rejects garbage" repro_parse_rejects_garbage;
+        ] );
+      ( "modelcheck-injected",
+        [
+          slow "exhaustive, fault windows as yields"
+            explore_injected_cas_exhaustive;
+          slow "randomized, fault windows as yields"
+            explore_injected_cas_random;
+        ] );
+    ]

@@ -102,6 +102,31 @@ let backoff_validation () =
     (Invalid_argument "Backoff.create: max_wait < min_wait") (fun () ->
       ignore (Backoff.create ~min_wait:8 ~max_wait:4 ()))
 
+let backoff_no_jitter_exact () =
+  let b = Backoff.create ~min_wait:2 ~max_wait:16 () in
+  Backoff.once b;
+  Alcotest.(check int) "unjittered spin equals the envelope" 2
+    (Backoff.last_wait b)
+
+let backoff_jitter_bounds () =
+  let b = Backoff.create ~min_wait:4 ~max_wait:64 ~jitter:true () in
+  Alcotest.(check int) "no spin yet" 0 (Backoff.last_wait b);
+  for _ = 1 to 20 do
+    let envelope = Backoff.current b in
+    Backoff.once b;
+    let w = Backoff.last_wait b in
+    Alcotest.(check bool)
+      (Printf.sprintf "spin %d within [4, %d]" w envelope)
+      true
+      (w >= 4 && w <= envelope);
+    let c = Backoff.current b in
+    Alcotest.(check bool) "envelope within [min_wait, max_wait]" true
+      (c >= 4 && c <= 64)
+  done;
+  Backoff.reset b;
+  Alcotest.(check int) "reset clears last_wait" 0 (Backoff.last_wait b);
+  Alcotest.(check int) "reset envelope" 4 (Backoff.current b)
+
 (* --- Barrier --- *)
 
 let barrier_releases_all () =
@@ -606,6 +631,8 @@ let () =
           quick "exponential growth" backoff_growth;
           quick "reset" backoff_reset;
           quick "validation" backoff_validation;
+          quick "no jitter: spin equals envelope" backoff_no_jitter_exact;
+          quick "jitter stays within bounds" backoff_jitter_bounds;
         ] );
       ( "barrier",
         [
