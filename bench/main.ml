@@ -76,6 +76,11 @@ let series_a =
 let series_b =
   [ "ms-doherty"; "ms-hp-unsorted"; "ms-hp-sorted"; "evequoz-cas"; "shann" ]
 
+(* The scaling story past the paper: the same ring behind the sharded
+   front-end (DESIGN.md §8). *)
+let sharded_series =
+  [ "evequoz-cas"; "evequoz-cas-shard4"; "evequoz-cas-shard8" ]
+
 let bechamel_tests =
   Test.make_grouped ~name:"nbq"
     [
@@ -122,7 +127,7 @@ let run_bechamel () =
 
 let clamp threads = List.filter (fun t -> t <= max_threads) threads
 
-let measure_series ~series ~threads ~workload =
+let measure_series ?(batched = false) ~series ~threads ~workload () =
   List.map
     (fun threads ->
       ( threads,
@@ -130,12 +135,12 @@ let measure_series ~series ~threads ~workload =
           (fun name ->
             let impl = Registry.find name in
             let cfg = { Runner.threads; runs; workload; capacity = None } in
-            (name, (Runner.measure impl cfg).Runner.summary.Stats.mean))
+            (name, (Runner.measure ~batched impl cfg).Runner.summary.Stats.mean))
           series ))
     threads
 
-let figure ~title ~series ~threads ~normalized ~workload =
-  let results = measure_series ~series ~threads ~workload in
+let figure ?batched ~title ~series ~threads ~normalized ~workload () =
+  let results = measure_series ?batched ~series ~threads ~workload () in
   let t = Table.create ~title ~columns:("threads" :: series) in
   List.iter
     (fun (threads, cells) ->
@@ -178,7 +183,7 @@ let overhead_table ~workload =
 let shann_table ~workload =
   let threads = clamp [ 1; 2; 4; 8; 16 ] in
   let results =
-    measure_series ~series:[ "shann"; "evequoz-cas" ] ~threads ~workload
+    measure_series ~series:[ "shann"; "evequoz-cas" ] ~threads ~workload ()
   in
   let t =
     Table.create ~title:"E6: Shann (simulated CAS64) vs evequoz-cas"
@@ -251,22 +256,32 @@ let () =
     ~title:"E1 / Figure 6(a): actual time, LL/SC suite [s]"
     ~series:series_a
     ~threads:(clamp [ 1; 2; 4; 8; 12; 16; 20; 24; 28; 32 ])
-    ~normalized:false ~workload;
+    ~normalized:false ~workload ();
   figure
     ~title:"E2 / Figure 6(b): actual time, CAS suite [s]"
     ~series:series_b
     ~threads:(clamp [ 1; 4; 8; 16; 24; 32; 48; 64 ])
-    ~normalized:false ~workload;
+    ~normalized:false ~workload ();
   figure
     ~title:"E3 / Figure 6(c): normalized time, LL/SC suite"
     ~series:series_a
     ~threads:(clamp [ 1; 2; 4; 8; 12; 16; 20; 24; 28; 32 ])
-    ~normalized:true ~workload;
+    ~normalized:true ~workload ();
   figure
     ~title:"E4 / Figure 6(d): normalized time, CAS suite"
     ~series:series_b
     ~threads:(clamp [ 1; 4; 8; 16; 24; 32; 48; 64 ])
-    ~normalized:true ~workload;
+    ~normalized:true ~workload ();
   overhead_table ~workload;
   shann_table ~workload;
+  figure
+    ~title:"E8a: sharded front-end vs single ring, actual time [s]"
+    ~series:sharded_series
+    ~threads:(clamp [ 1; 2; 4; 8; 16 ])
+    ~normalized:false ~workload ();
+  figure ~batched:true
+    ~title:"E8b: sharded front-end vs single ring, batched ops [s]"
+    ~series:sharded_series
+    ~threads:(clamp [ 1; 2; 4; 8; 16 ])
+    ~normalized:false ~workload ();
   if metrics_enabled then metrics_pass ~workload

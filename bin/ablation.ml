@@ -62,12 +62,10 @@ let hp_threshold_ablation ~threads ~runs ~workload ~csv =
           (fun ~capacity:_ ->
             let q = Nbq_baselines.Ms_hazard.create ~retire_factor:factor () in
             manager_probe := Some (Nbq_baselines.Ms_hazard.hp_manager q);
-            {
-              Registry.enqueue =
-                (fun p -> Nbq_baselines.Ms_hazard.enqueue q p; true);
-              dequeue = (fun () -> Nbq_baselines.Ms_hazard.try_dequeue q);
-              length = (fun () -> Nbq_baselines.Ms_hazard.length q);
-            })
+            Registry.basic_instance
+              ~enqueue:(fun p -> Nbq_baselines.Ms_hazard.enqueue q p; true)
+              ~dequeue:(fun () -> Nbq_baselines.Ms_hazard.try_dequeue q)
+              ~length:(fun () -> Nbq_baselines.Ms_hazard.length q))
       in
       let mean = measure impl threads runs workload None in
       let scans, freed =
@@ -105,11 +103,10 @@ let ebr_batch_ablation ~threads ~runs ~workload ~csv =
           (fun ~capacity:_ ->
             let q = Nbq_baselines.Ms_epoch.create ~batch_size:batch () in
             probe := Some (Nbq_baselines.Ms_epoch.epoch_manager q);
-            {
-              Registry.enqueue = (fun p -> Nbq_baselines.Ms_epoch.enqueue q p; true);
-              dequeue = (fun () -> Nbq_baselines.Ms_epoch.try_dequeue q);
-              length = (fun () -> Nbq_baselines.Ms_epoch.length q);
-            })
+            Registry.basic_instance
+              ~enqueue:(fun p -> Nbq_baselines.Ms_epoch.enqueue q p; true)
+              ~dequeue:(fun () -> Nbq_baselines.Ms_epoch.try_dequeue q)
+              ~length:(fun () -> Nbq_baselines.Ms_epoch.length q))
       in
       let mean = measure impl threads runs workload None in
       let freed, pending =

@@ -9,5 +9,10 @@ dune runtest
 # point of both Evequoz queues; fixed seed, reduced op target (<30s).
 dune exec bin/torture.exe -- --queue evequoz-cas --seed 42 --ops 2000 > /dev/null
 dune exec bin/torture.exe -- --queue evequoz-llsc --seed 42 --ops 2000 > /dev/null
+# Sharded front-end gate: the same matrix over the 4-shard composition
+# additionally stalls victims inside the shard-steal sweep and the
+# between-operations gap (shard-steal / op-gap points), the windows the
+# single-ring rows cannot reach.
+dune exec bin/torture.exe -- --queue evequoz-cas-shard4 --seed 42 --ops 2000 > /dev/null
 dune build @fmt 2>/dev/null || true
 echo "check: OK"

@@ -15,6 +15,7 @@ type row = {
   sc_fail_per_kop : float;
   rereg_per_kop : float;
   helps_per_kop : float;  (* tail_help + head_help *)
+  steals_per_kop : float; (* sharded front-ends: foreign-shard completions *)
   p99_enq_ns : float;
   snapshot : Metrics.snapshot;
   mean_seconds : float;
@@ -44,6 +45,7 @@ let sweep ~queue ~threads_list ~runs ~workload =
         rereg_per_kop = per_kop (Metrics.get s Event.Tag_reregister);
         helps_per_kop =
           per_kop (Metrics.get s Event.Tail_help + Metrics.get s Event.Head_help);
+        steals_per_kop = per_kop (Metrics.get s Event.Shard_steal);
         p99_enq_ns = Histogram.percentile_ns s.Metrics.enq 0.99;
         snapshot = s;
         mean_seconds = mean;
@@ -79,7 +81,7 @@ let run queue threads_csv runs scale csv max_threads with_plot =
       ~columns:
         [
           "threads"; "Mops/s"; "sc-fail/kop"; "rereg/kop"; "helps/kop";
-          "p99-enq-ns";
+          "steals/kop"; "p99-enq-ns";
         ]
   in
   List.iter
@@ -91,6 +93,7 @@ let run queue threads_csv runs scale csv max_threads with_plot =
           Table.cell_float r.sc_fail_per_kop;
           Table.cell_float r.rereg_per_kop;
           Table.cell_float r.helps_per_kop;
+          Table.cell_float r.steals_per_kop;
           (if Float.is_nan r.p99_enq_ns then "-"
            else Printf.sprintf "%.0f" r.p99_enq_ns);
         ])

@@ -1,0 +1,207 @@
+(* Shard-count sweep: throughput of the sharded evequoz-cas front-end as
+   a grid over shards x domains, in single-op and batched modes, written
+   as a CSV under results/.  This is the scaling artifact for the
+   multi-ring front-end: with shards >= domains each domain owns a
+   private ring, so the CAS contention (SC failures, helping, retry
+   storms under preemption) that flattens the single ring disappears.
+
+   `shards = 1` rows use the plain single-ring evequoz-cas registry row —
+   the baseline the speedup column is computed against. *)
+
+open Cmdliner
+open Nbq_harness
+
+type row = {
+  shards : int;
+  domains : int;
+  batch : int;         (* workload batch size (items per batch op) *)
+  batched : bool;
+  items : int;         (* moved per direction, summed over runs/threads *)
+  mean_seconds : float;
+  mops : float;        (* items / mean_seconds, millions *)
+}
+
+let impl_for ~shards =
+  if shards = 1 then Registry.find "evequoz-cas"
+  else Registry.sharded_evequoz_cas ~shards
+
+let measure ~shards ~domains ~batch ~batched ~runs ~workload =
+  let workload =
+    { workload with Workload.enqueue_batch = batch; dequeue_batch = batch }
+  in
+  let impl = impl_for ~shards in
+  let cfg = { Runner.threads = domains; runs; workload; capacity = None } in
+  let m = Runner.measure ~batched impl cfg in
+  let mean = m.Runner.summary.Stats.mean in
+  let per_run_items =
+    float_of_int m.Runner.items /. float_of_int (max 1 runs)
+  in
+  {
+    shards;
+    domains;
+    batch;
+    batched;
+    items = m.Runner.items;
+    mean_seconds = mean;
+    mops = (if mean > 0.0 then per_run_items /. mean /. 1e6 else nan);
+  }
+
+let parse_int_list flag s =
+  List.map
+    (fun part ->
+      match int_of_string_opt (String.trim part) with
+      | Some n when n > 0 -> n
+      | _ ->
+          Printf.eprintf
+            "shard_sweep: invalid %s %S (expected comma-separated positive \
+             integers)\n%!"
+            flag s;
+          exit 2)
+    (String.split_on_char ',' s)
+
+(* Pin the per-domain minor heap for the whole process (every row, every
+   mode) so the measurement reflects queue cost rather than the
+   stop-the-world minor-GC rendezvous frequency — with many domains on few
+   cores each collection must schedule every domain through the core,
+   which otherwise dominates and flattens all configurations equally.  The
+   runtime reserves the minor-heap arena at startup (a late [Gc.set] does
+   not grow it), so when the current reservation is too small we re-exec
+   ourselves once with OCAMLRUNPARAM extended. *)
+let ensure_minor_heap words =
+  if words > 0 && (Gc.get ()).Gc.minor_heap_size < words then begin
+    let cur = try Sys.getenv "OCAMLRUNPARAM" with Not_found -> "" in
+    let param = Printf.sprintf "s=%d" words in
+    Unix.putenv "OCAMLRUNPARAM"
+      (if cur = "" then param else cur ^ "," ^ param);
+    Unix.execv Sys.executable_name Sys.argv
+  end
+
+let run shards_csv domains_csv batch_csv runs scale minor_heap out =
+  ensure_minor_heap minor_heap;
+  let workload = Workload.scaled_config ~scale in
+  let shards_list = parse_int_list "--shards" shards_csv in
+  let domains_list = parse_int_list "--domains" domains_csv in
+  let batch_list = parse_int_list "--batch" batch_csv in
+  Printf.eprintf
+    "# shard_sweep: shards [%s] x domains [%s] x batch [%s], %d runs, %d \
+     iterations, minor-heap %d words/domain\n%!"
+    (String.concat ";" (List.map string_of_int shards_list))
+    (String.concat ";" (List.map string_of_int domains_list))
+    (String.concat ";" (List.map string_of_int batch_list))
+    runs workload.Workload.iterations
+    (Gc.get ()).Gc.minor_heap_size;
+  let rows =
+    List.concat_map
+      (fun shards ->
+        List.concat_map
+          (fun domains ->
+            List.concat_map
+              (fun batch ->
+                List.map
+                  (fun batched ->
+                    let r =
+                      measure ~shards ~domains ~batch ~batched ~runs ~workload
+                    in
+                    Printf.eprintf
+                      "#   shards=%d domains=%d batch=%-3d %s: %.3f Mitems/s\n%!"
+                      shards domains batch
+                      (if batched then "batched" else "single ")
+                      r.mops;
+                    r)
+                  [ false; true ])
+              batch_list)
+          domains_list)
+      shards_list
+  in
+  (* Speedup vs the single-ring row at the same domain count, batch size
+     and mode. *)
+  let baseline r =
+    List.find_opt
+      (fun b ->
+        b.shards = 1 && b.domains = r.domains && b.batch = r.batch
+        && b.batched = r.batched)
+      rows
+  in
+  let t =
+    Table.create ~title:"sharded evequoz-cas throughput"
+      ~columns:
+        [
+          "shards"; "domains"; "batch"; "mode"; "items"; "mean_seconds";
+          "mitems_per_sec"; "speedup_vs_1shard";
+        ]
+  in
+  List.iter
+    (fun r ->
+      let speedup =
+        match baseline r with
+        | Some b when b.mops > 0.0 -> Printf.sprintf "%.2f" (r.mops /. b.mops)
+        | _ -> "-"
+      in
+      Table.add_row t
+        [
+          string_of_int r.shards;
+          string_of_int r.domains;
+          string_of_int r.batch;
+          (if r.batched then "batched" else "single");
+          string_of_int r.items;
+          Printf.sprintf "%.6f" r.mean_seconds;
+          Printf.sprintf "%.4f" r.mops;
+          speedup;
+        ])
+    rows;
+  print_string (Table.render t);
+  let csv = Table.render_csv t in
+  (match Filename.dirname out with
+  | "" | "." -> ()
+  | dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+  let oc = open_out out in
+  output_string oc csv;
+  close_out oc;
+  Printf.printf "\ncsv written to %s\n" out
+
+let shards_term =
+  let doc = "Comma-separated shard counts (1 = the plain single ring)." in
+  Arg.(value & opt string "1,2,4,8" & info [ "shards"; "s" ] ~docv:"LIST" ~doc)
+
+let domains_term =
+  let doc = "Comma-separated domain counts to sweep." in
+  Arg.(value & opt string "1,2,4,8" & info [ "domains"; "d" ] ~docv:"LIST" ~doc)
+
+let batch_term =
+  let doc =
+    "Comma-separated workload batch sizes (items per batch operation; the \
+     paper's workload uses 5).  Larger batches are where the ring's \
+     amortized batch runs pay off."
+  in
+  Arg.(value & opt string "5,64" & info [ "batch"; "b" ] ~docv:"LIST" ~doc)
+
+let runs_term =
+  Arg.(value & opt int 3 & info [ "runs"; "r" ] ~docv:"N"
+         ~doc:"Measurement repetitions per cell.")
+
+let scale_term =
+  Arg.(value & opt float 0.01
+       & info [ "scale" ] ~docv:"F"
+           ~doc:"Fraction of the paper's 100k iterations per thread.")
+
+let minor_heap_term =
+  let doc =
+    "Per-domain minor heap size in words for the whole sweep process (0 = \
+     leave the runtime default).  Applied identically to every row: with \
+     many domains per core, minor collections are stop-the-world \
+     rendezvous whose scheduling cost otherwise swamps the queues under \
+     measurement."
+  in
+  Arg.(value & opt int 8_388_608 & info [ "minor-heap" ] ~docv:"WORDS" ~doc)
+
+let out_term =
+  Arg.(value & opt string "results/shard_sweep.csv"
+       & info [ "out"; "o" ] ~docv:"PATH" ~doc:"CSV output path.")
+
+let cmd =
+  let doc = "Throughput grid: sharded evequoz-cas over shards x domains" in
+  Cmd.v (Cmd.info "shard_sweep" ~doc)
+    Term.(const run $ shards_term $ domains_term $ batch_term $ runs_term
+          $ scale_term $ minor_heap_term $ out_term)
+
+let () = exit (Cmd.eval cmd)

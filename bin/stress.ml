@@ -6,35 +6,39 @@
 open Cmdliner
 open Nbq_harness
 
+(* Drive the instance's native batch entry points (sharded queues override
+   them) as well as the single operations. *)
+let stress_ops (q : Registry.instance) =
+  {
+    Nbq_lincheck.Stress.enqueue =
+      (fun v -> q.Registry.enqueue { Registry.tag = v });
+    dequeue =
+      (fun () -> Option.map (fun p -> p.Registry.tag) (q.Registry.dequeue ()));
+    enqueue_batch =
+      (fun vs ->
+        q.Registry.enqueue_batch
+          (Array.map (fun v -> { Registry.tag = v }) vs));
+    dequeue_batch =
+      (fun k ->
+        List.map (fun p -> p.Registry.tag) (q.Registry.dequeue_batch k));
+  }
+
 let soak_impl (impl : Registry.impl) ~threads ~ops ~seed =
   let q = impl.Registry.create ~capacity:4096 in
-  let ops_for _thread =
-    {
-      Nbq_lincheck.Stress.enqueue =
-        (fun v -> q.Registry.enqueue { Registry.tag = v });
-      dequeue =
-        (fun () ->
-          Option.map (fun p -> p.Registry.tag) (q.Registry.dequeue ()));
-    }
-  in
-  Nbq_lincheck.Stress.check_big_run ~threads ~ops_per_thread:ops ~seed
+  let ops_for _thread = stress_ops q in
+  Nbq_lincheck.Stress.check_big_run ~with_batches:true
+    ~relaxed_order:impl.Registry.relaxed_fifo ~threads ~ops_per_thread:ops
+    ~seed
     ~final_length:(fun () -> q.Registry.length ())
     ops_for
 
 let exact_impl (impl : Registry.impl) ~rounds ~seed =
   let make_round () =
     let q = impl.Registry.create ~capacity:64 in
-    fun _thread ->
-      {
-        Nbq_lincheck.Stress.enqueue =
-          (fun v -> q.Registry.enqueue { Registry.tag = v });
-        dequeue =
-          (fun () ->
-            Option.map (fun p -> p.Registry.tag) (q.Registry.dequeue ()));
-      }
+    fun _thread -> stress_ops q
   in
-  Nbq_lincheck.Stress.check_small_rounds ~rounds ~threads:3 ~ops_per_thread:5
-    ~seed make_round
+  Nbq_lincheck.Stress.check_small_rounds ~with_batches:true ~rounds ~threads:3
+    ~ops_per_thread:5 ~seed make_round
 
 let run names threads ops rounds seed =
   let impls =
@@ -52,13 +56,20 @@ let run names threads ops rounds seed =
       | Nbq_lincheck.Checker.Violation msg ->
           incr failures;
           Printf.printf "VIOLATION: %s\n" msg);
-      Printf.printf "%-18s exact check (%d rounds)... %!" impl.Registry.name
-        rounds;
-      match exact_impl impl ~rounds ~seed with
-      | Nbq_lincheck.Checker.Ok -> print_endline "ok"
-      | Nbq_lincheck.Checker.Violation msg ->
-          incr failures;
-          Printf.printf "VIOLATION: %s\n" msg)
+      if impl.Registry.relaxed_fifo then
+        (* Sharded queues report false-empty and reorder across shards;
+           the exact FIFO spec does not apply to them. *)
+        Printf.printf "%-18s exact check skipped (relaxed FIFO)\n"
+          impl.Registry.name
+      else begin
+        Printf.printf "%-18s exact check (%d rounds)... %!"
+          impl.Registry.name rounds;
+        match exact_impl impl ~rounds ~seed with
+        | Nbq_lincheck.Checker.Ok -> print_endline "ok"
+        | Nbq_lincheck.Checker.Violation msg ->
+            incr failures;
+            Printf.printf "VIOLATION: %s\n" msg
+      end)
     impls;
   if !failures > 0 then begin
     Printf.printf "%d violation(s)\n" !failures;

@@ -148,6 +148,157 @@ struct
     Llsc_cas.reregister h;
     peek_loop t h
 
+  (* --- Batch runs (extension, not in the paper) ---------------------------
+
+     A k-item batch is ONE operation: it re-registers once, then fills (or
+     drains) a run of consecutive slots with one observe/commit CAS per
+     slot ({!Llsc_cas.commit} — block freshness stands in for the tag),
+     and publishes the whole run with a single counter CAS.  The guard
+     re-read of the counter after each observe rejects slots the counter
+     has already passed (the re-validation step of E5/D5, widened from
+     "equal" to "not yet past this slot" because helpers may legitimately
+     publish our own prefix while we are still filling); a commit can then
+     only succeed while the slot is untouched since the observation, which
+     pins each item's slot transition exactly as the paper's sc does.  Any
+     interference — a foreign item or reservation in the run, a lost
+     commit — publishes the clean prefix and falls back to the paper's
+     per-item loop for the rest, so the batch degrades to a loop of
+     singles under contention.
+
+     The amortization is real only when the batch runs uncontended (the
+     sharded front-end's home-shard case): one ReRegister, one counter CAS,
+     one head/tail re-read and one CAS per slot instead of the single-op
+     path's three CASes per item. *)
+
+  (* Advance [counter] to [target], tolerating helpers: first try the
+     one-shot CAS, then walk +1 like the helping paths do.  Callers only
+     request targets whose slots they have already filled/emptied, so every
+     intermediate bump is one the paper's helping rule would perform. *)
+  let publish counter from target =
+    F.hit Fault.Counter_bump;
+    if not (A.compare_and_set counter from target) then begin
+      let rec walk () =
+        let cur = A.get counter in
+        if cur - target < 0 then begin
+          ignore (A.compare_and_set counter cur (cur + 1));
+          walk ()
+        end
+      in
+      walk ()
+    end
+
+  let enqueue_batch_with t h items =
+    Llsc_cas.reregister h;
+    let total = Array.length items in
+    let cap = t.mask + 1 in
+    (* Paper path for whatever the fast path could not place. *)
+    let rec slow i =
+      if i >= total then total
+      else if enqueue_loop t h (Array.unsafe_get items i) then slow (i + 1)
+      else i
+    in
+    let rec fast accepted =
+      if accepted >= total then total
+      else begin
+        let tl = A.get t.tail in
+        let hd = A.get t.head in
+        let free = cap - (tl - hd) in
+        if free <= 0 then accepted (* full (conservative under head lag) *)
+        else begin
+          let n = min (total - accepted) free in
+          let rec fill j =
+            if j >= n then j
+            else begin
+              (* [land mask] keeps the index in bounds by construction. *)
+              let cell = Array.unsafe_get t.slots ((tl + j) land t.mask) in
+              let obs = Llsc_cas.observe cell in
+              (* Foreign item, a competing reservation, or the counter
+                 already past this slot (a long preemption could hand us a
+                 freed next-lap cell): reconcile via the paper path. *)
+              if
+                Llsc_cas.observed_holds obs Empty
+                && A.get t.tail - (tl + j) <= 0
+              then
+                if
+                  Llsc_cas.commit cell obs
+                    (Item (Array.unsafe_get items (accepted + j)))
+                then fill (j + 1)
+                else begin
+                  P.sc_fail ();
+                  j
+                end
+              else j
+            end
+          in
+          let filled = fill 0 in
+          if filled > 0 then publish t.tail tl (tl + filled);
+          if filled = n then fast (accepted + filled)
+          else slow (accepted + filled)
+        end
+      end
+    in
+    fast 0
+
+  let dequeue_batch_with t h k =
+    Llsc_cas.reregister h;
+    let rec slow left =
+      if left <= 0 then []
+      else
+        match dequeue_loop t h with
+        | Some x -> x :: slow (left - 1)
+        | None -> []
+    in
+    (* Lists are built in queue order on the unwind (one cons per item, no
+       final reverse); runs are bounded by [k], so the recursion depth is
+       the caller's batch size. *)
+    let rec fast got =
+      if got >= k then []
+      else begin
+        let hd = A.get t.head in
+        let tl = A.get t.tail in
+        let n = min (k - got) (tl - hd) in
+        if n <= 0 then [] (* empty (conservative under tail lag) *)
+        else begin
+          let taken = ref 0 in
+          let clean = ref true in
+          let rec fill j =
+            if j >= n then []
+            else begin
+              let cell = Array.unsafe_get t.slots ((hd + j) land t.mask) in
+              let obs = Llsc_cas.observe cell in
+              match Llsc_cas.observed_get obs with
+              | Item x when A.get t.head - (hd + j) <= 0 ->
+                  if Llsc_cas.commit cell obs Empty then begin
+                    incr taken;
+                    x :: fill (j + 1)
+                  end
+                  else begin
+                    P.sc_fail ();
+                    clean := false;
+                    []
+                  end
+              | Empty | Item _ ->
+                  clean := false;
+                  []
+              | exception Not_found ->
+                  (* A competing reservation in the run. *)
+                  clean := false;
+                  []
+            end
+          in
+          let run = fill 0 in
+          if !taken > 0 then publish t.head hd (hd + !taken);
+          (* The common case — one clean run covering the whole demand —
+             returns the run as built; list appends only happen when a run
+             was cut short (interference or a momentarily short queue). *)
+          if !clean && !taken >= k - got then run
+          else if !clean then run @ fast (got + !taken)
+          else run @ slow (k - got - !taken)
+        end
+      end
+    in
+    fast 0
+
   let length t =
     let n = A.get t.tail - A.get t.head in
     if n < 0 then 0 else if n > t.mask + 1 then t.mask + 1 else n
@@ -171,6 +322,8 @@ module type CORE = sig
   val enqueue_with : 'a t -> 'a handle -> 'a -> bool
   val dequeue_with : 'a t -> 'a handle -> 'a option
   val peek_with : 'a t -> 'a handle -> 'a option
+  val enqueue_batch_with : 'a t -> 'a handle -> 'a array -> int
+  val dequeue_batch_with : 'a t -> 'a handle -> int -> 'a list
   val length : 'a t -> int
   val registry_size : 'a t -> int
   val owned_count : 'a t -> int
@@ -233,10 +386,63 @@ module With_implicit_handles (Core : CORE) = struct
   let try_dequeue t = dequeue_with t (implicit_handle t)
 
   let try_peek t = peek_with t (implicit_handle t)
+
+  (* Native batches: resolve the DLS handle cache once for the whole batch
+     instead of once per item.  Each item still goes through [enqueue_with]
+     / [dequeue_with] (including the per-operation ReRegister the paper
+     mandates), so linearization and the registry space bound are exactly
+     those of a loop of singles. *)
+  let try_enqueue_batch t items =
+    let n = Array.length items in
+    if n = 0 then 0
+    else begin
+      let h = implicit_handle t in
+      let i = ref 0 in
+      while !i < n && enqueue_with t h (Array.unsafe_get items !i) do
+        incr i
+      done;
+      !i
+    end
+
+  let try_dequeue_batch t k =
+    if k <= 0 then []
+    else begin
+      let h = implicit_handle t in
+      let rec go acc left =
+        if left <= 0 then List.rev acc
+        else
+          match dequeue_with t h with
+          | Some x -> go (x :: acc) (left - 1)
+          | None -> List.rev acc
+      in
+      go [] k
+    end
+
+  (* The run-based batches (one ReRegister and one counter CAS per run,
+     paper path on interference).  Kept off [try_enqueue_batch] /
+     [try_dequeue_batch] so the default rows stay a literal loop of
+     singles; the sharded front-end opts in via [Batched]. *)
+  let try_enqueue_batch_runs t items =
+    if Array.length items = 0 then 0
+    else Core.enqueue_batch_with t.core (implicit_handle t) items
+
+  let try_dequeue_batch_runs t k =
+    if k <= 0 then [] else Core.dequeue_batch_with t.core (implicit_handle t) k
 end
 
 (* --- Default instantiation with real atomics and no-op probes --- *)
 
 module Core = Make (Atomic_intf.Real)
 
-include With_implicit_handles (Core)
+module Impl = With_implicit_handles (Core)
+include Impl
+
+(* The same queue with the amortized run-based batches swapped in.  Shares
+   ['a t] with the plain entry points, so singles and batch runs can be
+   mixed on one queue. *)
+module Batched = struct
+  include Impl
+
+  let try_enqueue_batch = try_enqueue_batch_runs
+  let try_dequeue_batch = try_dequeue_batch_runs
+end

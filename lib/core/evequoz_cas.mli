@@ -41,6 +41,22 @@ module type CORE = sig
   val enqueue_with : 'a t -> 'a handle -> 'a -> bool
   val dequeue_with : 'a t -> 'a handle -> 'a option
   val peek_with : 'a t -> 'a handle -> 'a option
+
+  val enqueue_batch_with : 'a t -> 'a handle -> 'a array -> int
+  (** Batch run (extension, not in the paper): insert a prefix of the array
+      as {e one} operation — one [ReRegister], then consecutive slots filled
+      with the usual ll/sc reservation protocol and published with a single
+      [Tail] CAS per clean run.  Any interference (a competing enqueuer's
+      item landing inside the run, a lost store-conditional) publishes the
+      clean prefix and falls back to the paper's per-item loop, so under
+      contention this degrades to exactly a loop of singles.  Returns the
+      number of items accepted (stops at the first "full"). *)
+
+  val dequeue_batch_with : 'a t -> 'a handle -> int -> 'a list
+  (** Batch run: remove up to [k] items as one operation — consecutive
+      slots drained through ll/sc and a single [Head] CAS per clean run,
+      with the same paper-path fallback.  Result preserves queue order. *)
+
   val length : 'a t -> int
   val registry_size : 'a t -> int
 
@@ -87,7 +103,7 @@ module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : CORE
 (** The domain-local implicit-handle layer over any core: caches one handle
     per domain in DLS and exposes the plain bounded-queue interface. *)
 module With_implicit_handles (Core : CORE) : sig
-  include Queue_intf.BOUNDED
+  include Queue_intf.BOUNDED_BATCH
 
   type 'a handle = 'a Core.handle
 
@@ -103,9 +119,24 @@ module With_implicit_handles (Core : CORE) : sig
   val audit : 'a t -> Nbq_primitives.Llsc_cas.audit
   val head_index : 'a t -> int
   val tail_index : 'a t -> int
+
+  val try_enqueue_batch_runs : 'a t -> 'a array -> int
+  val try_dequeue_batch_runs : 'a t -> int -> 'a list
+  (** {!CORE.enqueue_batch_with} / {!CORE.dequeue_batch_with} through the
+      calling domain's cached handle.  Same conservation and per-queue FIFO
+      guarantees as the default loop-of-singles batches, but full/empty
+      reports may be conservative for the whole run while a counter lags —
+      which is why the default [try_enqueue_batch]/[try_dequeue_batch]
+      remain literal loops of singles and only opt-in compositions (the
+      sharded front-end, where a spurious "full" just spills to the next
+      shard) use these. *)
 end
 
-include Queue_intf.BOUNDED
+include Queue_intf.BOUNDED_BATCH
+(** The batch entry points resolve the calling domain's cached handle once
+    per batch instead of once per item; each item still performs the
+    paper-mandated [ReRegister], so semantics and the registry space bound
+    are those of a loop of singles. *)
 
 type 'a handle
 (** A registered tag variable for one logical thread (paper's [LLSCvar *]). *)
@@ -150,3 +181,16 @@ val audit : 'a t -> Nbq_primitives.Llsc_cas.audit
 val head_index : 'a t -> int
 val tail_index : 'a t -> int
 (** Raw monotonic counters, for tests and scenario replays. *)
+
+val try_enqueue_batch_runs : 'a t -> 'a array -> int
+val try_dequeue_batch_runs : 'a t -> int -> 'a list
+(** The amortized batch runs on the default queue (see
+    {!With_implicit_handles.try_enqueue_batch_runs}). *)
+
+(** The default queue with the run-based batches as its
+    [try_enqueue_batch] / [try_dequeue_batch].  Shares ['a t] with the
+    top-level entry points, so singles and batch runs mix freely on one
+    queue.  This is what the sharded front-end composes. *)
+module Batched : sig
+  include Queue_intf.BOUNDED_BATCH with type 'a t = 'a t
+end

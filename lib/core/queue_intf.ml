@@ -65,7 +65,48 @@ module type CONC = sig
 
   val try_enqueue : 'a t -> 'a -> bool
   val try_dequeue : 'a t -> 'a option
+
+  val try_enqueue_batch : 'a t -> 'a array -> int
+  (** Insert the items {e in array order}, stopping at the first "full";
+      returns the number accepted (a prefix of the array).  Equivalent to
+      a loop of {!try_enqueue} — implementations override it only to
+      amortize per-operation overhead, never to change semantics. *)
+
+  val try_dequeue_batch : 'a t -> int -> 'a list
+  (** Remove up to [k] items in FIFO order, stopping at the first "empty";
+      the result (length [<= k]) preserves queue order.  Equivalent to a
+      loop of {!try_dequeue}. *)
+
   val length : 'a t -> int
+end
+
+(* Batch fallbacks shared by the adapters below: a batch is exactly a loop
+   of single operations, so the default-batched implementations inherit
+   the singles' linearization points item by item. *)
+let enqueue_batch_of_singles try_enqueue t items =
+  let n = Array.length items in
+  let i = ref 0 in
+  while !i < n && try_enqueue t (Array.unsafe_get items !i) do incr i done;
+  !i
+
+let dequeue_batch_of_singles try_dequeue t k =
+  let rec go acc left =
+    if left <= 0 then List.rev acc
+    else
+      match try_dequeue t with
+      | Some x -> go (x :: acc) (left - 1)
+      | None -> List.rev acc
+  in
+  go [] k
+
+(** A bounded queue that additionally ships native batch operations —
+    implementations where fetching per-operation state once per batch (a
+    domain-local handle, a head snapshot) is measurably profitable. *)
+module type BOUNDED_BATCH = sig
+  include BOUNDED
+
+  val try_enqueue_batch : 'a t -> 'a array -> int
+  val try_dequeue_batch : 'a t -> int -> 'a list
 end
 
 module Of_bounded (Q : BOUNDED) : CONC with type 'a t = 'a Q.t = struct
@@ -76,6 +117,22 @@ module Of_bounded (Q : BOUNDED) : CONC with type 'a t = 'a Q.t = struct
   let create = Q.create
   let try_enqueue = Q.try_enqueue
   let try_dequeue = Q.try_dequeue
+  let try_enqueue_batch t items = enqueue_batch_of_singles Q.try_enqueue t items
+  let try_dequeue_batch t k = dequeue_batch_of_singles Q.try_dequeue t k
+  let length = Q.length
+end
+
+module Of_bounded_batch (Q : BOUNDED_BATCH) : CONC with type 'a t = 'a Q.t =
+struct
+  type 'a t = 'a Q.t
+
+  let name = Q.name
+  let bounded = true
+  let create = Q.create
+  let try_enqueue = Q.try_enqueue
+  let try_dequeue = Q.try_dequeue
+  let try_enqueue_batch = Q.try_enqueue_batch
+  let try_dequeue_batch = Q.try_dequeue_batch
   let length = Q.length
 end
 
@@ -87,6 +144,12 @@ module Of_unbounded (Q : UNBOUNDED) : CONC with type 'a t = 'a Q.t = struct
   let create ~capacity:_ = Q.create ()
   let try_enqueue t x = Q.enqueue t x; true
   let try_dequeue = Q.try_dequeue
+
+  let try_enqueue_batch t items =
+    Array.iter (Q.enqueue t) items;
+    Array.length items
+
+  let try_dequeue_batch t k = dequeue_batch_of_singles Q.try_dequeue t k
   let length = Q.length
 end
 

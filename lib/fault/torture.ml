@@ -90,7 +90,87 @@ let evequoz_llsc =
     build = build_llsc;
   }
 
-let deep_targets = [ evequoz_llsc; evequoz_cas ]
+(* The sharded facade over fault-injected CAS rings: every per-ring window
+   of [build_cas] still fires (on whichever shard the operation lands),
+   plus [Shard_steal] — the instant between a home-shard failure and the
+   first foreign probe, where the victim holds no reservation on any ring
+   and the steal-path progress claim is on trial. *)
+let build_sharded_cas ~shards inj ~capacity =
+  let module F = (val Injector.hook inj) in
+  let module Q =
+    Nbq_core.Evequoz_cas.Make_injected
+      (Nbq_primitives.Atomic_intf.Real)
+      (Nbq_primitives.Probe.Noop)
+      (F)
+  in
+  let per = max 1 ((capacity + shards - 1) / shards) in
+  let rings = Array.init shards (fun _ -> Q.create ~capacity:per) in
+  (* Adversarial affinity: under the default domain-affine placement a
+     paired enqueue/dequeue worker never leaves its home shard (its own
+     item is always there), so the steal window would never open.  A
+     shared round-robin home sends successive operations to successive
+     shards, making cross-shard dequeues — and hence [Shard_steal] hits —
+     the common case. *)
+  let rr = Atomic.make 0 in
+  let t =
+    Nbq_scale.Sharded.create ~shards
+      ~home:(fun () -> Atomic.fetch_and_add rr 1)
+      ~steal_window:(fun () -> F.hit Fault.Shard_steal)
+      (fun i ->
+        let q = rings.(i) in
+        (* Register/deregister per op, as in [build_cas]: all tag windows
+           fire and a crash abandons the handle on the shard it hit. *)
+        Nbq_scale.Sharded.ops_of_singles
+          ~enq:(fun v ->
+            let h = Q.register q in
+            let r = Q.enqueue_with q h v in
+            Q.deregister h;
+            r)
+          ~deq:(fun () ->
+            let h = Q.register q in
+            let r = Q.dequeue_with q h in
+            Q.deregister h;
+            r)
+          ~len:(fun () -> Q.length q))
+  in
+  {
+    enqueue = (fun v -> Nbq_scale.Sharded.try_enqueue t v);
+    dequeue = (fun () -> Nbq_scale.Sharded.try_dequeue t);
+    audit =
+      (fun () ->
+        (* Sum the per-ring registries: the leak bound is aggregate. *)
+        Some
+          (Array.fold_left
+             (fun (acc : Nbq_primitives.Llsc_cas.audit) q ->
+               let a = Q.audit q in
+               {
+                 Nbq_primitives.Llsc_cas.registered =
+                   acc.registered + a.Nbq_primitives.Llsc_cas.registered;
+                 owned = acc.owned + a.owned;
+                 free = acc.free + a.free;
+               })
+             { Nbq_primitives.Llsc_cas.registered = 0; owned = 0; free = 0 }
+             rings));
+  }
+
+let evequoz_cas_sharded =
+  {
+    name = "evequoz-cas-shard4";
+    deep_points =
+      [
+        Fault.Ll_reserve;
+        Fault.Slot_swap;
+        Fault.Sc_attempt;
+        Fault.Tag_register;
+        Fault.Tag_reregister;
+        Fault.Tag_deregister;
+        Fault.Counter_bump;
+        Fault.Shard_steal;
+      ];
+    build = build_sharded_cas ~shards:4;
+  }
+
+let deep_targets = [ evequoz_llsc; evequoz_cas; evequoz_cas_sharded ]
 
 let generic_of_impl (impl : Registry.impl) =
   {

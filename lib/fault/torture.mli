@@ -51,6 +51,15 @@ val evequoz_llsc : target
 (** [Ll_reserve], [Sc_attempt] (fired by the injected ideal cells) and
     [Counter_bump]. *)
 
+val evequoz_cas_sharded : target
+(** ["evequoz-cas-shard4"]: four fault-injected CAS rings behind an
+    [Nbq_scale.Sharded] facade with adversarial round-robin affinity (the
+    default domain-affine placement never opens the steal window under
+    the paired torture workload).  All of {!evequoz_cas}'s points fire on
+    whichever ring an operation lands, plus
+    {!Nbq_primitives.Fault.Shard_steal} — a victim frozen there holds no
+    reservation on any ring.  [audit] sums the per-ring tag registries. *)
+
 val targets : unit -> target list
 (** The deep targets plus a generic (Op_gap-only) target for every other
     queue in {!Nbq_harness.Registry.concurrent}. *)

@@ -5,6 +5,8 @@ type payload = { tag : int }
 type instance = {
   enqueue : payload -> bool;
   dequeue : unit -> payload option;
+  enqueue_batch : payload array -> int;
+  dequeue_batch : int -> payload list;
   length : unit -> int;
 }
 
@@ -19,6 +21,7 @@ type impl = {
   family : family;
   bounded : bool;
   bounded_delay_assumption : bool;
+  relaxed_fifo : bool;
   create : capacity:int -> instance;
   create_probed : metrics:Nbq_obs.Metrics.t -> capacity:int -> instance;
       (** Like [create], but with the queue's operations feeding the given
@@ -27,21 +30,47 @@ type impl = {
           the shallow retry/latency wrapper. *)
 }
 
+let basic_instance ~enqueue ~dequeue ~length =
+  {
+    enqueue;
+    dequeue;
+    length;
+    enqueue_batch =
+      (fun items ->
+        let n = Array.length items in
+        let i = ref 0 in
+        while !i < n && enqueue items.(!i) do incr i done;
+        !i);
+    dequeue_batch =
+      (fun k ->
+        let rec go acc left =
+          if left <= 0 then List.rev acc
+          else
+            match dequeue () with
+            | Some x -> go (x :: acc) (left - 1)
+            | None -> List.rev acc
+        in
+        go [] k);
+  }
+
 let instance_of (module Q : Queue_intf.CONC) ~capacity =
   let q = Q.create ~capacity in
   {
     enqueue = (fun p -> Q.try_enqueue q p);
     dequeue = (fun () -> Q.try_dequeue q);
+    enqueue_batch = (fun items -> Q.try_enqueue_batch q items);
+    dequeue_batch = (fun k -> Q.try_dequeue_batch q k);
     length = (fun () -> Q.length q);
   }
 
 let of_conc ~name ~family ?(bounded_delay_assumption = false)
-    (module Q : Queue_intf.CONC) =
+    ?(relaxed_fifo = false) (module Q : Queue_intf.CONC) =
   {
     name;
     family;
     bounded = Q.bounded;
     bounded_delay_assumption;
+    relaxed_fifo;
     create = (fun ~capacity -> instance_of (module Q) ~capacity);
     create_probed =
       (fun ~metrics ~capacity ->
@@ -55,6 +84,7 @@ let custom ~name ~family ?(bounded_delay_assumption = false) ?(bounded = false)
     family;
     bounded;
     bounded_delay_assumption;
+    relaxed_fifo = false;
     create;
     (* No CONC module to wrap: probed creation falls back to the plain
        instance — callers still get workload-level retry counts. *)
@@ -64,7 +94,7 @@ let custom ~name ~family ?(bounded_delay_assumption = false) ?(bounded = false)
 module Evequoz_llsc_conc = Queue_intf.Of_bounded (Nbq_core.Evequoz_llsc)
 module Evequoz_llsc_weak_conc =
   Queue_intf.Of_bounded (Nbq_core.Evequoz_llsc.On_weak_cells)
-module Evequoz_cas_conc = Queue_intf.Of_bounded (Nbq_core.Evequoz_cas)
+module Evequoz_cas_conc = Queue_intf.Of_bounded_batch (Nbq_core.Evequoz_cas)
 module Shann_conc = Queue_intf.Of_bounded (Nbq_baselines.Shann)
 module Tz_conc = Queue_intf.Of_bounded (Nbq_baselines.Tsigas_zhang)
 module Valois_conc = Queue_intf.Of_bounded (Nbq_baselines.Valois)
@@ -80,6 +110,89 @@ module Ms_doherty_conc = Queue_intf.Of_unbounded (Nbq_baselines.Ms_doherty.Conc)
 module Two_lock_conc = Queue_intf.Of_unbounded (Nbq_baselines.Two_lock_queue)
 module Hw_conc = Queue_intf.Of_unbounded (Nbq_baselines.Herlihy_wing)
 module Lms_conc = Queue_intf.Of_unbounded (Nbq_baselines.Ladan_mozes_shavit)
+
+(* --- Sharded front-ends (Nbq_scale.Sharded) ----------------------------
+
+   The facade relaxes global FIFO to per-shard FIFO ([relaxed_fifo]), so
+   the battery skips its exact-linearizability cases for these rows and
+   runs the relaxed suite (conservation, per-shard order, length bounds)
+   instead. *)
+
+let sharded_conc ~shards : (module Queue_intf.CONC) =
+  let module N = struct
+    let shards = shards
+  end in
+  (module Nbq_scale.Sharded.Evequoz_cas (N))
+
+(* Deep-probed sharded composition: the hub's probe is plugged into both
+   the inner CAS rings (sc_fail, helping, tag traffic) and the sharding
+   layer (shard_steal), then the shallow wrapper adds retries/latency.
+   Lives here, not in nbq_obs, because nbq_scale sits above nbq_obs. *)
+let sharded_probed ~shards ~(metrics : Nbq_obs.Metrics.t) :
+    (module Queue_intf.CONC) =
+  let module P = (val Nbq_obs.Metrics.probe metrics) in
+  let module Core =
+    Nbq_core.Evequoz_cas.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+  in
+  let module R = Nbq_core.Evequoz_cas.With_implicit_handles (Core) in
+  let module Ring =
+    Queue_intf.Of_bounded_batch (struct
+      include R
+
+      (* Match the unprobed composition: the ring's amortized batch runs. *)
+      let try_enqueue_batch = R.try_enqueue_batch_runs
+      let try_dequeue_batch = R.try_dequeue_batch_runs
+    end)
+  in
+  let module N = struct
+    let shards = shards
+  end in
+  let module S = Nbq_scale.Sharded.Make_probed (N) (P) (Ring) in
+  let module M = struct
+    let metrics = metrics
+  end in
+  (module Nbq_obs.Instrumented.Make (M) (S))
+
+let sharded_evequoz_cas ~shards =
+  let name = "evequoz-cas-shard" ^ string_of_int shards in
+  {
+    name;
+    family = Array_based;
+    bounded = true;
+    bounded_delay_assumption = false;
+    relaxed_fifo = true;
+    create = (fun ~capacity -> instance_of (sharded_conc ~shards) ~capacity);
+    create_probed =
+      (fun ~metrics ~capacity ->
+        instance_of (sharded_probed ~shards ~metrics) ~capacity);
+  }
+
+let sharded ~shards (base : impl) : impl =
+  if shards < 1 then invalid_arg "Registry.sharded: shards < 1";
+  let wrap create_inner ~capacity =
+    let per = max 1 ((capacity + shards - 1) / shards) in
+    let t =
+      Nbq_scale.Sharded.create ~shards (fun _ ->
+          let inst = create_inner ~capacity:per in
+          Nbq_scale.Sharded.ops ~enq:inst.enqueue ~deq:inst.dequeue
+            ~len:inst.length ~enq_batch:inst.enqueue_batch
+            ~deq_batch:inst.dequeue_batch)
+    in
+    {
+      enqueue = (fun p -> Nbq_scale.Sharded.try_enqueue t p);
+      dequeue = (fun () -> Nbq_scale.Sharded.try_dequeue t);
+      enqueue_batch = (fun items -> Nbq_scale.Sharded.try_enqueue_batch t items);
+      dequeue_batch = (fun k -> Nbq_scale.Sharded.try_dequeue_batch t k);
+      length = (fun () -> Nbq_scale.Sharded.length t);
+    }
+  in
+  {
+    base with
+    name = base.name ^ "-shard" ^ string_of_int shards;
+    relaxed_fifo = true;
+    create = wrap base.create;
+    create_probed = (fun ~metrics -> wrap (base.create_probed ~metrics));
+  }
 
 let concurrent =
   [
@@ -100,6 +213,8 @@ let concurrent =
     of_conc ~name:"lms-optimistic" ~family:Link_based (module Lms_conc);
     of_conc ~name:"two-lock" ~family:Lock_based (module Two_lock_conc);
     of_conc ~name:"lock-ring" ~family:Lock_based (module Lock_conc);
+    sharded_evequoz_cas ~shards:4;
+    sharded_evequoz_cas ~shards:8;
   ]
 
 let all = concurrent @ [ of_conc ~name:"seq-ring" ~family:Sequential (module Seq_conc) ]

@@ -11,7 +11,18 @@ type payload = { tag : int }
 type instance = {
   enqueue : payload -> bool;
   dequeue : unit -> payload option;
+  enqueue_batch : payload array -> int;
+      (** Items in array order, stopping at the first full; returns the
+          accepted-prefix length. *)
+  dequeue_batch : int -> payload list;
+      (** Up to [k] items, stopping at the first empty. *)
   length : unit -> int;
+      (** Number of queued items.  On a sharded instance this is a
+          {e non-linearizable} sum-of-shards snapshot: each shard is read
+          at a different instant, so with [d] operations in flight the
+          result can differ from any linearized length by up to [d]
+          (exact when quiescent).  Single-ring instances report their
+          implementation's own (linearizable-ish) length. *)
 }
 (** A live queue, usable from any domain. *)
 
@@ -30,6 +41,12 @@ type impl = {
           two full ring wraps (Tsigas–Zhang's published assumption — the
           very §3 limitation the paper's algorithms remove).  Harnesses
           honour it by sizing rings generously; see DESIGN.md §7a. *)
+  relaxed_fifo : bool;
+      (** The implementation keeps items conserved and each shard FIFO but
+          relaxes {e global} FIFO order and single-queue linearizability
+          (the sharded front-ends).  The battery runs its relaxed suite
+          instead of the exact FIFO/linearizability cases; see
+          DESIGN.md §8. *)
   create : capacity:int -> instance;
   create_probed : metrics:Nbq_obs.Metrics.t -> capacity:int -> instance;
       (** Like [create] but with operations feeding the metrics hub:
@@ -54,10 +71,11 @@ val of_conc :
   name:string ->
   family:family ->
   ?bounded_delay_assumption:bool ->
+  ?relaxed_fifo:bool ->
   (module Nbq_core.Queue_intf.CONC) ->
   impl
 (** Wrap any {!Nbq_core.Queue_intf.CONC} implementation.
-    [bounded_delay_assumption] defaults to [false]. *)
+    [bounded_delay_assumption] and [relaxed_fifo] default to [false]. *)
 
 val custom :
   name:string ->
@@ -69,3 +87,28 @@ val custom :
 (** Build an impl from a bare instance constructor (ad-hoc experiment
     queues, e.g. the ablation binaries).  [create_probed] degrades to the
     uninstrumented [create]. *)
+
+val basic_instance :
+  enqueue:(payload -> bool) ->
+  dequeue:(unit -> payload option) ->
+  length:(unit -> int) ->
+  instance
+(** Build an {!instance} from single-item operations; the batch fields
+    loop over them. *)
+
+val sharded_evequoz_cas : shards:int -> impl
+(** The native sharded composition over the paper's CAS ring with its
+    amortized batch runs — the same construction as the registered
+    ["evequoz-cas-shard4"/"evequoz-cas-shard8"] rows, at any shard count.
+    One closure layer cheaper than {!sharded} applied to the
+    ["evequoz-cas"] row, so sweeps should prefer it. *)
+
+val sharded : shards:int -> impl -> impl
+(** [sharded ~shards impl] is [impl] behind an [Nbq_scale.Sharded]
+    facade: [shards] independent instances of [impl] (each sized
+    [capacity / shards], rounded up) with per-domain affinity and
+    work-stealing.  The result is named ["<name>-shard<N>"] and marked
+    [relaxed_fifo].  Probed creation shards probed inner instances, so
+    inner-queue events still reach the hub (steals are only counted for
+    the registered [evequoz-cas-shard*] rows, whose probe is wired into
+    the sharding layer itself). *)

@@ -14,6 +14,7 @@ type measurement = {
   summary : Stats.summary;
   full_retries : int;
   empty_retries : int;
+  items : int;
   metrics : Nbq_obs.Metrics.snapshot option;
 }
 
@@ -22,7 +23,7 @@ let default_config ?(threads = 4) ?(runs = 5) workload =
 
 let available_domains () = Domain.recommended_domain_count ()
 
-let one_run ?metrics (impl : Registry.impl) cfg =
+let one_run ?metrics ?(batched = false) (impl : Registry.impl) cfg =
   let capacity =
     match cfg.capacity with
     | Some c -> c
@@ -33,25 +34,29 @@ let one_run ?metrics (impl : Registry.impl) cfg =
     | Some m -> impl.Registry.create_probed ~metrics:m ~capacity
     | None -> impl.Registry.create ~capacity
   in
+  let run_thread =
+    if batched then Workload.run_thread_batched else Workload.run_thread
+  in
   let barrier = Barrier.create ~parties:cfg.threads in
   let domains =
     List.init cfg.threads (fun thread ->
         Domain.spawn (fun () ->
             Barrier.await barrier;
-            Workload.run_thread cfg.workload ~thread q))
+            run_thread cfg.workload ~thread q))
   in
   List.map Domain.join domains
 
-let measure ?metrics impl cfg =
+let measure ?metrics ?batched impl cfg =
   if cfg.threads < 1 then invalid_arg "Runner.measure: threads < 1";
-  let full = ref 0 and empty = ref 0 in
+  let full = ref 0 and empty = ref 0 and items = ref 0 in
   let per_run =
     List.init cfg.runs (fun _ ->
-        let results = one_run ?metrics impl cfg in
+        let results = one_run ?metrics ?batched impl cfg in
         List.iter
           (fun (r : Workload.thread_result) ->
             full := !full + r.full_retries;
-            empty := !empty + r.empty_retries)
+            empty := !empty + r.empty_retries;
+            items := !items + r.items)
           results;
         Stats.mean
           (List.map (fun (r : Workload.thread_result) -> r.seconds) results))
@@ -76,5 +81,6 @@ let measure ?metrics impl cfg =
     summary = Stats.summarize per_run;
     full_retries;
     empty_retries;
+    items = !items;
     metrics = snapshot;
   }

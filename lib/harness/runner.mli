@@ -17,6 +17,10 @@ type measurement = {
   summary : Stats.summary;
   full_retries : int;   (** summed over all runs and threads *)
   empty_retries : int;
+  items : int;
+      (** Items moved, summed over all runs and threads
+          ({!Workload.thread_result.items}): a batch call moving k items
+          contributes k.  Divide by total seconds for throughput. *)
   metrics : Nbq_obs.Metrics.snapshot option;
       (** Present iff [measure] was given a metrics hub; accumulated over
           all runs of this measurement. *)
@@ -24,7 +28,12 @@ type measurement = {
 
 val default_config : ?threads:int -> ?runs:int -> Workload.config -> run_config
 
-val measure : ?metrics:Nbq_obs.Metrics.t -> Registry.impl -> run_config -> measurement
+val measure :
+  ?metrics:Nbq_obs.Metrics.t ->
+  ?batched:bool ->
+  Registry.impl ->
+  run_config ->
+  measurement
 (** Runs [runs] independent rounds: each round creates a fresh queue,
     spawns [threads] domains, releases them together, and records every
     thread's completion time.  The round's score is the mean thread time
@@ -33,7 +42,10 @@ val measure : ?metrics:Nbq_obs.Metrics.t -> Registry.impl -> run_config -> measu
     With [?metrics] the queue is built via [create_probed] so events and
     sampled latencies land in the hub; [full_retries]/[empty_retries] are
     then read from the snapshot (the workload's spin counters observe the
-    same failed operations, so the two agree). *)
+    same failed operations, so the two agree).
+
+    With [~batched:true] workers run {!Workload.run_thread_batched} —
+    the same item ledger through the batch entry points. *)
 
 val available_domains : unit -> int
 (** [Domain.recommended_domain_count ()]; sweeps beyond this oversubscribe

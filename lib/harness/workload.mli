@@ -30,11 +30,28 @@ type thread_result = {
   seconds : float;       (** this thread's completion time *)
   full_retries : int;    (** enqueue attempts that hit a full queue *)
   empty_retries : int;   (** dequeue attempts that hit an empty queue *)
+  items : int;
+      (** Items moved: [iterations * (enqueue_batch + dequeue_batch)],
+          counting every item exactly once per direction — a batch call
+          that moves k items contributes k, never 1.  The numerator of
+          every throughput figure. *)
 }
+
+val items_per_thread : config -> int
+(** The [items] value either run function reports; exposed so tests can
+    pin the accounting. *)
 
 val run_thread :
   config -> thread:int -> Registry.instance -> thread_result
 (** Execute the per-thread workload (call after the start barrier). *)
+
+val run_thread_batched :
+  config -> thread:int -> Registry.instance -> thread_result
+(** The same item ledger issued through [enqueue_batch]/[dequeue_batch]:
+    each round enqueues its [enqueue_batch] items as one batch call
+    (retrying the unaccepted suffix) and dequeues its [dequeue_batch]
+    demand in batch calls.  [items] equals {!run_thread}'s, so batched and
+    single-op throughputs compare directly. *)
 
 val min_capacity : config -> threads:int -> int
 (** A capacity that the pattern can never overflow:

@@ -95,7 +95,8 @@ let check_linearizable ?(capacity = max_int) history =
 
 (* --- Scalable necessary conditions --- *)
 
-let check_fifo_properties ?expected_final_length history =
+let check_fifo_properties ?(check_inversion = true) ?expected_final_length
+    history =
   let exception Bad of string in
   try
     (* Index enqueues and dequeues by value. *)
@@ -150,6 +151,7 @@ let check_fifo_properties ?expected_final_length history =
        Equivalent check: walking dequeues in real-time order (by response,
        then only comparing non-overlapping pairs), the enqueue-response
        times must not strictly dominate. O(n log n) via a running minimum. *)
+    if check_inversion then begin
     let all_deqs = Hashtbl.fold (fun v d acc -> (v, d) :: acc) deq [] in
     let by_returned =
       List.sort
@@ -193,6 +195,7 @@ let check_fifo_properties ?expected_final_length history =
                   "FIFO inversion: %d enqueued wholly before %d but dequeued \
                    wholly after it"
                   v !max_v)))
-      by_invoked;
+      by_invoked
+    end;
     Ok
   with Bad msg -> Violation msg

@@ -25,7 +25,12 @@ val check_linearizable : ?capacity:int -> History.t -> verdict
     [Invalid_argument] (the search mask is an [int]). *)
 
 val check_fifo_properties :
-  ?expected_final_length:int -> History.t -> verdict
+  ?check_inversion:bool -> ?expected_final_length:int -> History.t -> verdict
 (** Scalable necessary-condition checks (see above).  When
     [expected_final_length] is given, conservation is checked exactly:
-    [#accepted enqueues - #successful dequeues] must equal it. *)
+    [#accepted enqueues - #successful dequeues] must equal it.
+    [check_inversion] (default [true]) enables the real-time FIFO
+    inversion check; pass [false] for queues that deliberately relax
+    global order (e.g. the sharded front-end, which only keeps FIFO per
+    shard) — conservation, no-invention and no-duplication still hold
+    for them. *)

@@ -15,6 +15,8 @@ type event = {
   outcome : outcome;
   invoked : int;
   returned : int;
+  call : int;
+  rank : int;
 }
 
 type t = event list
@@ -32,15 +34,32 @@ let record r ~thread op run =
   let outcome = run () in
   let returned = Atomic.fetch_and_add r.clock 1 in
   let sink = r.sinks.(thread) in
-  sink := { thread; op; outcome; invoked; returned } :: !sink;
+  sink := { thread; op; outcome; invoked; returned; call = invoked; rank = 0 }
+          :: !sink;
   outcome
+
+let record_call r ~thread run =
+  let invoked = Atomic.fetch_and_add r.clock 1 in
+  let results = run () in
+  let returned = Atomic.fetch_and_add r.clock 1 in
+  let sink = r.sinks.(thread) in
+  List.iteri
+    (fun rank (op, outcome) ->
+      sink :=
+        { thread; op; outcome; invoked; returned; call = invoked; rank }
+        :: !sink)
+    results;
+  results
 
 let events r =
   Array.to_list r.sinks
   |> List.concat_map (fun sink -> List.rev !sink)
-  |> List.sort (fun a b -> compare a.invoked b.invoked)
+  |> List.sort (fun a b ->
+         compare (a.invoked, a.thread, a.rank) (b.invoked, b.thread, b.rank))
 
-let precedes a b = a.returned < b.invoked
+let precedes a b =
+  a.returned < b.invoked
+  || (a.thread = b.thread && a.call = b.call && a.rank < b.rank)
 
 let pp_op fmt = function
   | Enqueue v -> Format.fprintf fmt "enq(%d)" v
@@ -54,8 +73,12 @@ let pp_outcome fmt = function
   | Observed_empty -> Format.fprintf fmt "-> empty"
 
 let pp_event fmt e =
-  Format.fprintf fmt "[T%d %d..%d] %a %a" e.thread e.invoked e.returned pp_op
-    e.op pp_outcome e.outcome
+  if e.rank = 0 then
+    Format.fprintf fmt "[T%d %d..%d] %a %a" e.thread e.invoked e.returned
+      pp_op e.op pp_outcome e.outcome
+  else
+    Format.fprintf fmt "[T%d %d..%d #%d] %a %a" e.thread e.invoked e.returned
+      e.rank pp_op e.op pp_outcome e.outcome
 
 let pp fmt h =
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) h

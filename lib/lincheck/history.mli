@@ -5,7 +5,15 @@
     invocations and responses.  This module timestamps both ends of every
     operation with a shared atomic tick counter, giving the real-time
     precedence order the checker must respect: operation [a] precedes [b]
-    iff [a] responded before [b] was invoked. *)
+    iff [a] responded before [b] was invoked.
+
+    {b Batch operations} linearize as their items in order: one batch call
+    is recorded ({!record_call}) as several item-level sub-events sharing
+    the call's tick window, distinguished by [rank].  {!precedes} orders
+    same-call sub-events by rank, so the exact checker is forced to
+    linearize a batch's items in batch order (interleaved arbitrarily
+    with other threads' events) without any change to the sequential
+    spec. *)
 
 type op =
   | Enqueue of int
@@ -24,6 +32,11 @@ type event = {
   outcome : outcome;
   invoked : int;  (** tick at invocation *)
   returned : int; (** tick at response *)
+  call : int;
+      (** invocation tick of the API call this event belongs to; equals
+          [invoked] (single ops share no call, batch sub-events share
+          their batch's window) *)
+  rank : int;     (** position within the call; [0] for single ops *)
 }
 
 type t = event list
@@ -41,11 +54,26 @@ val record :
     in [thread]'s sink and returns the outcome.  [thread] sinks are
     single-owner: each thread id must be used by one domain only. *)
 
+val record_call :
+  recorder ->
+  thread:int ->
+  (unit -> (op * outcome) list) ->
+  (op * outcome) list
+(** [record_call r ~thread run] stamps one invocation/response window
+    around [run] (which performs a real {e batch} operation) and logs
+    every returned [(op, outcome)] as a sub-event of that window, ranked
+    in list order.  Convention for short batches: a partial batch enqueue
+    logs its accepted items ([Accepted]) followed by {e one} [Rejected]
+    for the first refused item (the rest were never attempted); a partial
+    batch dequeue logs its items ([Got]) followed by one
+    [Observed_empty]. *)
+
 val events : recorder -> t
 (** Merge all sinks (call after every worker has joined). *)
 
 val precedes : event -> event -> bool
-(** Real-time order: [a] responded before [b] was invoked. *)
+(** Real-time order: [a] responded before [b] was invoked — extended to
+    same-call batch sub-events, which are ordered by [rank]. *)
 
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit

@@ -4,23 +4,85 @@ module Barrier = Nbq_primitives.Barrier
 type ops = {
   enqueue : int -> bool;
   dequeue : unit -> int option;
+  enqueue_batch : int array -> int;
+  dequeue_batch : int -> int list;
 }
+
+let ops_of_singles ~enqueue ~dequeue =
+  {
+    enqueue;
+    dequeue;
+    enqueue_batch =
+      (fun items ->
+        let n = Array.length items in
+        let i = ref 0 in
+        while !i < n && enqueue items.(!i) do incr i done;
+        !i);
+    dequeue_batch =
+      (fun k ->
+        let rec go acc left =
+          if left <= 0 then List.rev acc
+          else
+            match dequeue () with
+            | Some x -> go (x :: acc) (left - 1)
+            | None -> List.rev acc
+        in
+        go [] k);
+  }
 
 let value ~thread ~seq = (thread lsl 20) lor seq
 
-let worker_loop ~recorder ~thread ~ops_per_thread ~rng (ops : ops) =
+let record_enqueue_batch ~recorder ~thread (ops : ops) vs =
+  ignore
+    (History.record_call recorder ~thread (fun () ->
+         let accepted = ops.enqueue_batch vs in
+         let n = Array.length vs in
+         List.init
+           (min n (accepted + 1))
+           (fun i ->
+             if i < accepted then (History.Enqueue vs.(i), History.Accepted)
+             else
+               (* The first refused item; later ones were never attempted. *)
+               (History.Enqueue vs.(i), History.Rejected))))
+
+let record_dequeue_batch ~recorder ~thread (ops : ops) k =
+  ignore
+    (History.record_call recorder ~thread (fun () ->
+         let got = ops.dequeue_batch k in
+         let m = List.length got in
+         List.map (fun v -> (History.Dequeue, History.Got v)) got
+         @
+         (* A short batch observed empty exactly once, at its cut-off. *)
+         if m < k then [ (History.Dequeue, History.Observed_empty) ] else []))
+
+let worker_loop ?(with_batches = false) ~recorder ~thread ~ops_per_thread ~rng
+    (ops : ops) =
   (* Track own backlog to bias toward enqueues early and drain late, so
      histories exercise both empty and populated regimes. *)
   let seq = ref 0 in
   for _ = 1 to ops_per_thread do
     let do_enqueue = Prng.int rng 10 < 6 in
-    if do_enqueue then begin
-      let v = value ~thread ~seq:!seq in
-      incr seq;
-      ignore
-        (History.record recorder ~thread (History.Enqueue v) (fun () ->
-             if ops.enqueue v then History.Accepted else History.Rejected))
-    end
+    let do_batch = with_batches && Prng.int rng 10 < 3 in
+    if do_enqueue then
+      if do_batch then begin
+        let k = 2 + Prng.int rng 2 in
+        let vs =
+          Array.init k (fun _ ->
+              let v = value ~thread ~seq:!seq in
+              incr seq;
+              v)
+        in
+        record_enqueue_batch ~recorder ~thread ops vs
+      end
+      else begin
+        let v = value ~thread ~seq:!seq in
+        incr seq;
+        ignore
+          (History.record recorder ~thread (History.Enqueue v) (fun () ->
+               if ops.enqueue v then History.Accepted else History.Rejected))
+      end
+    else if do_batch then
+      record_dequeue_batch ~recorder ~thread ops (2 + Prng.int rng 2)
     else
       ignore
         (History.record recorder ~thread History.Dequeue (fun () ->
@@ -29,7 +91,7 @@ let worker_loop ~recorder ~thread ~ops_per_thread ~rng (ops : ops) =
              | None -> History.Observed_empty))
   done
 
-let run_once ~threads ~ops_per_thread ~seed make_ops =
+let run_once ?with_batches ~threads ~ops_per_thread ~seed make_ops =
   let recorder = History.recorder ~threads in
   let barrier = Barrier.create ~parties:threads in
   let domains =
@@ -38,19 +100,21 @@ let run_once ~threads ~ops_per_thread ~seed make_ops =
         Domain.spawn (fun () ->
             let rng = Prng.create ~seed:(seed + (thread * 7919)) in
             Barrier.await barrier;
-            worker_loop ~recorder ~thread ~ops_per_thread ~rng ops))
+            worker_loop ?with_batches ~recorder ~thread ~ops_per_thread ~rng
+              ops))
   in
   List.iter Domain.join domains;
   History.events recorder
 
 let check_small_rounds ?(rounds = 100) ?(threads = 3) ?(ops_per_thread = 4)
-    ?capacity ?(seed = 42) make_round =
+    ?capacity ?(seed = 42) ?with_batches make_round =
   let rec go round =
     if round >= rounds then Checker.Ok
     else begin
       let make_ops = make_round () in
       let history =
-        run_once ~threads ~ops_per_thread ~seed:(seed + (round * 131)) make_ops
+        run_once ?with_batches ~threads ~ops_per_thread
+          ~seed:(seed + (round * 131)) make_ops
       in
       match Checker.check_linearizable ?capacity history with
       | Checker.Ok -> go (round + 1)
@@ -61,7 +125,8 @@ let check_small_rounds ?(rounds = 100) ?(threads = 3) ?(ops_per_thread = 4)
   go 0
 
 let check_big_run ?(threads = 4) ?(ops_per_thread = 20_000) ?(seed = 42)
-    ~final_length make_ops =
-  let history = run_once ~threads ~ops_per_thread ~seed make_ops in
-  Checker.check_fifo_properties ~expected_final_length:(final_length ())
+    ?with_batches ?(relaxed_order = false) ~final_length make_ops =
+  let history = run_once ?with_batches ~threads ~ops_per_thread ~seed make_ops in
+  Checker.check_fifo_properties ~check_inversion:(not relaxed_order)
+    ~expected_final_length:(final_length ())
     history

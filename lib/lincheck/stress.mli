@@ -6,19 +6,33 @@
     and applies the scalable necessary-condition checks.
 
     Enqueue values are made globally unique ([thread * 2^20 + sequence]) so
-    that loss, duplication and reordering are directly attributable. *)
+    that loss, duplication and reordering are directly attributable.
+
+    With [~with_batches:true] the drivers mix in batch operations
+    (2–3-item [enqueue_batch]/[dequeue_batch] calls, ~30% of operations):
+    each batch call is recorded through {!History.record_call} as its
+    items in order, so the exact checker verifies the documented batch
+    linearization (a batch = its items, in order, as one call window). *)
 
 type ops = {
   enqueue : int -> bool;
   dequeue : unit -> int option;
+  enqueue_batch : int array -> int;
+  dequeue_batch : int -> int list;
 }
 (** The queue under test, seen from one worker thread.  The harness builds
-    these from any {!Nbq_core.Queue_intf.CONC} implementation. *)
+    these from any {!Nbq_core.Queue_intf.CONC} implementation; use
+    {!ops_of_singles} when the queue has no native batches. *)
+
+val ops_of_singles :
+  enqueue:(int -> bool) -> dequeue:(unit -> int option) -> ops
+(** Fill the batch fields with loops over the single operations. *)
 
 val value : thread:int -> seq:int -> int
 (** The unique-value encoding used by both drivers. *)
 
 val run_once :
+  ?with_batches:bool ->
   threads:int ->
   ops_per_thread:int ->
   seed:int ->
@@ -27,7 +41,8 @@ val run_once :
 (** One episode: [threads] domains each perform [ops_per_thread] randomized
     operations (enqueue-biased while its own backlog is small) against
     [ops thread], behind a common start barrier.  Returns the merged
-    history. *)
+    history.  A batch call counts as one operation but contributes up to
+    [k + 1] events. *)
 
 val check_small_rounds :
   ?rounds:int ->
@@ -35,21 +50,27 @@ val check_small_rounds :
   ?ops_per_thread:int ->
   ?capacity:int ->
   ?seed:int ->
+  ?with_batches:bool ->
   (unit -> int -> ops) ->
   Checker.verdict
 (** Run [rounds] (default 100) episodes of [threads] (default 3) domains ×
     [ops_per_thread] (default 4) operations, exact-checking each history
     against the bounded spec (with [capacity], default unbounded); stops at
     the first violation.  The callback is invoked once per round and must
-    return per-thread ops over a {e fresh} queue. *)
+    return per-thread ops over a {e fresh} queue.  [with_batches] defaults
+    to [false], leaving historical seeds and event counts untouched. *)
 
 val check_big_run :
   ?threads:int ->
   ?ops_per_thread:int ->
   ?seed:int ->
+  ?with_batches:bool ->
+  ?relaxed_order:bool ->
   final_length:(unit -> int) ->
   (int -> ops) ->
   Checker.verdict
 (** One big episode (defaults: 4 domains × 20_000 ops) checked with the
     scalable property checks; [final_length] is read after all domains
-    joined, for exact conservation. *)
+    joined, for exact conservation.  [relaxed_order] (default [false])
+    disables the real-time FIFO inversion check, for queues that only
+    promise per-shard order. *)

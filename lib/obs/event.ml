@@ -9,8 +9,9 @@ type t =
   | Tag_reregister
   | Tag_deregister
   | Tag_recycle
+  | Shard_steal
 
-let count = 10
+let count = 11
 
 let index = function
   | Sc_fail -> 0
@@ -23,11 +24,12 @@ let index = function
   | Tag_reregister -> 7
   | Tag_deregister -> 8
   | Tag_recycle -> 9
+  | Shard_steal -> 10
 
 let all =
   [
     Sc_fail; Ll_reserve; Tail_help; Head_help; Full_retry; Empty_retry;
-    Tag_register; Tag_reregister; Tag_deregister; Tag_recycle;
+    Tag_register; Tag_reregister; Tag_deregister; Tag_recycle; Shard_steal;
   ]
 
 let to_string = function
@@ -41,6 +43,7 @@ let to_string = function
   | Tag_reregister -> "tag_reregister"
   | Tag_deregister -> "tag_deregister"
   | Tag_recycle -> "tag_recycle"
+  | Shard_steal -> "shard_steal"
 
 let of_string = function
   | "sc_fail" -> Some Sc_fail
@@ -53,6 +56,7 @@ let of_string = function
   | "tag_reregister" -> Some Tag_reregister
   | "tag_deregister" -> Some Tag_deregister
   | "tag_recycle" -> Some Tag_recycle
+  | "shard_steal" -> Some Shard_steal
   | _ -> None
 
 let describe = function
@@ -66,3 +70,4 @@ let describe = function
   | Tag_reregister -> "per-operation ReRegister step (swaps the tag variable if a foreign reference is held)"
   | Tag_deregister -> "tag variable released (Deregister)"
   | Tag_recycle -> "registration recycled a free tag variable"
+  | Shard_steal -> "sharded front-end completed an operation on a foreign shard"

@@ -6,7 +6,8 @@
     [Empty_retry] are the workload-visible outcomes; the [Tag_*] events
     trace the CAS-simulated LL/SC tag-variable registry ([Register] /
     [ReRegister] / [Deregister] and recycling) whose churn the paper's
-    space experiment measures. *)
+    space experiment measures; [Shard_steal] counts work-stealing
+    fallbacks in the sharded front-end ([Nbq_scale.Sharded]). *)
 
 type t =
   | Sc_fail        (** update-path store-conditional failed *)
@@ -19,6 +20,7 @@ type t =
   | Tag_reregister (** [ReRegister] had to swap tag variables *)
   | Tag_deregister (** tag variable released *)
   | Tag_recycle    (** registration recycled a free tag variable *)
+  | Shard_steal    (** sharded front-end completed an op on a foreign shard *)
 
 val count : int
 (** Number of distinct events. *)

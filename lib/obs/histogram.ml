@@ -67,6 +67,14 @@ let record t ns =
   ignore (Atomic.fetch_and_add t.buckets.(s).(bucket_of_ns ns) 1);
   ignore (Atomic.fetch_and_add t.sums.(s) ns)
 
+let record_n t ns n =
+  if n > 0 then begin
+    let ns = if ns < 0 then 0 else ns in
+    let s = (Domain.self () :> int) land t.mask in
+    ignore (Atomic.fetch_and_add t.buckets.(s).(bucket_of_ns ns) n);
+    ignore (Atomic.fetch_and_add t.sums.(s) (ns * n))
+  end
+
 type snapshot = {
   counts : int array;  (* length bucket_count *)
   total : int;

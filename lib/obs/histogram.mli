@@ -21,6 +21,12 @@ val record : t -> int -> unit
 (** [record t ns] counts one sample of [ns] nanoseconds (negative values
     clamp to 0).  Wait-free, allocation-free. *)
 
+val record_n : t -> int -> int -> unit
+(** [record_n t ns n] counts [n] samples of [ns] nanoseconds each — the
+    batched-operation accounting path, where one timed call covers [n]
+    items and each is attributed the per-item share.  No-op when
+    [n <= 0]. *)
+
 (** {2 Bucket geometry (exposed for tests and renderers)} *)
 
 val bucket_count : int

@@ -51,6 +51,26 @@ module Make (M : METRICS) (Q : Queue_intf.CONC) :
     if r = None then Metrics.emit m Event.Empty_retry;
     r
 
+  (* Batches are always timed (one timed call already amortizes the two
+     clock reads over k items) and account k histogram samples per call,
+     so item totals stay comparable with single-op runs.  A short batch
+     means the underlying queue reported full/empty exactly once — count
+     one retry, like the single-op wrappers do. *)
+  let try_enqueue_batch t items =
+    let t0 = Clock.now_ns () in
+    let accepted = Q.try_enqueue_batch t items in
+    Metrics.record_enq_batch_ns m ~items:accepted (Clock.now_ns () - t0);
+    if accepted < Array.length items then Metrics.emit m Event.Full_retry;
+    accepted
+
+  let try_dequeue_batch t k =
+    let t0 = Clock.now_ns () in
+    let got = Q.try_dequeue_batch t k in
+    let n = List.length got in
+    Metrics.record_deq_batch_ns m ~items:n (Clock.now_ns () - t0);
+    if n < k then Metrics.emit m Event.Empty_retry;
+    got
+
   let length = Q.length
 end
 
@@ -66,7 +86,7 @@ module Deep_evequoz_cas (M : METRICS) : Queue_intf.CONC = struct
   module Core =
     Nbq_core.Evequoz_cas.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
   module Q = Nbq_core.Evequoz_cas.With_implicit_handles (Core)
-  module C = Queue_intf.Of_bounded (Q)
+  module C = Queue_intf.Of_bounded_batch (Q)
   include Make (M) (C)
 end
 

@@ -17,6 +17,15 @@ let count t ev = Sharded_counter.read t.counters.(Event.index ev)
 let record_enq_ns t ns = Histogram.record t.enq_latency ns
 let record_deq_ns t ns = Histogram.record t.deq_latency ns
 
+(* Batched operations attribute the per-item share of the call's elapsed
+   time to each item, so histogram totals keep counting items (not calls)
+   and throughput math stays uniform across batched and single-op runs. *)
+let record_enq_batch_ns t ~items ns =
+  if items > 0 then Histogram.record_n t.enq_latency (ns / items) items
+
+let record_deq_batch_ns t ~items ns =
+  if items > 0 then Histogram.record_n t.deq_latency (ns / items) items
+
 let reset t =
   Array.iter Sharded_counter.reset t.counters
 
@@ -79,4 +88,5 @@ let probe (t : t) : (module Nbq_primitives.Probe.S) =
 
     let tag_deregister () = emit t Event.Tag_deregister
     let tag_recycle () = emit t Event.Tag_recycle
+    let shard_steal () = emit t Event.Shard_steal
   end)

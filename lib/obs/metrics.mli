@@ -15,6 +15,15 @@ val count : t -> Event.t -> int
 val record_enq_ns : t -> int -> unit
 val record_deq_ns : t -> int -> unit
 
+val record_enq_batch_ns : t -> items:int -> int -> unit
+(** [record_enq_batch_ns t ~items ns]: one batch enqueue call moved
+    [items] items in [ns] nanoseconds total; records [items] histogram
+    samples of [ns / items] each, so totals keep counting items.  No-op
+    when [items <= 0]. *)
+
+val record_deq_batch_ns : t -> items:int -> int -> unit
+(** Dequeue-side counterpart of {!record_enq_batch_ns}. *)
+
 val reset : t -> unit
 (** Zero the counters (histograms are left as-is; create a fresh [t] for a
     fresh run). *)

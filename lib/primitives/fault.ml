@@ -6,12 +6,13 @@ type point =
   | Tag_reregister
   | Tag_deregister
   | Counter_bump
+  | Shard_steal
   | Op_gap
 
 let all =
   [
     Ll_reserve; Slot_swap; Sc_attempt; Tag_register; Tag_reregister;
-    Tag_deregister; Counter_bump; Op_gap;
+    Tag_deregister; Counter_bump; Shard_steal; Op_gap;
   ]
 
 let to_string = function
@@ -22,6 +23,7 @@ let to_string = function
   | Tag_reregister -> "tag-reregister"
   | Tag_deregister -> "tag-deregister"
   | Counter_bump -> "counter-bump"
+  | Shard_steal -> "shard-steal"
   | Op_gap -> "op-gap"
 
 let of_string s = List.find_opt (fun p -> to_string p = s) all

@@ -29,6 +29,11 @@
     - [Counter_bump] — after a slot update succeeded but before the lagging
       [Head]/[Tail] counter is CASed forward; other threads must help
       (paper E11-E13 / D11-D13).
+    - [Shard_steal] — in a sharded front-end ([Nbq_scale.Sharded]), after
+      the home shard reported full/empty but before any foreign shard is
+      probed.  A victim frozen here holds no reservation on any ring, yet
+      sits mid-operation on the steal path; the other domains' progress
+      must not depend on it finishing its sweep.
     - [Op_gap] — between two queue operations, holding nothing.  This point
       is hit by harness-level wrappers only, and is meaningful for {e
       every} queue in the registry (even the lock-based baselines survive a
@@ -42,6 +47,7 @@ type point =
   | Tag_reregister
   | Tag_deregister
   | Counter_bump
+  | Shard_steal
   | Op_gap
 
 val all : point list

@@ -15,6 +15,15 @@ module type S = sig
   val deregister : 'a handle -> unit
   val ll : 'a t -> 'a handle -> 'a
   val sc : 'a t -> 'a handle -> 'a -> bool
+
+  type 'a observation
+
+  val observe : 'a t -> 'a observation
+  val observed_value : 'a observation -> 'a option
+  val observed_holds : 'a observation -> 'a -> bool
+  val observed_get : 'a observation -> 'a
+  val commit : 'a t -> 'a observation -> 'a -> bool
+
   val peek : 'a t -> 'a
   val unsafe_set : 'a t -> 'a -> unit
   val registered_count : 'a registry -> int
@@ -142,6 +151,39 @@ struct
   let sc (cell : 'a t) (h : 'a handle) v =
     F.hit Fault.Sc_attempt;
     A.compare_and_set cell h.mark (Value v)
+
+  (* --- One-shot observe / commit (extension, not in the paper) ---------
+
+     A physical-equality CAS against the exact block read earlier.  Sound
+     without tags because every mutation of a cell installs a {e freshly
+     allocated} [Value] block ([sc], [commit], [unsafe_set] all allocate;
+     marker blocks are never re-installed as values), so observing the same
+     block at commit time proves the cell was never touched in between —
+     the allocation itself plays the role of the paper's tag.  Only valid
+     for this boxed representation; the batch-run extension uses it to
+     spend one CAS per slot instead of the ll/sc pair's two. *)
+
+  type 'a observation = 'a content
+
+  let observe (cell : 'a t) : 'a observation = A.get cell
+
+  let observed_value (obs : 'a observation) =
+    match obs with Value v -> Some v | Mark _ -> None | Unset -> assert false
+
+  (* Allocation-free variant of [observed_value] for hot loops that only
+     test against a known (immediate or interned) value. *)
+  let observed_holds (obs : 'a observation) v =
+    match obs with Value w -> w == v | Mark _ | Unset -> false
+
+  (* Allocation-free extraction: the [Not_found] raise only happens on the
+     rare marker observation, the value path returns the block already in
+     hand. *)
+  let observed_get (obs : 'a observation) =
+    match obs with Value v -> v | Mark _ | Unset -> raise Not_found
+
+  let commit (cell : 'a t) (obs : 'a observation) v =
+    F.hit Fault.Sc_attempt;
+    A.compare_and_set cell obs (Value v)
 
   let rec peek (cell : 'a t) =
     match A.get cell with

@@ -86,6 +86,42 @@ module type S = sig
   (** Simulated store-conditional: CAS the handle's own marker to [Value v].
       Fails iff another thread's [ll] stole the reservation since ours. *)
 
+  type 'a observation
+  (** The exact block read from a cell by {!observe}: the capability to
+      {!commit} against it once. *)
+
+  val observe : 'a t -> 'a observation
+  (** One plain atomic read of the cell, remembering the physical block. *)
+
+  val observed_value : 'a observation -> 'a option
+  (** The logical value behind an observation, or [None] when the cell held
+      a thread's reservation marker at read time (callers should fall back
+      to the ll/sc protocol). *)
+
+  val observed_holds : 'a observation -> 'a -> bool
+  (** [observed_holds obs v] is true iff the observation saw exactly the
+      logical value [v] (physical equality).  Allocation-free counterpart
+      of {!observed_value} for hot loops testing against an immediate
+      sentinel such as a queue's [Empty]. *)
+
+  val observed_get : 'a observation -> 'a
+  (** The logical value behind an observation; raises [Not_found] when the
+      cell held a reservation marker at read time.  Allocation-free
+      counterpart of {!observed_value} for hot loops (the raise only fires
+      on the rare marker observation). *)
+
+  val commit : 'a t -> 'a observation -> 'a -> bool
+  (** [commit cell obs v] installs [v] iff the cell still holds the exact
+      block {!observe} returned — a single physical-equality CAS playing
+      the role of an ll/sc pair (extension, not in the paper).  Sound
+      without tags because every cell mutation ([sc], [commit],
+      [unsafe_set]) installs a freshly allocated block and no old value
+      block is ever re-installed, so physical equality proves the cell was
+      untouched since the observation; the allocation itself is the tag.
+      This is a property of this boxed OCaml representation, not of the
+      paper's raw-word cells.  Used by the batch-run extension to spend one
+      CAS per slot instead of two. *)
+
   val peek : 'a t -> 'a
   (** Read the logical value without reserving: reads through a foreign
       marker via its tag variable's placeholder.  Safe for heuristic checks

@@ -7,6 +7,7 @@ module type S = sig
   val tag_reregister : unit -> unit
   val tag_deregister : unit -> unit
   val tag_recycle : unit -> unit
+  val shard_steal : unit -> unit
 end
 
 module Noop : S = struct
@@ -18,4 +19,5 @@ module Noop : S = struct
   let tag_reregister () = ()
   let tag_deregister () = ()
   let tag_recycle () = ()
+  let shard_steal () = ()
 end

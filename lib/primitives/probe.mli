@@ -23,7 +23,10 @@
       registry growth);
     - [tag_deregister] — a tag variable was released ([Deregister]);
     - [tag_recycle] — a registration was satisfied by recycling a free
-      variable from the registry instead of appending a fresh one. *)
+      variable from the registry instead of appending a fresh one;
+    - [shard_steal] — a sharded front-end completed an operation on a
+      {e foreign} shard after its home shard reported full/empty (the
+      work-stealing fallback of [Nbq_scale.Sharded]). *)
 
 module type S = sig
   val ll_reserve : unit -> unit
@@ -34,6 +37,7 @@ module type S = sig
   val tag_reregister : unit -> unit
   val tag_deregister : unit -> unit
   val tag_recycle : unit -> unit
+  val shard_steal : unit -> unit
 end
 
 module Noop : S

@@ -1,0 +1,259 @@
+module Queue_intf = Nbq_core.Queue_intf
+module Probe = Nbq_primitives.Probe
+module Fault = Nbq_primitives.Fault
+module Padding = Nbq_obs.Padding
+module Sharded_counter = Nbq_obs.Sharded_counter
+
+(* One shard's operations, as closures over whatever backs it (a CONC
+   module's queue, a Registry instance, an injected-fault ring).  The
+   record is copied through [Padding.copy_padded] at construction so
+   adjacent shards' closure blocks never share a cache line. *)
+type 'a shard_ops = {
+  enq : 'a -> bool;
+  deq : unit -> 'a option;
+  len : unit -> int;
+  enq_batch : 'a array -> int;
+  deq_batch : int -> 'a list;
+}
+
+type 'a t = {
+  shards : 'a shard_ops array;
+  home : unit -> int;          (* affinity; result always in [0, shards) *)
+  steals : Sharded_counter.t;
+  note_steal : unit -> unit;   (* probe hook, fired per foreign-shard success *)
+  steal_window : unit -> unit; (* fault hook, fired before the first foreign probe *)
+}
+
+let ops ~enq ~deq ~len ~enq_batch ~deq_batch =
+  { enq; deq; len; enq_batch; deq_batch }
+
+let ops_of_singles ~enq ~deq ~len =
+  {
+    enq;
+    deq;
+    len;
+    enq_batch =
+      (fun items ->
+        let n = Array.length items in
+        let i = ref 0 in
+        while !i < n && enq (Array.unsafe_get items !i) do incr i done;
+        !i);
+    deq_batch =
+      (fun k ->
+        let rec go acc left =
+          if left <= 0 then List.rev acc
+          else
+            match deq () with
+            | Some x -> go (x :: acc) (left - 1)
+            | None -> List.rev acc
+        in
+        go [] k);
+  }
+
+let create ?(note_steal = fun () -> ()) ?(steal_window = fun () -> ())
+    ?home ~shards mk =
+  if shards < 1 then invalid_arg "Sharded.create: shards < 1";
+  let home =
+    match home with
+    (* Domain affinity: a domain's home shard is its id modulo the shard
+       count, so with [shards >= domains] every domain owns a private
+       ring and only crosses over when stealing. *)
+    | None -> fun () -> (Domain.self () :> int) mod shards
+    (* Custom affinity (tests, adversarial torture schedules): clamp into
+       range so a wild function cannot index out of bounds. *)
+    | Some f -> fun () -> ((f () mod shards) + shards) mod shards
+  in
+  {
+    shards = Array.init shards (fun i -> Padding.copy_padded (mk i));
+    home;
+    steals = Sharded_counter.create ();
+    note_steal;
+    steal_window;
+  }
+
+let shard_count t = Array.length t.shards
+let steal_count t = Sharded_counter.read t.steals
+
+let stole t =
+  Sharded_counter.incr t.steals;
+  t.note_steal ()
+
+let home t = t.home ()
+
+let try_enqueue t x =
+  let n = Array.length t.shards in
+  let h = home t in
+  if (Array.unsafe_get t.shards h).enq x then true
+  else if n = 1 then false
+  else begin
+    t.steal_window ();
+    let rec sweep i =
+      if i >= n then false
+      else
+        let s = if h + i >= n then h + i - n else h + i in
+        if (Array.unsafe_get t.shards s).enq x then begin
+          stole t;
+          true
+        end
+        else sweep (i + 1)
+    in
+    sweep 1
+  end
+
+let try_dequeue t =
+  let n = Array.length t.shards in
+  let h = home t in
+  match (Array.unsafe_get t.shards h).deq () with
+  | Some _ as r -> r
+  | None ->
+      if n = 1 then None
+      else begin
+        t.steal_window ();
+        let rec sweep i =
+          if i >= n then None
+          else
+            let s = if h + i >= n then h + i - n else h + i in
+            match (Array.unsafe_get t.shards s).deq () with
+            | Some _ as r ->
+                stole t;
+                r
+            | None -> sweep (i + 1)
+        in
+        sweep 1
+      end
+
+(* Like [try_dequeue] but reports which shard served the item, so tests
+   can assert per-shard FIFO order without trusting the facade. *)
+let try_dequeue_with_source t =
+  let n = Array.length t.shards in
+  let h = home t in
+  match (Array.unsafe_get t.shards h).deq () with
+  | Some x -> Some (h, x)
+  | None ->
+      if n = 1 then None
+      else begin
+        t.steal_window ();
+        let rec sweep i =
+          if i >= n then None
+          else
+            let s = if h + i >= n then h + i - n else h + i in
+            match (Array.unsafe_get t.shards s).deq () with
+            | Some x ->
+                stole t;
+                Some (s, x)
+            | None -> sweep (i + 1)
+        in
+        sweep 1
+      end
+
+let try_enqueue_batch t items =
+  let total = Array.length items in
+  if total = 0 then 0
+  else begin
+    let n = Array.length t.shards in
+    let h = home t in
+    let accepted = ref ((Array.unsafe_get t.shards h).enq_batch items) in
+    if !accepted < total && n > 1 then begin
+      t.steal_window ();
+      let i = ref 1 in
+      while !accepted < total && !i < n do
+        let s = if h + !i >= n then h + !i - n else h + !i in
+        let rest = Array.sub items !accepted (total - !accepted) in
+        let k = (Array.unsafe_get t.shards s).enq_batch rest in
+        if k > 0 then begin
+          stole t;
+          accepted := !accepted + k
+        end;
+        incr i
+      done
+    end;
+    !accepted
+  end
+
+let try_dequeue_batch t k =
+  if k <= 0 then []
+  else begin
+    let n = Array.length t.shards in
+    let h = home t in
+    let got = (Array.unsafe_get t.shards h).deq_batch k in
+    let m = List.length got in
+    if m >= k || n = 1 then got
+    else begin
+      t.steal_window ();
+      let rec sweep i chunks m =
+        if m >= k || i >= n then List.concat (List.rev chunks)
+        else
+          let s = if h + i >= n then h + i - n else h + i in
+          let more = (Array.unsafe_get t.shards s).deq_batch (k - m) in
+          match more with
+          | [] -> sweep (i + 1) chunks m
+          | _ ->
+              stole t;
+              sweep (i + 1) (more :: chunks) (m + List.length more)
+      in
+      sweep 1 [ got ] m
+    end
+  end
+
+(* Sum of per-shard lengths, each read at a different instant: a
+   non-linearizable snapshot.  With [d] operations in flight the result is
+   within [d] of any linearized length, which is the bound the battery
+   test pins down. *)
+let length t =
+  Array.fold_left (fun acc s -> acc + s.len ()) 0 t.shards
+
+let shard_length t i = t.shards.(i).len ()
+
+(* --- Functor veneer over any CONC implementation ----------------------- *)
+
+module type SHARDS = sig
+  val shards : int
+end
+
+module Make_injected
+    (N : SHARDS)
+    (P : Probe.S)
+    (F : Fault.S)
+    (Q : Queue_intf.CONC) =
+struct
+  type nonrec 'a t = 'a t
+
+  let name = Q.name ^ "-shard" ^ string_of_int N.shards
+  let bounded = Q.bounded
+
+  (* Capacity splits evenly across shards (rounded up, then up again to
+     each ring's power of two), so the facade holds at least [capacity]
+     items in aggregate — but a single shard can fill while others have
+     room, which is why enqueue steals before reporting full. *)
+  let create ~capacity =
+    let per = max 1 ((capacity + N.shards - 1) / N.shards) in
+    create ~shards:N.shards ~note_steal:P.shard_steal
+      ~steal_window:(fun () -> F.hit Fault.Shard_steal)
+      (fun _ ->
+        let q = Q.create ~capacity:per in
+        ops
+          ~enq:(fun x -> Q.try_enqueue q x)
+          ~deq:(fun () -> Q.try_dequeue q)
+          ~len:(fun () -> Q.length q)
+          ~enq_batch:(fun items -> Q.try_enqueue_batch q items)
+          ~deq_batch:(fun k -> Q.try_dequeue_batch q k))
+
+  let try_enqueue = try_enqueue
+  let try_dequeue = try_dequeue
+  let try_enqueue_batch = try_enqueue_batch
+  let try_dequeue_batch = try_dequeue_batch
+  let length = length
+end
+
+module Make_probed (N : SHARDS) (P : Probe.S) (Q : Queue_intf.CONC) =
+  Make_injected (N) (P) (Fault.Noop) (Q)
+
+module Make (N : SHARDS) (Q : Queue_intf.CONC) =
+  Make_probed (N) (Probe.Noop) (Q)
+
+(* The default composition the ISSUE names: N rings of the paper's
+   CAS-based queue, with the ring's amortized batch runs (one ReRegister
+   and one counter CAS per clean run) — the spurious whole-run "full" a
+   lagging counter can cause is exactly what the steal sweep absorbs. *)
+module Evequoz_cas (N : SHARDS) =
+  Make (N) (Queue_intf.Of_bounded_batch (Nbq_core.Evequoz_cas.Batched))

@@ -345,6 +345,124 @@ let blocking_deadline_cross_domain () =
   | `Timeout -> Alcotest.fail "slot was freed well before the deadline");
   ignore (Domain.join consumer)
 
+(* --- Amortized batch runs (Evequoz_cas.Batched, DESIGN.md §8) ---------
+   The default rows keep loop-of-singles batches; these tests pin the
+   opt-in fast runs directly: FIFO through whole runs, wraparound,
+   partial accept at capacity, mixing with single ops, and conservation
+   plus per-producer order under concurrency. *)
+
+module QB = Q2.Batched
+
+let batch_fifo_roundtrip () =
+  let q : int QB.t = Q2.create ~capacity:16 in
+  let n = QB.try_enqueue_batch q (Array.init 10 (fun i -> i)) in
+  Alcotest.(check int) "all accepted" 10 n;
+  Alcotest.(check (list int)) "run in order" [ 0; 1; 2; 3; 4 ]
+    (QB.try_dequeue_batch q 5);
+  Alcotest.(check (list int)) "remainder in order" [ 5; 6; 7; 8; 9 ]
+    (QB.try_dequeue_batch q 99);
+  Alcotest.(check (list int)) "empty run" [] (QB.try_dequeue_batch q 4)
+
+let batch_wraparound () =
+  let q : int QB.t = Q2.create ~capacity:8 in
+  let next = ref 0 in
+  (* 25 revolutions of runs sized 5 against capacity 8: every run crosses
+     the index wrap repeatedly and the published counters stay ahead of
+     the slots they cover. *)
+  for _ = 1 to 40 do
+    let sent = QB.try_enqueue_batch q (Array.init 5 (fun i -> !next + i)) in
+    Alcotest.(check int) "batch fits" 5 sent;
+    next := !next + 5;
+    let got = QB.try_dequeue_batch q 5 in
+    Alcotest.(check (list int)) "drained in order"
+      (List.init 5 (fun i -> !next - 5 + i))
+      got
+  done
+
+let batch_partial_accept () =
+  let q : int QB.t = Q2.create ~capacity:8 in
+  Alcotest.(check int) "prefix accepted" 8
+    (QB.try_enqueue_batch q (Array.init 12 (fun i -> i)));
+  Alcotest.(check int) "full rejects rest" 0
+    (QB.try_enqueue_batch q [| 99 |]);
+  Alcotest.(check (list int)) "accepted prefix only, in order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (QB.try_dequeue_batch q 12);
+  (* Short queue: a dequeue run returns what is there. *)
+  Alcotest.(check int) "three more" 3 (QB.try_enqueue_batch q [| 20; 21; 22 |]);
+  Alcotest.(check (list int)) "short run" [ 20; 21; 22 ]
+    (QB.try_dequeue_batch q 12)
+
+let batch_mixed_with_singles () =
+  let q : int QB.t = Q2.create ~capacity:16 in
+  assert (Q2.try_enqueue q 0);
+  Alcotest.(check int) "run after single" 3
+    (QB.try_enqueue_batch q [| 1; 2; 3 |]);
+  assert (Q2.try_enqueue q 4);
+  Alcotest.(check (option int)) "single sees run items" (Some 0)
+    (Q2.try_dequeue q);
+  Alcotest.(check (list int)) "run sees single items" [ 1; 2; 3; 4 ]
+    (QB.try_dequeue_batch q 4);
+  Alcotest.(check (option int)) "drained" None (Q2.try_dequeue q)
+
+let batch_concurrent_conservation () =
+  let producers = 2 and consumers = 2 in
+  let per_producer = 3_000 in
+  let q : int QB.t = Q2.create ~capacity:64 in
+  let consumed = Array.make consumers [] in
+  let prods =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            let sent = ref 0 in
+            while !sent < per_producer do
+              let base = (p * 1_000_000) + !sent in
+              let k = min 7 (per_producer - !sent) in
+              let n =
+                QB.try_enqueue_batch q (Array.init k (fun i -> base + i))
+              in
+              sent := !sent + n;
+              if n < k then Domain.cpu_relax ()
+            done))
+  in
+  let total = producers * per_producer in
+  let taken = Atomic.make 0 in
+  let cons =
+    List.init consumers (fun c ->
+        Domain.spawn (fun () ->
+            let mine = ref [] in
+            let continue = ref true in
+            while !continue do
+              match QB.try_dequeue_batch q 7 with
+              | [] ->
+                  if Atomic.get taken >= total then continue := false
+                  else Domain.cpu_relax ()
+              | xs ->
+                  ignore (Atomic.fetch_and_add taken (List.length xs));
+                  mine := List.rev_append xs !mine
+            done;
+            consumed.(c) <- List.rev !mine))
+  in
+  List.iter Domain.join prods;
+  List.iter Domain.join cons;
+  let all = Array.to_list consumed |> List.concat in
+  Alcotest.(check int) "conserved" total (List.length all);
+  Alcotest.(check int) "no duplicates" total
+    (List.length (List.sort_uniq compare all));
+  (* Per-producer order: within one consumer's stream, each producer's
+     items must arrive in increasing order (single FIFO, so this also
+     holds across batch boundaries). *)
+  Array.iter
+    (fun stream ->
+      let last = Array.make producers (-1) in
+      List.iter
+        (fun v ->
+          let p = v / 1_000_000 in
+          Alcotest.(check bool) "per-producer order in stream" true
+            (v > last.(p));
+          last.(p) <- v)
+        stream)
+    consumed
+
 let () =
   Alcotest.run "core"
     [
@@ -380,6 +498,14 @@ let () =
         [
           quick "sequential under 30% failures" weak_queue_correct_under_failures;
           slow "concurrent under 20% failures" weak_queue_concurrent;
+        ] );
+      ( "batch-runs",
+        [
+          quick "fifo roundtrip" batch_fifo_roundtrip;
+          quick "wraparound x25 revolutions" batch_wraparound;
+          quick "partial accept at capacity" batch_partial_accept;
+          quick "mixed with single ops" batch_mixed_with_singles;
+          slow "concurrent conservation + order" batch_concurrent_conservation;
         ] );
       ( "blocking",
         [

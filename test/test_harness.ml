@@ -37,7 +37,7 @@ let registry_concurrent_excludes_sequential () =
   Alcotest.(check int) "all = concurrent + seq"
     (List.length Registry.all)
     (List.length Registry.concurrent + 1);
-  Alcotest.(check int) "sixteen implementations" 16
+  Alcotest.(check int) "eighteen implementations" 18
     (List.length Registry.all)
 
 let registry_instances_independent () =
@@ -55,7 +55,7 @@ let registry_expected_members () =
       "evequoz-llsc"; "evequoz-cas"; "evequoz-llsc-weak"; "shann";
       "tsigas-zhang"; "valois-dcas"; "ms-gc"; "ms-hp-sorted"; "ms-hp-unsorted"; "ms-ebr";
       "ms-doherty"; "herlihy-wing"; "lms-optimistic"; "two-lock";
-      "lock-ring"; "seq-ring";
+      "lock-ring"; "seq-ring"; "evequoz-cas-shard4"; "evequoz-cas-shard8";
     ]
 
 (* --- Stats --- *)
@@ -282,6 +282,23 @@ let workload_runs_to_completion () =
   Alcotest.(check int) "no empty retries single-threaded" 0
     r.Workload.empty_retries
 
+let workload_batched_matches_single_accounting () =
+  let impl = Registry.find "lock-ring" in
+  let q = impl.Registry.create ~capacity:64 in
+  let cfg =
+    { Workload.iterations = 200; enqueue_batch = 5; dequeue_batch = 5 }
+  in
+  Alcotest.(check int) "ledger = iterations * (eb + db)" 2_000
+    (Workload.items_per_thread cfg);
+  let batched = Workload.run_thread_batched cfg ~thread:0 q in
+  Alcotest.(check int) "batched items pinned"
+    (Workload.items_per_thread cfg)
+    batched.Workload.items;
+  Alcotest.(check int) "queue drained" 0 (q.Registry.length ());
+  let single = Workload.run_thread cfg ~thread:0 q in
+  Alcotest.(check int) "same ledger as single-op run" single.Workload.items
+    batched.Workload.items
+
 (* --- Runner --- *)
 
 let runner_measures () =
@@ -298,6 +315,48 @@ let runner_measures () =
   Alcotest.(check string) "name" "evequoz-cas" m.Runner.impl_name;
   Alcotest.(check int) "runs recorded" 2 (List.length m.Runner.per_run_seconds);
   Alcotest.(check bool) "positive time" true (m.Runner.summary.Stats.mean > 0.0)
+
+let runner_batched_item_accounting () =
+  let impl = Registry.find "evequoz-cas" in
+  let cfg =
+    {
+      Runner.threads = 2;
+      runs = 2;
+      workload = { Workload.iterations = 50; enqueue_batch = 3; dequeue_batch = 3 };
+      capacity = None;
+    }
+  in
+  let m = Runner.measure ~batched:true impl cfg in
+  Alcotest.(check int) "items = runs * threads * iterations * (eb + db)"
+    (2 * 2 * 50 * (3 + 3))
+    m.Runner.items
+
+(* One timed batch call must account k histogram samples — totals count
+   items, never calls — so batched and single-op latency totals stay
+   comparable.  Single-threaded with ample capacity, the counts are
+   exact. *)
+let runner_batched_histogram_counts_items () =
+  let impl = Registry.find "evequoz-cas" in
+  let metrics = Nbq_obs.Metrics.create () in
+  let iterations = 100 and eb = 4 and db = 4 in
+  let cfg =
+    {
+      Runner.threads = 1;
+      runs = 1;
+      workload = { Workload.iterations; enqueue_batch = eb; dequeue_batch = db };
+      capacity = None;
+    }
+  in
+  let m = Runner.measure ~metrics ~batched:true impl cfg in
+  match m.Runner.metrics with
+  | None -> Alcotest.fail "expected a metrics snapshot"
+  | Some s ->
+      Alcotest.(check int) "enq histogram total = items enqueued"
+        (iterations * eb)
+        (Nbq_obs.Histogram.total s.Nbq_obs.Metrics.enq);
+      Alcotest.(check int) "deq histogram total = items dequeued"
+        (iterations * db)
+        (Nbq_obs.Histogram.total s.Nbq_obs.Metrics.deq)
 
 let runner_rejects_zero_threads () =
   let impl = Registry.find "evequoz-cas" in
@@ -385,10 +444,15 @@ let () =
           quick "scaled config" workload_scaled;
           quick "min capacity" workload_min_capacity;
           quick "runs to completion" workload_runs_to_completion;
+          quick "batched run matches single-op accounting"
+            workload_batched_matches_single_accounting;
         ] );
       ( "runner",
         [
           slow "measures" runner_measures;
+          slow "batched item accounting" runner_batched_item_accounting;
+          slow "batch histograms count items"
+            runner_batched_histogram_counts_items;
           quick "rejects zero threads" runner_rejects_zero_threads;
           slow "all concurrent impls smoke" runner_all_concurrent_impls_smoke;
         ] );

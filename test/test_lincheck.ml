@@ -10,7 +10,7 @@ let slow name f = Alcotest.test_case name `Slow f
 
 (* Handy event builder. *)
 let ev thread op outcome invoked returned =
-  { H.thread; op; outcome; invoked; returned }
+  { H.thread; op; outcome; invoked; returned; call = invoked; rank = 0 }
 
 let enq thread v ~inv ~ret = ev thread (H.Enqueue v) H.Accepted inv ret
 let enq_full thread v ~inv ~ret = ev thread (H.Enqueue v) H.Rejected inv ret
@@ -108,6 +108,95 @@ let peek_overlapping_dequeue () =
     [ enq 0 1 ~inv:0 ~ret:1; deq 1 1 ~inv:2 ~ret:9; peek 0 1 ~inv:3 ~ret:4 ];
   check_ok "peek misses item"
     [ enq 0 1 ~inv:0 ~ret:1; deq 1 1 ~inv:2 ~ret:9; peek_empty 0 ~inv:3 ~ret:8 ]
+
+(* --- batch calls (ranked sub-events sharing one window) --- *)
+
+(* One batch call: every (op, outcome) shares the [inv..ret] window and is
+   ranked in list order, exactly as History.record_call logs it. *)
+let batch thread specs ~inv ~ret =
+  List.mapi
+    (fun rank (op, outcome) ->
+      { H.thread; op; outcome; invoked = inv; returned = ret; call = inv; rank })
+    specs
+
+let batch_enqueue_in_order () =
+  check_ok "batch enq, items delivered in batch order"
+    (batch 0
+       [ (H.Enqueue 1, H.Accepted); (H.Enqueue 2, H.Accepted) ]
+       ~inv:0 ~ret:1
+    @ [ deq 1 1 ~inv:2 ~ret:3; deq 1 2 ~inv:4 ~ret:5 ])
+
+let batch_rejects_reordered_items () =
+  (* The two batch items share one tick window, so without rank ordering
+     the checker would be free to linearize them either way; the rank
+     extension must force batch order. *)
+  check_bad "batch items delivered out of batch order"
+    (batch 0
+       [ (H.Enqueue 1, H.Accepted); (H.Enqueue 2, H.Accepted) ]
+       ~inv:0 ~ret:1
+    @ [ deq 1 2 ~inv:2 ~ret:3; deq 1 1 ~inv:4 ~ret:5 ])
+
+let batch_interleaves_with_other_threads () =
+  (* A concurrent single enqueue overlapping the batch window may land
+     between the batch's items. *)
+  check_ok "foreign op lands inside the batch window"
+    (batch 0
+       [ (H.Enqueue 1, H.Accepted); (H.Enqueue 3, H.Accepted) ]
+       ~inv:0 ~ret:5
+    @ [
+        enq 1 2 ~inv:1 ~ret:4;
+        deq 1 1 ~inv:6 ~ret:7;
+        deq 1 2 ~inv:8 ~ret:9;
+        deq 1 3 ~inv:10 ~ret:11;
+      ])
+
+let batch_short_enqueue_at_capacity () =
+  (* Accepted prefix then one Rejected marker, per the short-batch
+     convention. *)
+  check_ok_cap "short batch enqueue" 2
+    (batch 0
+       [
+         (H.Enqueue 1, H.Accepted);
+         (H.Enqueue 2, H.Accepted);
+         (H.Enqueue 3, H.Rejected);
+       ]
+       ~inv:0 ~ret:1
+    @ [ deq 0 1 ~inv:2 ~ret:3; deq 0 2 ~inv:4 ~ret:5 ])
+
+let batch_dequeue_with_empty_cut () =
+  check_ok "short batch dequeue ends on empty"
+    ([ enq 0 1 ~inv:0 ~ret:1; enq 0 2 ~inv:2 ~ret:3 ]
+    @ batch 0
+        [
+          (H.Dequeue, H.Got 1);
+          (H.Dequeue, H.Got 2);
+          (H.Dequeue, H.Observed_empty);
+        ]
+        ~inv:4 ~ret:5)
+
+let batch_rejects_false_empty_cut () =
+  (* The empty marker linearizes after Got 1, when item 2 is still
+     queued — impossible. *)
+  check_bad "batch dequeue claims empty with items queued"
+    ([
+       enq 0 1 ~inv:0 ~ret:1;
+       enq 0 2 ~inv:2 ~ret:3;
+     ]
+    @ batch 0
+        [ (H.Dequeue, H.Got 1); (H.Dequeue, H.Observed_empty) ]
+        ~inv:4 ~ret:5
+    @ [ deq 0 2 ~inv:6 ~ret:7 ])
+
+let precedes_orders_ranks_within_call () =
+  match
+    batch 0 [ (H.Enqueue 1, H.Accepted); (H.Enqueue 2, H.Accepted) ] ~inv:0
+      ~ret:1
+  with
+  | [ a; b ] ->
+      Alcotest.(check bool) "rank 0 precedes rank 1" true (H.precedes a b);
+      Alcotest.(check bool) "rank 1 does not precede rank 0" false
+        (H.precedes b a)
+  | _ -> Alcotest.fail "expected two events"
 
 (* --- rejecting --- *)
 
@@ -263,7 +352,15 @@ let qcheck_accepts_sequential =
               else if Queue.is_empty q then (H.Dequeue, H.Observed_empty)
               else (H.Dequeue, H.Got (Queue.pop q))
             in
-            { H.thread = 0; op; outcome; invoked = inv; returned = next () })
+            {
+              H.thread = 0;
+              op;
+              outcome;
+              invoked = inv;
+              returned = next ();
+              call = inv;
+              rank = 0;
+            })
           ops
       in
       C.check_linearizable ~capacity history = C.Ok)
@@ -295,7 +392,15 @@ let qcheck_rejects_corrupted =
               else if Queue.is_empty q then (H.Dequeue, H.Observed_empty)
               else (H.Dequeue, H.Got (Queue.pop q))
             in
-            { H.thread = 0; op; outcome; invoked = inv; returned = next () })
+            {
+              H.thread = 0;
+              op;
+              outcome;
+              invoked = inv;
+              returned = next ();
+              call = inv;
+              rank = 0;
+            })
           flips
       in
       let gots =
@@ -369,6 +474,18 @@ let () =
           quick "tricky linearization" tricky_linearization_needed;
           quick "peek semantics" peek_semantics;
           quick "peek overlapping dequeue" peek_overlapping_dequeue;
+        ] );
+      ( "checker-batches",
+        [
+          quick "batch enqueue in order" batch_enqueue_in_order;
+          quick "rejects reordered batch items" batch_rejects_reordered_items;
+          quick "foreign op inside batch window"
+            batch_interleaves_with_other_threads;
+          quick "short batch enqueue at capacity"
+            batch_short_enqueue_at_capacity;
+          quick "batch dequeue ends on empty" batch_dequeue_with_empty_cut;
+          quick "rejects false empty cut" batch_rejects_false_empty_cut;
+          quick "precedes orders ranks" precedes_orders_ranks_within_call;
         ] );
       ( "checker-rejects",
         [
