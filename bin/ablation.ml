@@ -65,7 +65,8 @@ let hp_threshold_ablation ~threads ~runs ~workload ~csv =
             Registry.basic_instance
               ~enqueue:(fun p -> Nbq_baselines.Ms_hazard.enqueue q p; true)
               ~dequeue:(fun () -> Nbq_baselines.Ms_hazard.try_dequeue q)
-              ~length:(fun () -> Nbq_baselines.Ms_hazard.length q))
+              ~length:(fun () -> Nbq_baselines.Ms_hazard.length q)
+              ())
       in
       let mean = measure impl threads runs workload None in
       let scans, freed =
@@ -106,7 +107,8 @@ let ebr_batch_ablation ~threads ~runs ~workload ~csv =
             Registry.basic_instance
               ~enqueue:(fun p -> Nbq_baselines.Ms_epoch.enqueue q p; true)
               ~dequeue:(fun () -> Nbq_baselines.Ms_epoch.try_dequeue q)
-              ~length:(fun () -> Nbq_baselines.Ms_epoch.length q))
+              ~length:(fun () -> Nbq_baselines.Ms_epoch.length q)
+              ())
       in
       let mean = measure impl threads runs workload None in
       let freed, pending =

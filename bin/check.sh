@@ -14,5 +14,12 @@ dune exec bin/torture.exe -- --queue evequoz-llsc --seed 42 --ops 2000 > /dev/nu
 # between-operations gap (shard-steal / op-gap points), the windows the
 # single-ring rows cannot reach.
 dune exec bin/torture.exe -- --queue evequoz-cas-shard4 --seed 42 --ops 2000 > /dev/null
+# Wait-layer torture: stall/crash a waker inside the wake-lost window and
+# a waiter inside the park window; every live parked domain must still
+# complete (no lost-wakeup strand).
+dune exec bin/torture.exe -- --wait > /dev/null
+# Oversubscription gate: 16 parked domains on one core-starved queue,
+# requiring item conservation and per-domain progress.
+dune exec bin/park_sweep.exe -- --gate --seconds 2 > /dev/null
 dune build @fmt 2>/dev/null || true
 echo "check: OK"

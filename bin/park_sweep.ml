@@ -1,0 +1,340 @@
+(* Oversubscription benchmark for the parking layer: producer/consumer
+   pairs over one registry row, at domain counts of 1x / 2x / 4x the
+   core count, once with spinning retries (the repo's only blocking
+   strategy before [Nbq_wait]) and once parked on eventcounts via the
+   instance's [enqueue_until]/[dequeue_until].
+
+   The point of the artifact: with more domains than cores, a spinning
+   retry burns the whole OS timeslice that the counterpart domain needs
+   to make the condition true, so throughput collapses as
+   oversubscription grows; a parked waiter frees the core within ~1ms
+   and throughput holds.  Each cell also checks item conservation
+   (produced = consumed + drained leftover).
+
+   --gate runs the oversubscription stress gate instead of the sweep:
+   16 parked domains on one row, requiring conservation and per-domain
+   progress (no stranded parked domain).  Wired into bin/check.sh. *)
+
+open Cmdliner
+module Registry = Nbq_harness.Registry
+module Table = Nbq_harness.Table
+
+type mode = Spin | Park
+
+let mode_to_string = function Spin -> "spin" | Park -> "park"
+
+type cell = {
+  queue : string;
+  domains : int;
+  mode : mode;
+  seconds : float;      (* measured wall-clock for the cell *)
+  produced : int;
+  consumed : int;
+  leftover : int;       (* drained from the queue after the workers stop *)
+  min_domain_ops : int; (* slowest worker's completed operations *)
+}
+
+let conserved c = c.produced = c.consumed + c.leftover
+let mops c = float_of_int c.consumed /. c.seconds /. 1e6
+
+(* Deadline slice for parked workers: long enough that a blocked worker
+   really parks (many ticks), short enough that the stop flag is honoured
+   promptly once the cell ends. *)
+let slice = 0.05
+
+let producer_loop ~mode ~stop (inst : Registry.instance) =
+  let item = { Registry.tag = 1 } in
+  let count = ref 0 in
+  (match mode with
+  | Park ->
+      while not (Atomic.get stop) do
+        let deadline = Unix.gettimeofday () +. slice in
+        if inst.Registry.enqueue_until ~deadline item then incr count
+      done
+  | Spin ->
+      while not (Atomic.get stop) do
+        if inst.Registry.enqueue item then incr count
+        else Domain.cpu_relax ()
+      done);
+  !count
+
+let consumer_loop ~mode ~stop (inst : Registry.instance) =
+  let count = ref 0 in
+  let deq () =
+    match mode with
+    | Park ->
+        let deadline = Unix.gettimeofday () +. slice in
+        inst.Registry.dequeue_until ~deadline
+    | Spin -> inst.Registry.dequeue ()
+  in
+  let running = ref true in
+  while !running do
+    match deq () with
+    | Some _ -> incr count
+    | None ->
+        if Atomic.get stop then running := false
+        else if mode = Spin then Domain.cpu_relax ()
+  done;
+  !count
+
+let run_cell ~queue ~domains ~mode ~seconds ~capacity =
+  let impl = Registry.find queue in
+  let inst = impl.Registry.create ~capacity in
+  let stop = Atomic.make false in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    if domains < 2 then begin
+      (* Degenerate single-domain cell: alternate the two roles; nothing
+         ever blocks, so the mode only exercises the fast paths. *)
+      let produced = ref 0 and consumed = ref 0 in
+      let item = { Registry.tag = 1 } in
+      let fin = t0 +. seconds in
+      while Unix.gettimeofday () < fin do
+        if inst.Registry.enqueue item then incr produced;
+        match inst.Registry.dequeue () with
+        | Some _ -> incr consumed
+        | None -> ()
+      done;
+      (!produced, !consumed, min !produced !consumed)
+    end
+    else begin
+      let producers = domains / 2 and consumers = domains - (domains / 2) in
+      let ps =
+        Array.init producers (fun _ ->
+            Domain.spawn (fun () -> producer_loop ~mode ~stop inst))
+      in
+      let cs =
+        Array.init consumers (fun _ ->
+            Domain.spawn (fun () -> consumer_loop ~mode ~stop inst))
+      in
+      Unix.sleepf seconds;
+      Atomic.set stop true;
+      let produced_per = Array.map Domain.join ps in
+      let consumed_per = Array.map Domain.join cs in
+      let sum = Array.fold_left ( + ) 0 in
+      let min_ops =
+        Array.fold_left min max_int (Array.append produced_per consumed_per)
+      in
+      (sum produced_per, sum consumed_per, min_ops)
+    end
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let produced, consumed, min_domain_ops = result in
+  let leftover = ref 0 in
+  let draining = ref true in
+  while !draining do
+    match inst.Registry.dequeue () with
+    | Some _ -> incr leftover
+    | None -> draining := false
+  done;
+  {
+    queue;
+    domains;
+    mode;
+    seconds = elapsed;
+    produced;
+    consumed;
+    leftover = !leftover;
+    min_domain_ops;
+  }
+
+(* Same re-exec idiom as shard_sweep: the minor-heap arena is reserved at
+   startup, so a too-small reservation means one exec of ourselves with
+   OCAMLRUNPARAM extended.  Oversubscribed cells otherwise measure the
+   stop-the-world minor-GC rendezvous, not the waiting strategy. *)
+let ensure_minor_heap words =
+  if words > 0 && (Gc.get ()).Gc.minor_heap_size < words then begin
+    let cur = try Sys.getenv "OCAMLRUNPARAM" with Not_found -> "" in
+    let param = Printf.sprintf "s=%d" words in
+    Unix.putenv "OCAMLRUNPARAM"
+      (if cur = "" then param else cur ^ "," ^ param);
+    Unix.execv Sys.executable_name Sys.argv
+  end
+
+let parse_int_list flag s =
+  List.map
+    (fun part ->
+      match int_of_string_opt (String.trim part) with
+      | Some n when n > 0 -> n
+      | _ ->
+          Printf.eprintf
+            "park_sweep: invalid %s %S (expected comma-separated positive \
+             integers)\n%!"
+            flag s;
+          exit 2)
+    (String.split_on_char ',' s)
+
+let default_domains () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.sprintf "%d,%d,%d" cores (2 * cores) (4 * cores)
+
+let run_gate ~queue ~seconds ~capacity ~min_ops =
+  let domains = 16 in
+  Printf.printf
+    "park_sweep gate: %d parked domains on %s for %.1fs (capacity %d)\n%!"
+    domains queue seconds capacity;
+  let c = run_cell ~queue ~domains ~mode:Park ~seconds ~capacity in
+  let ok_conserved = conserved c in
+  let ok_progress = c.min_domain_ops >= min_ops in
+  Printf.printf
+    "  produced=%d consumed=%d leftover=%d min-domain-ops=%d (need >= %d)\n\
+     \  conservation: %s   progress: %s\n"
+    c.produced c.consumed c.leftover c.min_domain_ops min_ops
+    (if ok_conserved then "ok" else "FAIL")
+    (if ok_progress then "ok" else "FAIL");
+  if ok_conserved && ok_progress then print_endline "park_sweep gate: OK"
+  else begin
+    print_endline "park_sweep gate: FAIL";
+    exit 1
+  end
+
+let run queues_csv domains_csv seconds capacity minor_heap gate min_ops out =
+  ensure_minor_heap minor_heap;
+  if gate then
+    run_gate
+      ~queue:(List.hd (String.split_on_char ',' queues_csv))
+      ~seconds ~capacity ~min_ops
+  else begin
+    let queues = String.split_on_char ',' queues_csv in
+    let domains_list =
+      parse_int_list "--domains"
+        (if domains_csv = "" then default_domains () else domains_csv)
+    in
+    Printf.eprintf
+      "# park_sweep: queues [%s] x domains [%s] x {spin,park}, %.1fs/cell, \
+       capacity %d\n%!"
+      queues_csv
+      (String.concat ";" (List.map string_of_int domains_list))
+      seconds capacity;
+    (* All spin cells run before the first park cell, because the first
+       real park starts the wait layer's ~1ms ticker domain for the rest
+       of the process — and its periodic wakeups preempt spinners, which
+       inflates later spin cells ~3x.  The spin baseline is the
+       pre-[Nbq_wait] repo, which had no ticker. *)
+    let grid mode =
+      List.concat_map
+        (fun queue ->
+          List.map
+            (fun domains ->
+              let c = run_cell ~queue ~domains ~mode ~seconds ~capacity in
+              Printf.eprintf "#   %s domains=%-3d %s: %.4f Mitems/s%s\n%!"
+                queue domains (mode_to_string mode) (mops c)
+                (if conserved c then "" else "  CONSERVATION VIOLATED");
+              c)
+            domains_list)
+        queues
+    in
+    let spin_cells = grid Spin in
+    let park_cells = grid Park in
+    (* Interleave for the table: spin and park side by side per config. *)
+    let cells =
+      List.concat_map
+        (fun s ->
+          s
+          :: List.filter
+               (fun p -> p.queue = s.queue && p.domains = s.domains)
+               park_cells)
+        spin_cells
+    in
+    (* Parked speedup over the spin cell of the same queue and domain
+       count — the acceptance column. *)
+    let spin_baseline c =
+      List.find_opt
+        (fun b -> b.mode = Spin && b.queue = c.queue && b.domains = c.domains)
+        cells
+    in
+    let t =
+      Table.create ~title:"parked vs spinning under oversubscription"
+        ~columns:
+          [
+            "queue"; "domains"; "mode"; "seconds"; "produced"; "consumed";
+            "mitems_per_sec"; "conserved"; "park_speedup_vs_spin";
+          ]
+    in
+    List.iter
+      (fun c ->
+        let speedup =
+          match (c.mode, spin_baseline c) with
+          | Park, Some b when mops b > 0.0 ->
+              Printf.sprintf "%.2f" (mops c /. mops b)
+          | _ -> "-"
+        in
+        Table.add_row t
+          [
+            c.queue;
+            string_of_int c.domains;
+            mode_to_string c.mode;
+            Printf.sprintf "%.3f" c.seconds;
+            string_of_int c.produced;
+            string_of_int c.consumed;
+            Printf.sprintf "%.4f" (mops c);
+            (if conserved c then "yes" else "NO");
+            speedup;
+          ])
+      cells;
+    print_string (Table.render t);
+    let csv = Table.render_csv t in
+    (match Filename.dirname out with
+    | "" | "." -> ()
+    | dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+    let oc = open_out out in
+    output_string oc csv;
+    close_out oc;
+    Printf.printf "\ncsv written to %s\n" out;
+    if List.exists (fun c -> not (conserved c)) cells then exit 1
+  end
+
+let queues_term =
+  let doc = "Comma-separated registry rows to sweep." in
+  Arg.(value & opt string "evequoz-cas" & info [ "queue"; "q" ] ~docv:"LIST" ~doc)
+
+let domains_term =
+  let doc =
+    "Comma-separated total domain counts (split into producer/consumer \
+     halves).  Default: 1x, 2x and 4x the recommended domain count."
+  in
+  Arg.(value & opt string "" & info [ "domains"; "d" ] ~docv:"LIST" ~doc)
+
+let seconds_term =
+  let doc = "Wall-clock duration of each cell." in
+  Arg.(value & opt float 1.0 & info [ "seconds" ] ~docv:"S" ~doc)
+
+let capacity_term =
+  let doc =
+    "Queue capacity; small on purpose so both sides block under bursts."
+  in
+  Arg.(value & opt int 64 & info [ "capacity"; "c" ] ~docv:"N" ~doc)
+
+let minor_heap_term =
+  let doc =
+    "Per-domain minor heap size in words (0 = runtime default); see \
+     shard_sweep."
+  in
+  Arg.(value & opt int 8_388_608 & info [ "minor-heap" ] ~docv:"WORDS" ~doc)
+
+let gate_term =
+  let doc =
+    "Run the oversubscription stress gate instead of the sweep: 16 parked \
+     domains on the first --queue row, requiring conservation and \
+     per-domain progress."
+  in
+  Arg.(value & flag & info [ "gate" ] ~doc)
+
+let min_ops_term =
+  let doc = "Per-domain operation floor for the $(b,--gate) verdict." in
+  Arg.(value & opt int 100 & info [ "min-ops" ] ~docv:"N" ~doc)
+
+let out_term =
+  Arg.(value & opt string "results/park_sweep.csv"
+       & info [ "out"; "o" ] ~docv:"PATH" ~doc:"CSV output path.")
+
+let cmd =
+  let doc =
+    "Parked vs spinning blocking throughput under domain oversubscription"
+  in
+  Cmd.v (Cmd.info "park_sweep" ~doc)
+    Term.(const run $ queues_term $ domains_term $ seconds_term
+          $ capacity_term $ minor_heap_term $ gate_term $ min_ops_term
+          $ out_term)
+
+let () = exit (Cmd.eval cmd)

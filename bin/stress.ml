@@ -6,14 +6,30 @@
 open Cmdliner
 open Nbq_harness
 
+(* Deadline slice for --parked operations: long enough to park (several
+   wait-layer ticks), short enough that a timed-out attempt still maps
+   onto the checker's full/empty semantics plausibly. *)
+let parked_slice = 0.005
+
 (* Drive the instance's native batch entry points (sharded queues override
-   them) as well as the single operations. *)
-let stress_ops (q : Registry.instance) =
+   them) as well as the single operations.  With [parked], the single
+   operations go through the instance's blocking [*_until] path instead of
+   a bare attempt, so the soak also exercises park/wake under the checker:
+   a lost wakeup shows up as a hung run, a mis-delivered item as a history
+   violation. *)
+let stress_ops ~parked (q : Registry.instance) =
+  let enq p =
+    if parked then
+      q.Registry.enqueue_until ~deadline:(Unix.gettimeofday () +. parked_slice) p
+    else q.Registry.enqueue p
+  and deq () =
+    if parked then
+      q.Registry.dequeue_until ~deadline:(Unix.gettimeofday () +. parked_slice)
+    else q.Registry.dequeue ()
+  in
   {
-    Nbq_lincheck.Stress.enqueue =
-      (fun v -> q.Registry.enqueue { Registry.tag = v });
-    dequeue =
-      (fun () -> Option.map (fun p -> p.Registry.tag) (q.Registry.dequeue ()));
+    Nbq_lincheck.Stress.enqueue = (fun v -> enq { Registry.tag = v });
+    dequeue = (fun () -> Option.map (fun p -> p.Registry.tag) (deq ()));
     enqueue_batch =
       (fun vs ->
         q.Registry.enqueue_batch
@@ -23,24 +39,24 @@ let stress_ops (q : Registry.instance) =
         List.map (fun p -> p.Registry.tag) (q.Registry.dequeue_batch k));
   }
 
-let soak_impl (impl : Registry.impl) ~threads ~ops ~seed =
+let soak_impl (impl : Registry.impl) ~threads ~ops ~seed ~parked =
   let q = impl.Registry.create ~capacity:4096 in
-  let ops_for _thread = stress_ops q in
+  let ops_for _thread = stress_ops ~parked q in
   Nbq_lincheck.Stress.check_big_run ~with_batches:true
     ~relaxed_order:impl.Registry.relaxed_fifo ~threads ~ops_per_thread:ops
     ~seed
     ~final_length:(fun () -> q.Registry.length ())
     ops_for
 
-let exact_impl (impl : Registry.impl) ~rounds ~seed =
+let exact_impl (impl : Registry.impl) ~rounds ~seed ~parked =
   let make_round () =
     let q = impl.Registry.create ~capacity:64 in
-    fun _thread -> stress_ops q
+    fun _thread -> stress_ops ~parked q
   in
   Nbq_lincheck.Stress.check_small_rounds ~with_batches:true ~rounds ~threads:3
     ~ops_per_thread:5 ~seed make_round
 
-let run names threads ops rounds seed =
+let run names threads ops rounds seed parked =
   let impls =
     match names with
     | [] -> Registry.concurrent
@@ -51,7 +67,7 @@ let run names threads ops rounds seed =
     (fun (impl : Registry.impl) ->
       Printf.printf "%-18s big run (%d domains x %d ops)... %!"
         impl.Registry.name threads ops;
-      (match soak_impl impl ~threads ~ops ~seed with
+      (match soak_impl impl ~threads ~ops ~seed ~parked with
       | Nbq_lincheck.Checker.Ok -> print_endline "ok"
       | Nbq_lincheck.Checker.Violation msg ->
           incr failures;
@@ -64,7 +80,7 @@ let run names threads ops rounds seed =
       else begin
         Printf.printf "%-18s exact check (%d rounds)... %!"
           impl.Registry.name rounds;
-        match exact_impl impl ~rounds ~seed with
+        match exact_impl impl ~rounds ~seed ~parked with
         | Nbq_lincheck.Checker.Ok -> print_endline "ok"
         | Nbq_lincheck.Checker.Violation msg ->
             incr failures;
@@ -96,10 +112,18 @@ let rounds_term =
 let seed_term =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
 
+let parked_term =
+  let doc =
+    "Run the single operations through the blocking parked path \
+     (5ms-deadline $(b,enqueue_until)/$(b,dequeue_until)) instead of bare \
+     attempts, soaking the wait layer under the history checker."
+  in
+  Arg.(value & flag & info [ "parked" ] ~doc)
+
 let cmd =
   let doc = "Correctness soak across all queue implementations" in
   Cmd.v (Cmd.info "stress" ~doc)
     Term.(const run $ names_term $ threads_term $ ops_term $ rounds_term
-          $ seed_term)
+          $ seed_term $ parked_term)
 
 let () = exit (Cmd.eval cmd)

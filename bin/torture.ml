@@ -9,7 +9,48 @@ module Fault = Nbq_primitives.Fault
 module Injector = Nbq_fault.Injector
 module Torture = Nbq_fault.Torture
 
-let run_matrix queue_filter seconds seed workers ops with_crash csv =
+(* --wait mode: torture the parking layer itself instead of the queue
+   protocols.  Every cell of {park-window, wake-lost} x {stall, crash}
+   must complete all its rounds — one stranded parked domain is a
+   lost-wakeup bug. *)
+let run_wait_matrix iterations csv =
+  let module WT = Nbq_fault.Wait_torture in
+  let table =
+    Nbq_harness.Table.create
+      ~title:
+        (Printf.sprintf "Wait-layer torture [%d rounds/cell]" iterations)
+      ~columns:
+        [ "point"; "action"; "fired"; "completed"; "max-wait-ms"; "verdict" ]
+  in
+  let failures = ref 0 and rounds = ref 0 in
+  List.iter
+    (fun point ->
+      List.iter
+        (fun action ->
+          incr rounds;
+          let o = WT.run ~iterations ~point ~action () in
+          let ok =
+            o.WT.triggered = iterations && o.WT.completed = iterations
+          in
+          if not ok then incr failures;
+          Nbq_harness.Table.add_row table
+            [
+              Fault.to_string o.WT.point;
+              Injector.action_to_string o.WT.action;
+              Printf.sprintf "%d/%d" o.WT.triggered o.WT.iterations;
+              Printf.sprintf "%d/%d" o.WT.completed o.WT.iterations;
+              Printf.sprintf "%.2f" (o.WT.max_wait *. 1e3);
+              (if ok then "pass" else "FAIL");
+            ])
+        [ Injector.Stall; Injector.Crash ])
+    WT.points;
+  print_string
+    (if csv then Nbq_harness.Table.render_csv table
+     else Nbq_harness.Table.render table);
+  Printf.printf "\n%d/%d cells passed\n" (!rounds - !failures) !rounds;
+  if !failures > 0 then exit 1
+
+let run_queue_matrix queue_filter seconds seed workers ops with_crash csv =
   let prng = Nbq_primitives.Prng.create ~seed in
   let targets =
     match queue_filter with
@@ -90,6 +131,11 @@ let run_matrix queue_filter seconds seed workers ops with_crash csv =
     (!rounds - !failures) !rounds;
   if !failures > 0 then exit 1
 
+let run_matrix queue_filter seconds seed workers ops with_crash csv wait
+    wait_iters =
+  if wait then run_wait_matrix wait_iters csv
+  else run_queue_matrix queue_filter seconds seed workers ops with_crash csv
+
 let queue_term =
   let doc = "Queue to torture, or $(b,all) for the whole registry." in
   Arg.(value & opt string "all" & info [ "queue"; "q" ] ~docv:"NAME" ~doc)
@@ -126,6 +172,19 @@ let csv_term =
   let doc = "Emit CSV instead of the aligned table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let wait_term =
+  let doc =
+    "Torture the parking layer ($(b,Nbq_wait)) instead of the queue \
+     protocols: stall/crash a waker inside the wake-lost window and a \
+     waiter inside the park window, and require every live parked domain \
+     to complete anyway.  Ignores the queue/worker options."
+  in
+  Arg.(value & flag & info [ "wait" ] ~doc)
+
+let wait_iters_term =
+  let doc = "Rounds per cell of the $(b,--wait) matrix." in
+  Arg.(value & opt int 300 & info [ "wait-iters" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc =
     "Stall/crash torture across all registry queues: freeze one domain \
@@ -135,6 +194,6 @@ let cmd =
   Cmd.v (Cmd.info "torture" ~doc)
     Term.(
       const run_matrix $ queue_term $ seconds_term $ seed_term $ workers_term
-      $ ops_term $ crash_term $ csv_term)
+      $ ops_term $ crash_term $ csv_term $ wait_term $ wait_iters_term)
 
 let () = exit (Cmd.eval cmd)

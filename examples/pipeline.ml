@@ -3,15 +3,17 @@
 
      parse (2 domains) --> enrich (2 domains) --> sink (1 domain)
 
-   The bounded capacity provides backpressure: a fast stage blocks
-   (spins) when its downstream queue is full, so memory stays bounded no
-   matter how lopsided the stage speeds are.
+   The bounded capacity provides backpressure: a fast stage blocks when
+   its downstream queue is full — parking its domain via the eventcount
+   layer (Nbq_wait) rather than spinning, so a stalled pipeline costs no
+   CPU — and memory stays bounded no matter how lopsided the stage speeds
+   are.
 
    Run with:  dune exec examples/pipeline.exe *)
 
-module Q = Nbq_core.Evequoz_llsc
-module Conc = Nbq_core.Queue_intf.Of_bounded (Nbq_core.Evequoz_llsc)
-module Blocking = Nbq_core.Queue_intf.Blocking (Conc)
+module Intf = Nbq_core.Queue_intf
+module Conc = Intf.Make (Intf.Capability.Bounded (Nbq_core.Evequoz_llsc))
+module Blocking = Intf.Blocking (Conc)
 
 type raw = { line : int; text : string }
 type parsed = { src : int; words : int }
@@ -25,9 +27,9 @@ let () =
   let lines = 10_000 in
   let parse_workers = 2 and enrich_workers = 2 in
 
-  let raw_q : raw msg Q.t = Q.create ~capacity:64 in
-  let parsed_q : parsed msg Q.t = Q.create ~capacity:64 in
-  let enriched_q : enriched msg Q.t = Q.create ~capacity:64 in
+  let raw_q : raw msg Blocking.t = Blocking.create ~capacity:64 in
+  let parsed_q : parsed msg Blocking.t = Blocking.create ~capacity:64 in
+  let enriched_q : enriched msg Blocking.t = Blocking.create ~capacity:64 in
 
   (* Stage 0: source. *)
   let source =

@@ -6,9 +6,17 @@
    mechanism (least-recently-returned connection is reused first, which
    spreads load and keeps idle-timeout behaviour predictable).
 
+   Clients that find the pool empty used to spin on [try_dequeue]; with
+   8 clients per core that burned the very timeslices the holders needed
+   to finish and release.  [Queue_intf.Blocking] parks them on an
+   eventcount instead: acquire is one blocking [dequeue], release one
+   blocking [enqueue], and a release wakes exactly one parked client.
+
    Run with:  dune exec examples/resource_pool.exe *)
 
-module Q = Nbq_core.Evequoz_cas
+module Intf = Nbq_core.Queue_intf
+module Conc = Intf.Make (Intf.Capability.Bounded (Nbq_core.Evequoz_cas))
+module Pool = Intf.Blocking (Conc)
 
 type connection = {
   id : int;
@@ -20,29 +28,16 @@ let () =
   let clients = 8 in
   let requests_per_client = 2_000 in
 
-  let pool : connection Q.t = Q.create ~capacity:pool_size in
+  let pool : connection Pool.t = Pool.create ~capacity:pool_size in
   for id = 1 to pool_size do
-    assert (Q.try_enqueue pool { id; uses = 0 })
+    assert (Conc.try_enqueue (Pool.queue pool) { id; uses = 0 })
   done;
 
-  let acquire () =
-    let rec go () =
-      match Q.try_dequeue pool with
-      | Some conn -> conn
-      | None ->
-          (* All connections checked out: wait for a release. *)
-          Domain.cpu_relax ();
-          go ()
-    in
-    go ()
-  in
-  let release conn =
-    (* The pool is sized to the resources, so this can only fail
-       transiently (a dequeuer mid-operation); never permanently. *)
-    while not (Q.try_enqueue pool conn) do
-      Domain.cpu_relax ()
-    done
-  in
+  (* All connections checked out -> parks until a release wakes us. *)
+  let acquire () = Pool.dequeue pool in
+  (* The pool is sized to the resources, so this blocks only transiently
+     (a dequeuer mid-operation); never permanently. *)
+  let release conn = Pool.enqueue pool conn in
 
   let workers =
     List.init clients (fun _client ->
@@ -57,8 +52,9 @@ let () =
   List.iter Domain.join workers;
 
   (* Accounting: every request used exactly one connection. *)
-  let drained = List.init pool_size (fun _ -> Option.get (Q.try_dequeue pool)) in
-  assert (Q.try_dequeue pool = None);
+  let raw = Pool.queue pool in
+  let drained = List.init pool_size (fun _ -> Option.get (Conc.try_dequeue raw)) in
+  assert (Conc.try_dequeue raw = None);
   let total = List.fold_left (fun acc c -> acc + c.uses) 0 drained in
   List.iter
     (fun c -> Printf.printf "connection %d served %6d requests\n" c.id c.uses)

@@ -4,10 +4,12 @@
     are {e bounded} — enqueue can fail with "full" — while the Michael–Scott
     family is {e unbounded}.  {!CONC} unifies them so tests, the
     linearizability checker and the benchmark harness can treat any
-    implementation as a first-class value; {!Of_bounded} / {!Of_unbounded}
-    build the unified view, and {!Blocking} layers spinning (with
-    exponential backoff) on top for applications that want blocking
-    semantics. *)
+    implementation as a first-class value.  The single {!Make} functor
+    builds the unified view from a {!SOURCE} capability description (use
+    the {!Capability} constructors to describe a bounded, batched or
+    unbounded implementation); {!Blocking} layers parked blocking
+    semantics on top via the eventcounts of [Nbq_wait], and
+    {!Blocking_spin} is the spin-only baseline it replaced. *)
 
 (** A multi-producer multi-consumer bounded FIFO. *)
 module type BOUNDED = sig
@@ -109,58 +111,131 @@ module type BOUNDED_BATCH = sig
   val try_dequeue_batch : 'a t -> int -> 'a list
 end
 
-module Of_bounded (Q : BOUNDED) : CONC with type 'a t = 'a Q.t = struct
-  type 'a t = 'a Q.t
+(** A capability description: everything {!Make} needs to build the
+    unified {!CONC} view of one implementation.  The two batch fields are
+    [option]s — [None] means "derive from the singles", [Some f] means the
+    implementation ships a native batch worth using.  Obtain instances
+    from the {!Capability} constructors rather than writing one by
+    hand. *)
+module type SOURCE = sig
+  type 'a t
 
-  let name = Q.name
-  let bounded = true
-  let create = Q.create
-  let try_enqueue = Q.try_enqueue
-  let try_dequeue = Q.try_dequeue
-  let try_enqueue_batch t items = enqueue_batch_of_singles Q.try_enqueue t items
-  let try_dequeue_batch t k = dequeue_batch_of_singles Q.try_dequeue t k
-  let length = Q.length
+  val name : string
+  val bounded : bool
+  val create : capacity:int -> 'a t
+  val try_enqueue : 'a t -> 'a -> bool
+  val try_dequeue : 'a t -> 'a option
+  val length : 'a t -> int
+  val try_enqueue_batch : ('a t -> 'a array -> int) option
+  val try_dequeue_batch : ('a t -> int -> 'a list) option
 end
 
-module Of_bounded_batch (Q : BOUNDED_BATCH) : CONC with type 'a t = 'a Q.t =
-struct
-  type 'a t = 'a Q.t
+(** Capability constructors: wrap an implementation of one of the three
+    base signatures into the {!SOURCE} that {!Make} consumes, e.g.
+    [Make (Capability.Bounded (Evequoz_llsc))]. *)
+module Capability = struct
+  module Bounded (Q : BOUNDED) : SOURCE with type 'a t = 'a Q.t = struct
+    type 'a t = 'a Q.t
 
-  let name = Q.name
-  let bounded = true
-  let create = Q.create
-  let try_enqueue = Q.try_enqueue
-  let try_dequeue = Q.try_dequeue
-  let try_enqueue_batch = Q.try_enqueue_batch
-  let try_dequeue_batch = Q.try_dequeue_batch
-  let length = Q.length
+    let name = Q.name
+    let bounded = true
+    let create = Q.create
+    let try_enqueue = Q.try_enqueue
+    let try_dequeue = Q.try_dequeue
+    let length = Q.length
+    let try_enqueue_batch = None
+    let try_dequeue_batch = None
+  end
+
+  module Bounded_batch (Q : BOUNDED_BATCH) : SOURCE with type 'a t = 'a Q.t =
+  struct
+    type 'a t = 'a Q.t
+
+    let name = Q.name
+    let bounded = true
+    let create = Q.create
+    let try_enqueue = Q.try_enqueue
+    let try_dequeue = Q.try_dequeue
+    let length = Q.length
+    let try_enqueue_batch = Some Q.try_enqueue_batch
+    let try_dequeue_batch = Some Q.try_dequeue_batch
+  end
+
+  module Unbounded (Q : UNBOUNDED) : SOURCE with type 'a t = 'a Q.t = struct
+    type 'a t = 'a Q.t
+
+    let name = Q.name
+    let bounded = false
+    let create ~capacity:_ = Q.create ()
+
+    let try_enqueue t x =
+      Q.enqueue t x;
+      true
+
+    let try_dequeue = Q.try_dequeue
+    let length = Q.length
+
+    let try_enqueue_batch =
+      Some
+        (fun t items ->
+          Array.iter (Q.enqueue t) items;
+          Array.length items)
+
+    let try_dequeue_batch = None
+  end
 end
 
-module Of_unbounded (Q : UNBOUNDED) : CONC with type 'a t = 'a Q.t = struct
-  type 'a t = 'a Q.t
+(** The one adapter functor: build the unified {!CONC} view from any
+    {!SOURCE}, deriving whichever batch operation the capability does not
+    provide from the single-item operations (so derived batches inherit
+    the singles' linearization points item by item). *)
+module Make (S : SOURCE) : CONC with type 'a t = 'a S.t = struct
+  type 'a t = 'a S.t
 
-  let name = Q.name
-  let bounded = false
-  let create ~capacity:_ = Q.create ()
-  let try_enqueue t x = Q.enqueue t x; true
-  let try_dequeue = Q.try_dequeue
+  let name = S.name
+  let bounded = S.bounded
+  let create = S.create
+  let try_enqueue = S.try_enqueue
+  let try_dequeue = S.try_dequeue
 
+  (* Eta-expanded so the [match] on the capability happens per call but the
+     functions stay fully polymorphic (a module-level partial application
+     would be weakly typed). *)
   let try_enqueue_batch t items =
-    Array.iter (Q.enqueue t) items;
-    Array.length items
+    match S.try_enqueue_batch with
+    | Some f -> f t items
+    | None -> enqueue_batch_of_singles S.try_enqueue t items
 
-  let try_dequeue_batch t k = dequeue_batch_of_singles Q.try_dequeue t k
-  let length = Q.length
+  let try_dequeue_batch t k =
+    match S.try_dequeue_batch with
+    | Some f -> f t k
+    | None -> dequeue_batch_of_singles S.try_dequeue t k
+
+  let length = S.length
 end
 
-(** Spinning blocking operations over any {!CONC} queue, with graceful
-    degradation: besides the spin-forever entry points, each operation has a
-    deadline-aware variant (absolute wall-clock deadline) and a retry-budget
-    variant (bounded number of attempts), both returning [`Timeout] instead
-    of spinning unboundedly.  All variants back off exponentially with
-    jitter between attempts, so a convoy of blocked threads does not retry
-    in lockstep against a stalled peer. *)
-module Blocking (Q : CONC) : sig
+module Of_bounded (Q : BOUNDED) = Make (Capability.Bounded (Q))
+[@@deprecated "Use Make (Capability.Bounded (Q)) instead."]
+
+module Of_bounded_batch (Q : BOUNDED_BATCH) =
+  Make (Capability.Bounded_batch (Q))
+[@@deprecated "Use Make (Capability.Bounded_batch (Q)) instead."]
+
+module Of_unbounded (Q : UNBOUNDED) = Make (Capability.Unbounded (Q))
+[@@deprecated "Use Make (Capability.Unbounded (Q)) instead."]
+
+(** Spin-only blocking operations over any {!CONC} queue: the baseline
+    {!Blocking} replaced, kept because it is the right tool when waits are
+    known to be short (sub-microsecond hand-offs between pinned domains)
+    and as the "spin" arm of the oversubscription benchmark
+    ([bin/park_sweep.exe]).  Every variant burns CPU for its whole wait;
+    under oversubscription (more runnable domains than cores) that CPU is
+    stolen from the very producers being waited on — prefer {!Blocking}.
+
+    All loops attempt first and back off (exponentially, with jitter)
+    {e between} attempts, so a call never sleeps once its deadline has
+    passed or its budget is exhausted — the [`Timeout] return is prompt. *)
+module Blocking_spin (Q : CONC) : sig
   val enqueue : 'a Q.t -> 'a -> unit
   (** Spin (with exponential backoff) until the item is accepted. *)
 
@@ -177,12 +252,13 @@ module Blocking (Q : CONC) : sig
   (** Retry until an item arrives or the absolute deadline passes. *)
 
   val enqueue_budget : 'a Q.t -> retries:int -> 'a -> [ `Ok | `Timeout ]
-  (** Make [1 + max retries 0] attempts, backing off between them.  A
-      budget instead of a clock: deterministic under simulation and immune
-      to wall-time stalls of the caller itself. *)
+  (** Make at most [1 + max retries 0] attempts, backing off between them.
+      A budget instead of a clock: deterministic under simulation and
+      immune to wall-time stalls of the caller itself. *)
 
   val dequeue_budget : 'a Q.t -> retries:int -> [ `Ok of 'a | `Timeout ]
-  (** Make [1 + max retries 0] attempts, backing off between them. *)
+  (** Make at most [1 + max retries 0] attempts, backing off between
+      them. *)
 end = struct
   let enqueue t x =
     if not (Q.try_enqueue t x) then begin
@@ -208,64 +284,208 @@ end = struct
 
   let jittered () = Nbq_primitives.Backoff.create ~jitter:true ()
 
+  (* Attempt-first loops: the deadline/budget check sits between the failed
+     attempt and the backoff, so exhaustion returns without a parting
+     sleep, and a backoff that straddles the deadline is followed only by
+     one (cheap, lock-free) attempt before the `Timeout. *)
+
   let enqueue_until t ~deadline x =
-    if Q.try_enqueue t x then `Ok
-    else begin
-      let b = jittered () in
-      let rec spin () =
-        if Unix.gettimeofday () >= deadline then `Timeout
-        else begin
-          Nbq_primitives.Backoff.once b;
-          if Q.try_enqueue t x then `Ok else spin ()
-        end
-      in
-      spin ()
-    end
+    let b = jittered () in
+    let rec spin () =
+      if Q.try_enqueue t x then `Ok
+      else if Unix.gettimeofday () >= deadline then `Timeout
+      else begin
+        Nbq_primitives.Backoff.once b;
+        spin ()
+      end
+    in
+    spin ()
 
   let dequeue_until t ~deadline =
-    match Q.try_dequeue t with
-    | Some x -> `Ok x
-    | None ->
-        let b = jittered () in
-        let rec spin () =
+    let b = jittered () in
+    let rec spin () =
+      match Q.try_dequeue t with
+      | Some x -> `Ok x
+      | None ->
           if Unix.gettimeofday () >= deadline then `Timeout
           else begin
             Nbq_primitives.Backoff.once b;
-            match Q.try_dequeue t with Some x -> `Ok x | None -> spin ()
+            spin ()
           end
-        in
-        spin ()
+    in
+    spin ()
 
   let enqueue_budget t ~retries x =
-    if Q.try_enqueue t x then `Ok
-    else begin
-      let b = jittered () in
-      let rec spin left =
-        if left <= 0 then `Timeout
-        else begin
-          Nbq_primitives.Backoff.once b;
-          if Q.try_enqueue t x then `Ok else spin (left - 1)
-        end
-      in
-      spin (max retries 0)
-    end
+    let b = jittered () in
+    let rec spin left =
+      if Q.try_enqueue t x then `Ok
+      else if left <= 0 then `Timeout
+      else begin
+        Nbq_primitives.Backoff.once b;
+        spin (left - 1)
+      end
+    in
+    spin (max retries 0)
 
   let dequeue_budget t ~retries =
-    match Q.try_dequeue t with
-    | Some x -> `Ok x
-    | None ->
-        let b = jittered () in
-        let rec spin left =
+    let b = jittered () in
+    let rec spin left =
+      match Q.try_dequeue t with
+      | Some x -> `Ok x
+      | None ->
           if left <= 0 then `Timeout
           else begin
             Nbq_primitives.Backoff.once b;
-            match Q.try_dequeue t with
-            | Some x -> `Ok x
-            | None -> spin (left - 1)
+            spin (left - 1)
           end
-        in
-        spin (max retries 0)
+    in
+    spin (max retries 0)
 end
+
+(** Parked blocking operations over any {!CONC} queue, with the probe and
+    fault-injection hooks exposed as functor parameters — {!Blocking} is
+    this functor applied to the no-op hooks.
+
+    Unlike {!Blocking_spin}, a blocked operation here spins only briefly
+    and then {e parks its domain} on an [Nbq_wait.Eventcount] (one for
+    "became non-empty", one for "became non-full"), so waiting costs no
+    CPU and — crucially under oversubscription — no scheduler slices that
+    the producers being waited for could have used.  Each successful
+    enqueue/dequeue through this wrapper issues the corresponding wake;
+    raw [Q] operations on the same underlying queue (via {!queue} or
+    {!of_queue}) are permitted but issue no wakes, so parked peers then
+    wake only via the wait layer's bounded-park backstop (~tens of
+    milliseconds), never hang. *)
+module Blocking_hooked
+    (P : Nbq_primitives.Probe.S)
+    (F : Nbq_primitives.Fault.S)
+    (Q : CONC) : sig
+  type 'a t
+  (** A queue plus its two eventcounts. *)
+
+  val create : capacity:int -> 'a t
+  val of_queue : 'a Q.t -> 'a t
+  (** Wrap an existing queue (fresh eventcounts; see the note above about
+      mixing with raw operations). *)
+
+  val queue : 'a t -> 'a Q.t
+  (** The underlying queue, for non-blocking [try_*] access. *)
+
+  val enqueue : 'a t -> 'a -> unit
+  (** Spin briefly, then park until the item is accepted. *)
+
+  val dequeue : 'a t -> 'a
+  (** Spin briefly, then park until an item is available. *)
+
+  val enqueue_until : 'a t -> deadline:float -> 'a -> [ `Ok | `Timeout ]
+  (** Like {!enqueue} with an absolute [Unix.gettimeofday] deadline.
+      Always makes at least one attempt (a past deadline still succeeds on
+      an uncontended queue) but never parks once the deadline has passed;
+      timeout resolution is the wait layer's tick (~1ms). *)
+
+  val dequeue_until : 'a t -> deadline:float -> [ `Ok of 'a | `Timeout ]
+
+  val enqueue_budget : 'a t -> retries:int -> 'a -> [ `Ok | `Timeout ]
+  (** At most [1 + max retries 0] attempts with backoff between them —
+      deterministic, clock-free, and therefore {e spinning}: a budget
+      bounds attempts, not time, so parking (whose wakes are time-driven)
+      would change its meaning. *)
+
+  val dequeue_budget : 'a t -> retries:int -> [ `Ok of 'a | `Timeout ]
+end = struct
+  module EC = Nbq_wait.Eventcount
+
+  type 'a t = { q : 'a Q.t; not_empty : EC.t; not_full : EC.t }
+
+  let mk_ec () =
+    EC.create ~on_park:P.wait_park ~on_wake:P.wait_wake
+      ~on_cancel:P.wait_cancel
+      ~park_window:(fun () -> F.hit Nbq_primitives.Fault.Park_window)
+      ~wake_window:(fun () -> F.hit Nbq_primitives.Fault.Wake_lost)
+      ()
+
+  let of_queue q = { q; not_empty = mk_ec (); not_full = mk_ec () }
+  let create ~capacity = of_queue (Q.create ~capacity)
+  let queue t = t.q
+
+  (* Every successful enqueue may have turned "empty" into "non-empty", so
+     it wakes one not_empty waiter (and dually for dequeue/not_full).
+     Waking unconditionally-on-success rather than only on an observed
+     empty->non-empty transition is deliberate: observing the transition
+     atomically with the operation is impossible from outside the queue,
+     and wake_one's empty-stack fast path makes the uncontended cost a
+     single atomic load. *)
+
+  let enq_cond t x () = if Q.try_enqueue t.q x then Some () else None
+
+  let enqueue t x =
+    match EC.await t.not_full (enq_cond t x) with
+    | `Ok () -> ignore (EC.wake_one t.not_empty : bool)
+    | `Timeout -> assert false (* no deadline *)
+
+  let dequeue t =
+    match EC.await t.not_empty (fun () -> Q.try_dequeue t.q) with
+    | `Ok x ->
+        ignore (EC.wake_one t.not_full : bool);
+        x
+    | `Timeout -> assert false
+
+  let enqueue_until t ~deadline x =
+    match EC.await ~deadline t.not_full (enq_cond t x) with
+    | `Ok () ->
+        ignore (EC.wake_one t.not_empty : bool);
+        `Ok
+    | `Timeout -> `Timeout
+
+  let dequeue_until t ~deadline =
+    match EC.await ~deadline t.not_empty (fun () -> Q.try_dequeue t.q) with
+    | `Ok x ->
+        ignore (EC.wake_one t.not_full : bool);
+        `Ok x
+    | `Timeout -> `Timeout
+
+  (* Budget variants stay spin-based (see the signature), but still issue
+     wakes on success so parked peers benefit. *)
+
+  let jittered () = Nbq_primitives.Backoff.create ~jitter:true ()
+
+  let enqueue_budget t ~retries x =
+    let b = jittered () in
+    let rec spin left =
+      if Q.try_enqueue t.q x then begin
+        ignore (EC.wake_one t.not_empty : bool);
+        `Ok
+      end
+      else if left <= 0 then `Timeout
+      else begin
+        Nbq_primitives.Backoff.once b;
+        spin (left - 1)
+      end
+    in
+    spin (max retries 0)
+
+  let dequeue_budget t ~retries =
+    let b = jittered () in
+    let rec spin left =
+      match Q.try_dequeue t.q with
+      | Some x ->
+          ignore (EC.wake_one t.not_full : bool);
+          `Ok x
+      | None ->
+          if left <= 0 then `Timeout
+          else begin
+            Nbq_primitives.Backoff.once b;
+            spin (left - 1)
+          end
+    in
+    spin (max retries 0)
+end
+
+(** {!Blocking_hooked} with no-op probe and fault hooks: the default
+    parked blocking wrapper.  See DESIGN.md §10 for why a parked waiter
+    can neither miss a wakeup nor be stranded by a crashed waker. *)
+module Blocking (Q : CONC) =
+  Blocking_hooked (Nbq_primitives.Probe.Noop) (Nbq_primitives.Fault.Noop) (Q)
 
 (** The largest capacity {!round_capacity} accepts: the biggest power of two
     representable in OCaml's native [int] (2{^61} on 64-bit platforms).

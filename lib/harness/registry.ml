@@ -1,4 +1,5 @@
 module Queue_intf = Nbq_core.Queue_intf
+module EC = Nbq_wait.Eventcount
 
 type payload = { tag : int }
 
@@ -8,6 +9,8 @@ type instance = {
   enqueue_batch : payload array -> int;
   dequeue_batch : int -> payload list;
   length : unit -> int;
+  enqueue_until : deadline:float -> payload -> bool;
+  dequeue_until : deadline:float -> payload option;
 }
 
 type family =
@@ -30,7 +33,42 @@ type impl = {
           the shallow retry/latency wrapper. *)
 }
 
-let basic_instance ~enqueue ~dequeue ~length =
+(* Deadline-based blocking (the [*_until] fields) rides on a pair of
+   eventcounts per instance: block on one, wake the other on success.  The
+   plain [enqueue]/[dequeue] closures are left un-wrapped — they stay on
+   the zero-overhead hot path the benchmarks measure — so wakes flow only
+   between [*_until] callers; a parked [*_until] racing a plain-op peer is
+   covered by the wait layer's bounded-park backstop instead of a prompt
+   wake (DESIGN.md §10). *)
+let until_ops ?probe ~enqueue ~dequeue () =
+  let mk () =
+    match probe with
+    | None -> EC.create ()
+    | Some (module P : Nbq_primitives.Probe.S) ->
+        EC.create ~on_park:P.wait_park ~on_wake:P.wait_wake
+          ~on_cancel:P.wait_cancel ()
+  in
+  let not_empty = mk () and not_full = mk () in
+  let enqueue_until ~deadline p =
+    match
+      EC.await ~deadline not_full (fun () ->
+          if enqueue p then Some () else None)
+    with
+    | `Ok () ->
+        ignore (EC.wake_one not_empty : bool);
+        true
+    | `Timeout -> false
+  and dequeue_until ~deadline =
+    match EC.await ~deadline not_empty dequeue with
+    | `Ok x ->
+        ignore (EC.wake_one not_full : bool);
+        Some x
+    | `Timeout -> None
+  in
+  (enqueue_until, dequeue_until)
+
+let basic_instance ?probe ~enqueue ~dequeue ~length () =
+  let enqueue_until, dequeue_until = until_ops ?probe ~enqueue ~dequeue () in
   {
     enqueue;
     dequeue;
@@ -51,16 +89,22 @@ let basic_instance ~enqueue ~dequeue ~length =
             | None -> List.rev acc
         in
         go [] k);
+    enqueue_until;
+    dequeue_until;
   }
 
-let instance_of (module Q : Queue_intf.CONC) ~capacity =
+let instance_of ?probe (module Q : Queue_intf.CONC) ~capacity =
   let q = Q.create ~capacity in
+  let enqueue p = Q.try_enqueue q p and dequeue () = Q.try_dequeue q in
+  let enqueue_until, dequeue_until = until_ops ?probe ~enqueue ~dequeue () in
   {
-    enqueue = (fun p -> Q.try_enqueue q p);
-    dequeue = (fun () -> Q.try_dequeue q);
+    enqueue;
+    dequeue;
     enqueue_batch = (fun items -> Q.try_enqueue_batch q items);
     dequeue_batch = (fun k -> Q.try_dequeue_batch q k);
     length = (fun () -> Q.length q);
+    enqueue_until;
+    dequeue_until;
   }
 
 let of_conc ~name ~family ?(bounded_delay_assumption = false)
@@ -74,7 +118,10 @@ let of_conc ~name ~family ?(bounded_delay_assumption = false)
     create = (fun ~capacity -> instance_of (module Q) ~capacity);
     create_probed =
       (fun ~metrics ~capacity ->
-        instance_of (Nbq_obs.Instrumented.deep metrics ~name (module Q)) ~capacity);
+        instance_of
+          ~probe:(Nbq_obs.Metrics.probe metrics)
+          (Nbq_obs.Instrumented.deep metrics ~name (module Q))
+          ~capacity);
   }
 
 let custom ~name ~family ?(bounded_delay_assumption = false) ?(bounded = false)
@@ -91,25 +138,31 @@ let custom ~name ~family ?(bounded_delay_assumption = false) ?(bounded = false)
     create_probed = (fun ~metrics:_ -> create);
   }
 
-module Evequoz_llsc_conc = Queue_intf.Of_bounded (Nbq_core.Evequoz_llsc)
+module Cap = Queue_intf.Capability
+module Evequoz_llsc_conc = Queue_intf.Make (Cap.Bounded (Nbq_core.Evequoz_llsc))
 module Evequoz_llsc_weak_conc =
-  Queue_intf.Of_bounded (Nbq_core.Evequoz_llsc.On_weak_cells)
-module Evequoz_cas_conc = Queue_intf.Of_bounded_batch (Nbq_core.Evequoz_cas)
-module Shann_conc = Queue_intf.Of_bounded (Nbq_baselines.Shann)
-module Tz_conc = Queue_intf.Of_bounded (Nbq_baselines.Tsigas_zhang)
-module Valois_conc = Queue_intf.Of_bounded (Nbq_baselines.Valois)
-module Lock_conc = Queue_intf.Of_bounded (Nbq_baselines.Lock_queue)
-module Seq_conc = Queue_intf.Of_bounded (Nbq_baselines.Seq_ring)
-module Ms_gc_conc = Queue_intf.Of_unbounded (Nbq_baselines.Michael_scott)
+  Queue_intf.Make (Cap.Bounded (Nbq_core.Evequoz_llsc.On_weak_cells))
+module Evequoz_cas_conc =
+  Queue_intf.Make (Cap.Bounded_batch (Nbq_core.Evequoz_cas))
+module Shann_conc = Queue_intf.Make (Cap.Bounded (Nbq_baselines.Shann))
+module Tz_conc = Queue_intf.Make (Cap.Bounded (Nbq_baselines.Tsigas_zhang))
+module Valois_conc = Queue_intf.Make (Cap.Bounded (Nbq_baselines.Valois))
+module Lock_conc = Queue_intf.Make (Cap.Bounded (Nbq_baselines.Lock_queue))
+module Seq_conc = Queue_intf.Make (Cap.Bounded (Nbq_baselines.Seq_ring))
+module Ms_gc_conc =
+  Queue_intf.Make (Cap.Unbounded (Nbq_baselines.Michael_scott))
 module Ms_hp_sorted_conc =
-  Queue_intf.Of_unbounded (Nbq_baselines.Ms_hazard.Sorted)
+  Queue_intf.Make (Cap.Unbounded (Nbq_baselines.Ms_hazard.Sorted))
 module Ms_hp_unsorted_conc =
-  Queue_intf.Of_unbounded (Nbq_baselines.Ms_hazard.Unsorted)
-module Ms_ebr_conc = Queue_intf.Of_unbounded (Nbq_baselines.Ms_epoch.Conc)
-module Ms_doherty_conc = Queue_intf.Of_unbounded (Nbq_baselines.Ms_doherty.Conc)
-module Two_lock_conc = Queue_intf.Of_unbounded (Nbq_baselines.Two_lock_queue)
-module Hw_conc = Queue_intf.Of_unbounded (Nbq_baselines.Herlihy_wing)
-module Lms_conc = Queue_intf.Of_unbounded (Nbq_baselines.Ladan_mozes_shavit)
+  Queue_intf.Make (Cap.Unbounded (Nbq_baselines.Ms_hazard.Unsorted))
+module Ms_ebr_conc = Queue_intf.Make (Cap.Unbounded (Nbq_baselines.Ms_epoch.Conc))
+module Ms_doherty_conc =
+  Queue_intf.Make (Cap.Unbounded (Nbq_baselines.Ms_doherty.Conc))
+module Two_lock_conc =
+  Queue_intf.Make (Cap.Unbounded (Nbq_baselines.Two_lock_queue))
+module Hw_conc = Queue_intf.Make (Cap.Unbounded (Nbq_baselines.Herlihy_wing))
+module Lms_conc =
+  Queue_intf.Make (Cap.Unbounded (Nbq_baselines.Ladan_mozes_shavit))
 
 (* --- Sharded front-ends (Nbq_scale.Sharded) ----------------------------
 
@@ -118,58 +171,103 @@ module Lms_conc = Queue_intf.Of_unbounded (Nbq_baselines.Ladan_mozes_shavit)
    runs the relaxed suite (conservation, per-shard order, length bounds)
    instead. *)
 
-let sharded_conc ~shards : (module Queue_intf.CONC) =
-  let module N = struct
-    let shards = shards
-  end in
-  (module Nbq_scale.Sharded.Evequoz_cas (N))
-
-(* Deep-probed sharded composition: the hub's probe is plugged into both
-   the inner CAS rings (sc_fail, helping, tag traffic) and the sharding
-   layer (shard_steal), then the shallow wrapper adds retries/latency.
-   Lives here, not in nbq_obs, because nbq_scale sits above nbq_obs. *)
-let sharded_probed ~shards ~(metrics : Nbq_obs.Metrics.t) :
-    (module Queue_intf.CONC) =
-  let module P = (val Nbq_obs.Metrics.probe metrics) in
-  let module Core =
-    Nbq_core.Evequoz_cas.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+(* Sharded instances block through the facade's own waitable layer (per-
+   shard eventcounts, home-first wake sweep) rather than the generic
+   single-pair [until_ops], so a wake goes to the shard where the steal
+   sweep would look for the waiter's item. *)
+let sharded_instance ?probe ~(q : payload Nbq_scale.Sharded.t) ~enqueue
+    ~dequeue ~enqueue_batch ~dequeue_batch ~length () =
+  let w =
+    match probe with
+    | None -> Nbq_scale.Sharded.waitable q
+    | Some (module P : Nbq_primitives.Probe.S) ->
+        Nbq_scale.Sharded.waitable ~on_park:P.wait_park ~on_wake:P.wait_wake
+          ~on_cancel:P.wait_cancel q
   in
-  let module R = Nbq_core.Evequoz_cas.With_implicit_handles (Core) in
-  let module Ring =
-    Queue_intf.Of_bounded_batch (struct
-      include R
-
-      (* Match the unprobed composition: the ring's amortized batch runs. *)
-      let try_enqueue_batch = R.try_enqueue_batch_runs
-      let try_dequeue_batch = R.try_dequeue_batch_runs
-    end)
-  in
-  let module N = struct
-    let shards = shards
-  end in
-  let module S = Nbq_scale.Sharded.Make_probed (N) (P) (Ring) in
-  let module M = struct
-    let metrics = metrics
-  end in
-  (module Nbq_obs.Instrumented.Make (M) (S))
+  {
+    enqueue;
+    dequeue;
+    enqueue_batch;
+    dequeue_batch;
+    length;
+    enqueue_until =
+      (fun ~deadline p ->
+        match Nbq_scale.Sharded.enqueue_until w ~deadline p with
+        | `Ok -> true
+        | `Timeout -> false);
+    dequeue_until =
+      (fun ~deadline ->
+        match Nbq_scale.Sharded.dequeue_until w ~deadline with
+        | `Ok x -> Some x
+        | `Timeout -> None);
+  }
 
 let sharded_evequoz_cas ~shards =
   let name = "evequoz-cas-shard" ^ string_of_int shards in
+  let module N = struct
+    let shards = shards
+  end in
+  let create ~capacity =
+    let module S = Nbq_scale.Sharded.Evequoz_cas (N) in
+    let q = S.create ~capacity in
+    sharded_instance ~q
+      ~enqueue:(fun p -> S.try_enqueue q p)
+      ~dequeue:(fun () -> S.try_dequeue q)
+      ~enqueue_batch:(fun items -> S.try_enqueue_batch q items)
+      ~dequeue_batch:(fun k -> S.try_dequeue_batch q k)
+      ~length:(fun () -> S.length q)
+      ()
+  in
+  (* Deep-probed sharded composition: the hub's probe is plugged into the
+     inner CAS rings (sc_fail, helping, tag traffic), the sharding layer
+     (shard_steal) and the waitable layer (wait_park/wake/cancel), then
+     the shallow wrapper adds retries/latency.  Lives here, not in
+     nbq_obs, because nbq_scale sits above nbq_obs. *)
+  let create_probed ~metrics ~capacity =
+    let probe = Nbq_obs.Metrics.probe metrics in
+    let module P = (val probe) in
+    let module Core =
+      Nbq_core.Evequoz_cas.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+    in
+    let module R = Nbq_core.Evequoz_cas.With_implicit_handles (Core) in
+    let module Ring =
+      Queue_intf.Make
+        (Queue_intf.Capability.Bounded_batch (struct
+          include R
+
+          (* Match the unprobed composition: the ring's amortized batch
+             runs. *)
+          let try_enqueue_batch = R.try_enqueue_batch_runs
+          let try_dequeue_batch = R.try_dequeue_batch_runs
+        end))
+    in
+    let module S0 = Nbq_scale.Sharded.Make_probed (N) (P) (Ring) in
+    let module M = struct
+      let metrics = metrics
+    end in
+    let module S = Nbq_obs.Instrumented.Make (M) (S0) in
+    let q = S.create ~capacity in
+    sharded_instance ~probe ~q
+      ~enqueue:(fun p -> S.try_enqueue q p)
+      ~dequeue:(fun () -> S.try_dequeue q)
+      ~enqueue_batch:(fun items -> S.try_enqueue_batch q items)
+      ~dequeue_batch:(fun k -> S.try_dequeue_batch q k)
+      ~length:(fun () -> S.length q)
+      ()
+  in
   {
     name;
     family = Array_based;
     bounded = true;
     bounded_delay_assumption = false;
     relaxed_fifo = true;
-    create = (fun ~capacity -> instance_of (sharded_conc ~shards) ~capacity);
-    create_probed =
-      (fun ~metrics ~capacity ->
-        instance_of (sharded_probed ~shards ~metrics) ~capacity);
+    create;
+    create_probed;
   }
 
 let sharded ~shards (base : impl) : impl =
   if shards < 1 then invalid_arg "Registry.sharded: shards < 1";
-  let wrap create_inner ~capacity =
+  let wrap ?probe create_inner ~capacity =
     let per = max 1 ((capacity + shards - 1) / shards) in
     let t =
       Nbq_scale.Sharded.create ~shards (fun _ ->
@@ -178,20 +276,24 @@ let sharded ~shards (base : impl) : impl =
             ~len:inst.length ~enq_batch:inst.enqueue_batch
             ~deq_batch:inst.dequeue_batch)
     in
-    {
-      enqueue = (fun p -> Nbq_scale.Sharded.try_enqueue t p);
-      dequeue = (fun () -> Nbq_scale.Sharded.try_dequeue t);
-      enqueue_batch = (fun items -> Nbq_scale.Sharded.try_enqueue_batch t items);
-      dequeue_batch = (fun k -> Nbq_scale.Sharded.try_dequeue_batch t k);
-      length = (fun () -> Nbq_scale.Sharded.length t);
-    }
+    sharded_instance ?probe ~q:t
+      ~enqueue:(fun p -> Nbq_scale.Sharded.try_enqueue t p)
+      ~dequeue:(fun () -> Nbq_scale.Sharded.try_dequeue t)
+      ~enqueue_batch:(fun items -> Nbq_scale.Sharded.try_enqueue_batch t items)
+      ~dequeue_batch:(fun k -> Nbq_scale.Sharded.try_dequeue_batch t k)
+      ~length:(fun () -> Nbq_scale.Sharded.length t)
+      ()
   in
   {
     base with
     name = base.name ^ "-shard" ^ string_of_int shards;
     relaxed_fifo = true;
-    create = wrap base.create;
-    create_probed = (fun ~metrics -> wrap (base.create_probed ~metrics));
+    create = (fun ~capacity -> wrap base.create ~capacity);
+    create_probed =
+      (fun ~metrics ->
+        wrap
+          ~probe:(Nbq_obs.Metrics.probe metrics)
+          (base.create_probed ~metrics));
   }
 
 let concurrent =

@@ -23,6 +23,20 @@ type instance = {
           result can differ from any linearized length by up to [d]
           (exact when quiescent).  Single-ring instances report their
           implementation's own (linearizable-ish) length. *)
+  enqueue_until : deadline:float -> payload -> bool;
+      (** Blocking (parked, via [Nbq_wait]) enqueue with an absolute
+          [Unix.gettimeofday] deadline; [false] means timeout.  Always
+          makes at least one attempt; never parks once the deadline has
+          passed; resolution ~1ms.  Sharded instances park on their home
+          shard's eventcount and wake with the home-first sweep
+          ({!Nbq_scale.Sharded.waitable}); all others use a generic
+          eventcount pair.  Wakes flow between [*_until] callers only —
+          the plain closures above stay on the unwrapped hot path, so
+          mixing plain and [*_until] callers falls back on the wait
+          layer's bounded-park backstop (tens of ms, never a hang). *)
+  dequeue_until : deadline:float -> payload option;
+      (** Blocking dequeue with an absolute deadline; [None] means
+          timeout. *)
 }
 (** A live queue, usable from any domain. *)
 
@@ -89,12 +103,16 @@ val custom :
     uninstrumented [create]. *)
 
 val basic_instance :
+  ?probe:(module Nbq_primitives.Probe.S) ->
   enqueue:(payload -> bool) ->
   dequeue:(unit -> payload option) ->
   length:(unit -> int) ->
+  unit ->
   instance
 (** Build an {!instance} from single-item operations; the batch fields
-    loop over them. *)
+    loop over them, the [*_until] fields park on a fresh eventcount pair.
+    [probe] wires the wait-layer events ([wait_park] / [wait_wake] /
+    [wait_cancel]) of those eventcounts, e.g. [Nbq_obs.Metrics.probe]. *)
 
 val sharded_evequoz_cas : shards:int -> impl
 (** The native sharded composition over the paper's CAS ring with its

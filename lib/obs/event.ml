@@ -10,8 +10,11 @@ type t =
   | Tag_deregister
   | Tag_recycle
   | Shard_steal
+  | Wait_park
+  | Wait_wake
+  | Wait_cancel
 
-let count = 11
+let count = 14
 
 let index = function
   | Sc_fail -> 0
@@ -25,11 +28,15 @@ let index = function
   | Tag_deregister -> 8
   | Tag_recycle -> 9
   | Shard_steal -> 10
+  | Wait_park -> 11
+  | Wait_wake -> 12
+  | Wait_cancel -> 13
 
 let all =
   [
     Sc_fail; Ll_reserve; Tail_help; Head_help; Full_retry; Empty_retry;
     Tag_register; Tag_reregister; Tag_deregister; Tag_recycle; Shard_steal;
+    Wait_park; Wait_wake; Wait_cancel;
   ]
 
 let to_string = function
@@ -44,6 +51,9 @@ let to_string = function
   | Tag_deregister -> "tag_deregister"
   | Tag_recycle -> "tag_recycle"
   | Shard_steal -> "shard_steal"
+  | Wait_park -> "wait_park"
+  | Wait_wake -> "wait_wake"
+  | Wait_cancel -> "wait_cancel"
 
 let of_string = function
   | "sc_fail" -> Some Sc_fail
@@ -57,6 +67,9 @@ let of_string = function
   | "tag_deregister" -> Some Tag_deregister
   | "tag_recycle" -> Some Tag_recycle
   | "shard_steal" -> Some Shard_steal
+  | "wait_park" -> Some Wait_park
+  | "wait_wake" -> Some Wait_wake
+  | "wait_cancel" -> Some Wait_cancel
   | _ -> None
 
 let describe = function
@@ -71,3 +84,6 @@ let describe = function
   | Tag_deregister -> "tag variable released (Deregister)"
   | Tag_recycle -> "registration recycled a free tag variable"
   | Shard_steal -> "sharded front-end completed an operation on a foreign shard"
+  | Wait_park -> "blocked operation parked its domain on an eventcount"
+  | Wait_wake -> "wake path delivered a signal to a parked waiter"
+  | Wait_cancel -> "published waiter withdrew without consuming a wake"

@@ -7,7 +7,10 @@
     trace the CAS-simulated LL/SC tag-variable registry ([Register] /
     [ReRegister] / [Deregister] and recycling) whose churn the paper's
     space experiment measures; [Shard_steal] counts work-stealing
-    fallbacks in the sharded front-end ([Nbq_scale.Sharded]). *)
+    fallbacks in the sharded front-end ([Nbq_scale.Sharded]); the
+    [Wait_*] events trace the parking layer ([Nbq_wait]) — how often
+    blocked operations actually slept, how many wakes were delivered, and
+    how many published waiters withdrew unconsumed. *)
 
 type t =
   | Sc_fail        (** update-path store-conditional failed *)
@@ -21,6 +24,9 @@ type t =
   | Tag_deregister (** tag variable released *)
   | Tag_recycle    (** registration recycled a free tag variable *)
   | Shard_steal    (** sharded front-end completed an op on a foreign shard *)
+  | Wait_park      (** blocked operation parked its domain *)
+  | Wait_wake      (** wake path delivered a signal to a parked waiter *)
+  | Wait_cancel    (** published waiter withdrew without consuming a wake *)
 
 val count : int
 (** Number of distinct events. *)

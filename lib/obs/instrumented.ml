@@ -86,7 +86,7 @@ module Deep_evequoz_cas (M : METRICS) : Queue_intf.CONC = struct
   module Core =
     Nbq_core.Evequoz_cas.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
   module Q = Nbq_core.Evequoz_cas.With_implicit_handles (Core)
-  module C = Queue_intf.Of_bounded_batch (Q)
+  module C = Queue_intf.Make (Queue_intf.Capability.Bounded_batch (Q))
   include Make (M) (C)
 end
 
@@ -95,7 +95,7 @@ module Deep_evequoz_llsc (M : METRICS) : Queue_intf.CONC = struct
   module Cell =
     Nbq_primitives.Llsc.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
   module Q = Nbq_core.Evequoz_llsc.Make_probed (Cell) (P)
-  module C = Queue_intf.Of_bounded (Q)
+  module C = Queue_intf.Make (Queue_intf.Capability.Bounded (Q))
   include Make (M) (C)
 end
 

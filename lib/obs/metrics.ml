@@ -89,4 +89,10 @@ let probe (t : t) : (module Nbq_primitives.Probe.S) =
     let tag_deregister () = emit t Event.Tag_deregister
     let tag_recycle () = emit t Event.Tag_recycle
     let shard_steal () = emit t Event.Shard_steal
+
+    (* Parks, wakes and cancels happen at most once per blocked wait, not
+       per operation — exact counts, like the other rare events. *)
+    let wait_park () = emit t Event.Wait_park
+    let wait_wake () = emit t Event.Wait_wake
+    let wait_cancel () = emit t Event.Wait_cancel
   end)

@@ -8,11 +8,14 @@ type point =
   | Counter_bump
   | Shard_steal
   | Op_gap
+  | Park_window
+  | Wake_lost
 
 let all =
   [
     Ll_reserve; Slot_swap; Sc_attempt; Tag_register; Tag_reregister;
-    Tag_deregister; Counter_bump; Shard_steal; Op_gap;
+    Tag_deregister; Counter_bump; Shard_steal; Op_gap; Park_window;
+    Wake_lost;
   ]
 
 let to_string = function
@@ -25,6 +28,8 @@ let to_string = function
   | Counter_bump -> "counter-bump"
   | Shard_steal -> "shard-steal"
   | Op_gap -> "op-gap"
+  | Park_window -> "park-window"
+  | Wake_lost -> "wake-lost"
 
 let of_string s = List.find_opt (fun p -> to_string p = s) all
 

@@ -37,7 +37,18 @@
     - [Op_gap] — between two queue operations, holding nothing.  This point
       is hit by harness-level wrappers only, and is meaningful for {e
       every} queue in the registry (even the lock-based baselines survive a
-      stall at an operation boundary). *)
+      stall at an operation boundary).
+    - [Park_window] — in the wait layer ([Nbq_wait.Eventcount]), after a
+      waiter has been published on the waiter stack and the condition
+      re-checked, immediately before the domain actually sleeps.  This is
+      the classic lost-wakeup window: a victim frozen here owns a visible
+      waiter that wakers will pop and signal, and a victim that {e dies}
+      here leaves a dangling waiter the stack hygiene must reap.
+    - [Wake_lost] — in a wake path, after the eventcount's sequence counter
+      was bumped but before any popped waiter has been signalled.  A waker
+      crashing here has "consumed" waiters without delivering their
+      signals; parked domains must still be woken by the bounded-park
+      backstop (DESIGN.md §10). *)
 
 type point =
   | Ll_reserve
@@ -49,6 +60,8 @@ type point =
   | Counter_bump
   | Shard_steal
   | Op_gap
+  | Park_window
+  | Wake_lost
 
 val all : point list
 (** Every point, in declaration order. *)

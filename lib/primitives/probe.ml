@@ -8,6 +8,17 @@ module type S = sig
   val tag_deregister : unit -> unit
   val tag_recycle : unit -> unit
   val shard_steal : unit -> unit
+
+  val wait_park : unit -> unit
+  (** A waiter went to sleep on an eventcount (one hit per actual park, not
+      per blocking operation — a single wait can park several times). *)
+
+  val wait_wake : unit -> unit
+  (** A waker delivered a signal to a parked (or parking) waiter. *)
+
+  val wait_cancel : unit -> unit
+  (** A published waiter withdrew without consuming a wake (deadline or
+      condition satisfied between publish and park). *)
 end
 
 module Noop : S = struct
@@ -20,4 +31,7 @@ module Noop : S = struct
   let tag_deregister () = ()
   let tag_recycle () = ()
   let shard_steal () = ()
+  let wait_park () = ()
+  let wait_wake () = ()
+  let wait_cancel () = ()
 end

@@ -26,7 +26,14 @@
       variable from the registry instead of appending a fresh one;
     - [shard_steal] — a sharded front-end completed an operation on a
       {e foreign} shard after its home shard reported full/empty (the
-      work-stealing fallback of [Nbq_scale.Sharded]). *)
+      work-stealing fallback of [Nbq_scale.Sharded]);
+    - [wait_park] — a blocked operation actually put its domain to sleep on
+      an eventcount ([Nbq_wait.Eventcount]); one blocking call can park
+      several times;
+    - [wait_wake] — a wake path delivered a signal to a parked waiter;
+    - [wait_cancel] — a published waiter withdrew without consuming a wake
+      (its deadline passed, or the condition came true between publish and
+      park). *)
 
 module type S = sig
   val ll_reserve : unit -> unit
@@ -38,6 +45,9 @@ module type S = sig
   val tag_deregister : unit -> unit
   val tag_recycle : unit -> unit
   val shard_steal : unit -> unit
+  val wait_park : unit -> unit
+  val wait_wake : unit -> unit
+  val wait_cancel : unit -> unit
 end
 
 module Noop : S

@@ -256,4 +256,87 @@ module Make (N : SHARDS) (Q : Queue_intf.CONC) =
    and one counter CAS per clean run) — the spurious whole-run "full" a
    lagging counter can cause is exactly what the steal sweep absorbs. *)
 module Evequoz_cas (N : SHARDS) =
-  Make (N) (Queue_intf.Of_bounded_batch (Nbq_core.Evequoz_cas.Batched))
+  Make
+    (N)
+    (Queue_intf.Make
+       (Queue_intf.Capability.Bounded_batch (Nbq_core.Evequoz_cas.Batched)))
+
+(* --- Parked blocking over the facade ----------------------------------- *)
+
+module Eventcount = Nbq_wait.Eventcount
+
+(* Eventcounts shard like the rings do: a consumer parks on its HOME
+   shard's not_empty eventcount, and a producer's wake sweeps the
+   eventcount array in the same cyclic home-first order the steal sweep
+   uses — so in the common (affinity-respecting) case a wake touches only
+   the home eventcount, and waiters parked anywhere are found exactly when
+   stealing would find their items.  A wake delivered to shard s's
+   eventcount can satisfy an item enqueued on any shard because a parked
+   waiter's condition is the full facade operation (home probe + steal
+   sweep). *)
+type 'a waitable = {
+  base : 'a t;
+  not_empty : Eventcount.t array;
+  not_full : Eventcount.t array;
+}
+
+let waitable ?on_park ?on_wake ?on_cancel ?park_window ?wake_window base =
+  let mk _ =
+    Eventcount.create ?on_park ?on_wake ?on_cancel ?park_window ?wake_window
+      ()
+  in
+  let n = shard_count base in
+  {
+    base;
+    not_empty = Array.init n mk;
+    not_full = Array.init n mk;
+  }
+
+let base w = w.base
+
+(* Mirror of the steal sweep: try the home eventcount, then the others in
+   cyclic order, stopping at the first delivered wake.  Stopping early is
+   what keeps one enqueue from waking the whole fleet; sweeping at all is
+   what keeps a waiter parked on a foreign shard from being invisible. *)
+let wake_sweep ecs h =
+  let n = Array.length ecs in
+  let rec go i =
+    if i < n then
+      let s = if h + i >= n then h + i - n else h + i in
+      if not (Eventcount.wake_one (Array.unsafe_get ecs s)) then go (i + 1)
+  in
+  go 0
+
+let enq_cond w x () = if try_enqueue w.base x then Some () else None
+
+let enqueue w x =
+  let h = home w.base in
+  match Eventcount.await w.not_full.(h) (enq_cond w x) with
+  | `Ok () -> wake_sweep w.not_empty h
+  | `Timeout -> assert false (* no deadline *)
+
+let dequeue w =
+  let h = home w.base in
+  match Eventcount.await w.not_empty.(h) (fun () -> try_dequeue w.base) with
+  | `Ok x ->
+      wake_sweep w.not_full h;
+      x
+  | `Timeout -> assert false
+
+let enqueue_until w ~deadline x =
+  let h = home w.base in
+  match Eventcount.await ~deadline w.not_full.(h) (enq_cond w x) with
+  | `Ok () ->
+      wake_sweep w.not_empty h;
+      `Ok
+  | `Timeout -> `Timeout
+
+let dequeue_until w ~deadline =
+  let h = home w.base in
+  match
+    Eventcount.await ~deadline w.not_empty.(h) (fun () -> try_dequeue w.base)
+  with
+  | `Ok x ->
+      wake_sweep w.not_full h;
+      `Ok x
+  | `Timeout -> `Timeout

@@ -151,3 +151,54 @@ module Make (N : SHARDS) (Q : Nbq_core.Queue_intf.CONC) :
 module Evequoz_cas (N : SHARDS) :
   Nbq_core.Queue_intf.CONC with type 'a t = 'a t
 (** [Make (N)] over the paper's CAS queue — the default composition. *)
+
+(** {2 Parked blocking over the facade}
+
+    The facade's analogue of [Nbq_core.Queue_intf.Blocking]: eventcounts
+    shard like the rings do.  A consumer parks on its {e home} shard's
+    "became non-empty" eventcount; a producer's wake {e sweeps} the
+    eventcount array in the same cyclic home-first order as the steal
+    sweep, stopping at the first delivered wake.  In the
+    affinity-respecting common case a wake touches only the home
+    eventcount (one atomic load when nobody waits); cross-shard traffic
+    finds parked waiters exactly where stealing finds their items.  A
+    parked waiter's re-checked condition is the {e full} facade operation
+    (home probe plus steal sweep), so a wake on any shard can satisfy an
+    item landed on any other; the wait layer's bounded-park backstop
+    covers the remaining races, as everywhere else (DESIGN.md §10). *)
+
+type 'a waitable
+
+val waitable :
+  ?on_park:(unit -> unit) ->
+  ?on_wake:(unit -> unit) ->
+  ?on_cancel:(unit -> unit) ->
+  ?park_window:(unit -> unit) ->
+  ?wake_window:(unit -> unit) ->
+  'a t ->
+  'a waitable
+(** Attach per-shard eventcount pairs to a facade.  The optional hooks are
+    passed to every [Nbq_wait.Eventcount.create] (probe and
+    fault-injection wiring; see that module).  Operations issued directly
+    on the underlying {!t} bypass the wakes — parked peers then rely on
+    the backstop, waking within tens of milliseconds rather than
+    promptly. *)
+
+val base : 'a waitable -> 'a t
+(** The underlying facade (shared, not copied). *)
+
+val enqueue : 'a waitable -> 'a -> unit
+(** Spin briefly, then park on the home shard's not-full eventcount until
+    some shard accepts; wakes one not-empty waiter (sweeping) on
+    success. *)
+
+val dequeue : 'a waitable -> 'a
+(** Spin briefly, then park on the home shard's not-empty eventcount until
+    some shard yields an item; wakes one not-full waiter on success. *)
+
+val enqueue_until : 'a waitable -> deadline:float -> 'a -> [ `Ok | `Timeout ]
+(** {!enqueue} with an absolute [Unix.gettimeofday] deadline (resolution:
+    the wait layer's ~1ms tick).  Always makes at least one attempt; never
+    parks once the deadline has passed. *)
+
+val dequeue_until : 'a waitable -> deadline:float -> [ `Ok of 'a | `Timeout ]

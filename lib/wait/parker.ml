@@ -1,0 +1,138 @@
+(* Per-domain parking cell.  See parker.mli for the protocol; the subtle
+   parts here are (a) the cache-line padding of the DLS cell and (b) the
+   lock ordering between a parking domain and the shared ticker. *)
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable notified : bool;  (* one-shot flag, guarded by [mutex] *)
+  mutable parked : bool;  (* domain is inside [park], guarded by [mutex] *)
+}
+
+(* Same trick as Nbq_obs.Padding.copy_padded (replicated here because the
+   wait layer sits below the observability library): rebuild the record
+   inside a block padded to two cache lines so two domains' parkers never
+   share a line. *)
+let cache_line_words = 16
+
+let copy_padded : t -> t =
+ fun v ->
+  let orig = Obj.repr v in
+  let size = Obj.size orig in
+  let padded = Obj.new_block 0 (size + (2 * cache_line_words)) in
+  for i = 0 to size - 1 do
+    Obj.set_field padded i (Obj.field orig i)
+  done;
+  for i = size to size + (2 * cache_line_words) - 1 do
+    Obj.set_field padded i (Obj.repr 0)
+  done;
+  Obj.obj padded
+
+let make () =
+  copy_padded
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      notified = false;
+      parked = false;
+    }
+
+let key = Domain.DLS.new_key make
+let current () = Domain.DLS.get key
+
+(* ---- the ticker ----------------------------------------------------- *)
+
+(* One background domain per process, spawned lazily on the first park.  It
+   broadcasts to every registered (i.e. currently parked) parker once per
+   [tick_interval], so no park ever sleeps longer than one tick without
+   re-validating its condition.  The domain is a daemon in spirit: it loops
+   forever, but sleeps via [Unix.sleepf] and holds no locks across the
+   sleep, so process exit is not impeded (runtime terminates it).
+
+   Lock ordering: a parking domain takes [registry_lock] (to register)
+   strictly BEFORE its own [t.mutex]; the ticker takes [registry_lock],
+   snapshots the list, RELEASES it, and only then takes each parker's
+   mutex.  Neither path ever holds both a parker mutex and the registry
+   lock, so there is no lock-order cycle. *)
+
+let tick_interval = 0.001
+let registry_lock = Mutex.create ()
+let registered : t list ref = ref []
+let ticker_started = Atomic.make false
+let tick_count = Atomic.make 0
+let ticks () = Atomic.get tick_count
+
+let ticker_loop () =
+  while true do
+    Unix.sleepf tick_interval;
+    let snapshot =
+      Mutex.lock registry_lock;
+      let l = !registered in
+      Mutex.unlock registry_lock;
+      l
+    in
+    if snapshot <> [] then begin
+      Atomic.incr tick_count;
+      List.iter
+        (fun t ->
+          Mutex.lock t.mutex;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mutex)
+        snapshot
+    end
+  done
+
+let ensure_ticker () =
+  if not (Atomic.get ticker_started) then
+    if Atomic.compare_and_set ticker_started false true then
+      ignore (Domain.spawn ticker_loop : unit Domain.t)
+
+let register t =
+  Mutex.lock registry_lock;
+  registered := t :: !registered;
+  Mutex.unlock registry_lock
+
+let deregister t =
+  Mutex.lock registry_lock;
+  (* Physical equality: each domain has exactly one cell. *)
+  registered := List.filter (fun p -> p != t) !registered;
+  Mutex.unlock registry_lock
+
+(* ---- the parker proper ---------------------------------------------- *)
+
+let park t =
+  ensure_ticker ();
+  register t;
+  Mutex.lock t.mutex;
+  let result =
+    if t.notified then begin
+      t.notified <- false;
+      `Notified
+    end
+    else begin
+      t.parked <- true;
+      Condition.wait t.cond t.mutex;
+      t.parked <- false;
+      if t.notified then begin
+        t.notified <- false;
+        `Notified
+      end
+      else `Tick
+    end
+  in
+  Mutex.unlock t.mutex;
+  deregister t;
+  result
+
+let notify t =
+  Mutex.lock t.mutex;
+  if not t.notified then begin
+    t.notified <- true;
+    if t.parked then Condition.signal t.cond
+  end;
+  Mutex.unlock t.mutex
+
+let drain t =
+  Mutex.lock t.mutex;
+  t.notified <- false;
+  Mutex.unlock t.mutex

@@ -1,0 +1,52 @@
+(** Per-domain parking cell: the only place in the repository where a
+    domain actually sleeps.
+
+    A parker is a [Mutex] + [Condition] + one-shot notification flag,
+    cache-line padded and stored in domain-local state — one cell per
+    domain, reused across every wait the domain ever performs.  The
+    higher-level {!Eventcount} publishes a reference to the current
+    domain's parker in its waiter stack; wakers {!notify} it.
+
+    {b The ticker backstop.}  The stdlib's [Condition] has no timed wait,
+    so bounded parks are provided by a single shared {e ticker} domain
+    (spawned lazily on the first park, one per process): every parked
+    parker registers itself for the duration of its sleep, and the ticker
+    broadcasts to all registered parkers every millisecond.  {!park}
+    therefore returns on notification {e or} on the next tick, whichever
+    comes first — it never sleeps unboundedly.  Callers re-validate their
+    condition and re-park in a loop.  This is what makes the wait layer
+    robust against lost wakeups by construction: even a waker that crashes
+    mid-wake (the [Wake_lost] fault window) can delay a parked domain only
+    until its next tick, never strand it (DESIGN.md §10). *)
+
+type t
+
+val current : unit -> t
+(** The calling domain's parker (allocated in domain-local state on first
+    use, padded). *)
+
+val park : t -> [ `Notified | `Tick ]
+(** Sleep until {!notify} or the next ticker broadcast.  [`Notified]
+    consumes the notification; [`Tick] means the caller should re-validate
+    whatever it is waiting for and decide to re-park or give up.  If a
+    notification is already pending, returns [`Notified] without
+    sleeping. *)
+
+val notify : t -> unit
+(** Post the one-shot notification and wake the parker if it sleeps.
+    Idempotent while a notification is pending; safe from any domain,
+    including for a parker whose domain is not currently parked (the flag
+    is consumed by the next {!park}). *)
+
+val drain : t -> unit
+(** Clear any pending notification without sleeping (used when a waiter is
+    abandoned so a stale notification cannot satisfy the domain's next,
+    unrelated wait). *)
+
+val tick_interval : float
+(** The ticker period in seconds while at least one parker sleeps — the
+    upper bound on how long a lost wakeup can delay a parked domain, and
+    the resolution of every deadline in the wait layer. *)
+
+val ticks : unit -> int
+(** Ticker broadcasts so far (diagnostics; 0 until the first park). *)

@@ -14,4 +14,6 @@ dune exec bin/ablation.exe -- --runs 2 --scale 0.02 --threads 8 > results/ablati
 dune exec bin/contend.exe -- --queue evequoz-cas --threads 1,2,4,8 --runs 2 --scale 0.1 --plot > results/contend.txt 2>&1
 dune exec bin/obs_overhead.exe -- --runs 3 --scale 0.5 > results/obs_overhead.txt 2>&1
 dune exec bin/torture.exe -- --seed 42 --ops 10000 --crash > results/torture.txt 2>&1
+dune exec bin/torture.exe -- --wait --wait-iters 2000 > results/wait_torture.txt 2>&1
+dune exec bin/park_sweep.exe -- --seconds 2 --out results/park_sweep.csv > results/park_sweep.txt 2>&1
 echo DONE > results/STATUS

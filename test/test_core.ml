@@ -240,11 +240,11 @@ let weak_queue_concurrent () =
 
 (* --- Blocking wrapper --- *)
 
-module Q1_conc = Intf.Of_bounded (Q1)
+module Q1_conc = Intf.Make (Intf.Capability.Bounded (Q1))
 module Q1_blocking = Intf.Blocking (Q1_conc)
 
 let blocking_wrapper_ping_pong () =
-  let q = Q1_conc.create ~capacity:2 in
+  let q = Q1_blocking.create ~capacity:2 in
   let n = 2_000 in
   let producer =
     Domain.spawn (fun () ->
@@ -284,26 +284,32 @@ let round_capacity_clamp () =
 
 (* --- Graceful degradation: deadlines and retry budgets --- *)
 
+(* A full 2-slot blocking queue: the raw queue is pre-filled through the
+   [queue] view, so the blocking operations below must actually wait. *)
+let full_blocking_pair () =
+  let q = Q1_blocking.create ~capacity:2 in
+  ignore (Q1_conc.try_enqueue (Q1_blocking.queue q) 1);
+  ignore (Q1_conc.try_enqueue (Q1_blocking.queue q) 2);
+  q
+
 let blocking_deadline_timeout () =
-  let q = Q1_conc.create ~capacity:2 in
-  ignore (Q1_conc.try_enqueue q 1);
-  ignore (Q1_conc.try_enqueue q 2);
+  let q = full_blocking_pair () in
   (match
-     Q1_blocking.enqueue_until q ~deadline:(Unix.gettimeofday () +. 0.02) 3
+     Q1_blocking.enqueue_until q ~deadline:(Unix.gettimeofday () +. 0.05) 3
    with
   | `Timeout -> ()
   | `Ok -> Alcotest.fail "full queue must time out");
-  let empty = Q1_conc.create ~capacity:2 in
+  let empty = Q1_blocking.create ~capacity:2 in
   match
-    Q1_blocking.dequeue_until empty ~deadline:(Unix.gettimeofday () +. 0.02)
+    Q1_blocking.dequeue_until empty ~deadline:(Unix.gettimeofday () +. 0.05)
   with
   | `Timeout -> ()
   | `Ok _ -> Alcotest.fail "empty queue must time out"
 
 let blocking_deadline_past_still_tries () =
-  (* A deadline already in the past still makes one attempt, so an
-     uncontended operation never spuriously times out. *)
-  let q = Q1_conc.create ~capacity:2 in
+  (* A deadline already in the past still makes one attempt (and never
+     parks), so an uncontended operation never spuriously times out. *)
+  let q = Q1_blocking.create ~capacity:2 in
   (match Q1_blocking.enqueue_until q ~deadline:0.0 7 with
   | `Ok -> ()
   | `Timeout -> Alcotest.fail "uncontended enqueue must succeed");
@@ -312,9 +318,7 @@ let blocking_deadline_past_still_tries () =
   | `Ok _ | `Timeout -> Alcotest.fail "the item must come back"
 
 let blocking_budget () =
-  let q = Q1_conc.create ~capacity:2 in
-  ignore (Q1_conc.try_enqueue q 1);
-  ignore (Q1_conc.try_enqueue q 2);
+  let q = full_blocking_pair () in
   (match Q1_blocking.enqueue_budget q ~retries:3 9 with
   | `Timeout -> ()
   | `Ok -> Alcotest.fail "full queue must exhaust its budget");
@@ -324,15 +328,13 @@ let blocking_budget () =
   (match Q1_blocking.enqueue_budget q ~retries:0 9 with
   | `Ok -> ()
   | `Timeout -> Alcotest.fail "freed slot must accept without retries");
-  let empty = Q1_conc.create ~capacity:2 in
+  let empty = Q1_blocking.create ~capacity:2 in
   match Q1_blocking.dequeue_budget empty ~retries:2 with
   | `Timeout -> ()
   | `Ok _ -> Alcotest.fail "empty queue must exhaust its budget"
 
 let blocking_deadline_cross_domain () =
-  let q = Q1_conc.create ~capacity:2 in
-  ignore (Q1_conc.try_enqueue q 1);
-  ignore (Q1_conc.try_enqueue q 2);
+  let q = full_blocking_pair () in
   let consumer =
     Domain.spawn (fun () ->
         Unix.sleepf 0.01;

@@ -16,7 +16,7 @@ let slow name f = Alcotest.test_case name `Slow f
 (* --- Fault points --- *)
 
 let point_strings () =
-  Alcotest.(check int) "nine points" 9 (List.length Fault.all);
+  Alcotest.(check int) "eleven points" 11 (List.length Fault.all);
   List.iter
     (fun p ->
       match Fault.of_string (Fault.to_string p) with
