@@ -1,0 +1,107 @@
+(* Diffs two bench-summary trajectory files (results/bench_summary.json
+   as written by fig6/contend/shard_sweep) and flags throughput
+   regressions beyond a threshold.  Rows are joined on their identity key
+   (bench, queue, variant, domains); rows present on only one side are
+   listed but never fail the run.  Exit 1 iff any joined row regressed. *)
+
+open Cmdliner
+open Nbq_harness
+
+let fmt_f v = if Float.is_nan v then "-" else Printf.sprintf "%.3f" v
+let fmt_ns v = if Float.is_nan v then "-" else Printf.sprintf "%.0f" v
+
+let label (r : Bench_summary.row) =
+  Printf.sprintf "%s/%s%s@%d" r.Bench_summary.bench r.Bench_summary.queue
+    (if r.Bench_summary.variant = "" then ""
+     else "[" ^ r.Bench_summary.variant ^ "]")
+    r.Bench_summary.domains
+
+let run baseline current threshold =
+  let load path =
+    match Bench_summary.read path with
+    | Ok rows -> rows
+    | Error e ->
+        Printf.eprintf "bench_compare: %s\n%!" e;
+        exit 2
+  in
+  let base = load baseline and cur = load current in
+  let find rows r =
+    List.find_opt
+      (fun r' -> Bench_summary.key r' = Bench_summary.key r)
+      rows
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "bench trajectory: %s -> %s  [flag < %.0f%%]" baseline
+           current
+           ((1.0 -. threshold) *. 100.0))
+      ~columns:
+        [ "config"; "base-Mi/s"; "cur-Mi/s"; "ratio"; "p99-base"; "p99-cur";
+          "verdict" ]
+  in
+  let regressions = ref 0 in
+  List.iter
+    (fun (c : Bench_summary.row) ->
+      match find base c with
+      | None ->
+          Table.add_row t
+            [ label c; "-"; fmt_f c.Bench_summary.mitems_per_s; "-"; "-";
+              fmt_ns c.Bench_summary.p99_ns; "new" ]
+      | Some b ->
+          let ratio =
+            c.Bench_summary.mitems_per_s /. b.Bench_summary.mitems_per_s
+          in
+          let verdict =
+            if Float.is_nan ratio then "n/a"
+            else if ratio < 1.0 -. threshold then begin
+              incr regressions;
+              "REGRESSION"
+            end
+            else if ratio > 1.0 +. threshold then "improved"
+            else "ok"
+          in
+          Table.add_row t
+            [ label c;
+              fmt_f b.Bench_summary.mitems_per_s;
+              fmt_f c.Bench_summary.mitems_per_s;
+              fmt_f ratio;
+              fmt_ns b.Bench_summary.p99_ns;
+              fmt_ns c.Bench_summary.p99_ns;
+              verdict ])
+    cur;
+  List.iter
+    (fun (b : Bench_summary.row) ->
+      if find cur b = None then
+        Table.add_row t
+          [ label b; fmt_f b.Bench_summary.mitems_per_s; "-"; "-";
+            fmt_ns b.Bench_summary.p99_ns; "-"; "dropped" ])
+    base;
+  print_string (Table.render t);
+  print_newline ();
+  if !regressions > 0 then begin
+    Printf.printf "%d regression(s) beyond %.0f%%\n" !regressions
+      (threshold *. 100.0);
+    exit 1
+  end
+  else Printf.printf "no throughput regressions beyond %.0f%%\n"
+      (threshold *. 100.0)
+
+let baseline_term =
+  let doc = "Baseline bench_summary.json." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc)
+
+let current_term =
+  let doc = "Current bench_summary.json." in
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT" ~doc)
+
+let threshold_term =
+  let doc = "Relative throughput drop that counts as a regression." in
+  Arg.(value & opt float 0.10 & info [ "threshold" ] ~docv:"FRAC" ~doc)
+
+let cmd =
+  let doc = "Compare two bench-summary files and flag throughput regressions" in
+  Cmd.v (Cmd.info "bench_compare" ~doc)
+    Term.(const run $ baseline_term $ current_term $ threshold_term)
+
+let () = exit (Cmd.eval cmd)

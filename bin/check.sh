@@ -21,5 +21,18 @@ dune exec bin/torture.exe -- --wait > /dev/null
 # Oversubscription gate: 16 parked domains on one core-starved queue,
 # requiring item conservation and per-domain progress.
 dune exec bin/park_sweep.exe -- --gate --seconds 2 > /dev/null
+# Flight-recorder overhead gate: an armed recorder (default 1/64 span
+# sampling) must cost <= 10% vs the plain path (median of interleaved
+# blocks, best-of-6-runs per block).  Single-threaded on purpose: on a
+# core-starved box multi-domain runs measure the scheduler, not the
+# recorder.
+dune exec bin/trace_overhead.exe -- -t 1 --runs 6 --scale 1.0 --blocks 10 > /dev/null
+# Perfetto export smoke: a tiny traced fig6 run must produce Chrome
+# trace-event JSON that our own validator accepts (trace_pass exits
+# non-zero on validation failure), and must emit the bench-summary
+# trajectory; bench_compare must round-trip it with zero regressions.
+dune exec bin/fig6.exe -- -f a --runs 1 --scale 0.002 --max-threads 4 --trace > /dev/null 2>&1
+test -s results/bench_summary.json
+dune exec bin/bench_compare.exe -- results/bench_summary.json results/bench_summary.json > /dev/null
 dune build @fmt 2>/dev/null || true
 echo "check: OK"

@@ -19,6 +19,7 @@ type row = {
   p99_enq_ns : float;
   snapshot : Metrics.snapshot;
   mean_seconds : float;
+  measurement : Runner.measurement;
 }
 
 let sweep ~queue ~threads_list ~runs ~workload =
@@ -49,10 +50,11 @@ let sweep ~queue ~threads_list ~runs ~workload =
         p99_enq_ns = Histogram.percentile_ns s.Metrics.enq 0.99;
         snapshot = s;
         mean_seconds = mean;
+        measurement = m;
       })
     threads_list
 
-let run queue threads_csv runs scale csv max_threads with_plot =
+let run queue threads_csv runs scale csv max_threads with_plot with_trace =
   let workload = Fig_common.workload_of_scale scale in
   let parse_thread s =
     match int_of_string_opt (String.trim s) with
@@ -139,7 +141,19 @@ let run queue threads_csv runs scale csv max_threads with_plot =
   (match Sink.path sink with
   | Some p -> Printf.printf "metrics written to %s\n" p
   | None -> ());
-  Sink.close sink
+  Sink.close sink;
+  Fig_common.write_summary
+    (List.map
+       (fun r ->
+         Bench_summary.row_of_measurement ~bench:"contend" r.measurement)
+       rows);
+  if with_trace then
+    let threads =
+      List.fold_left max 1 (List.map (fun r -> r.threads) rows)
+    in
+    Fig_common.trace_pass ~prefix:"contend"
+      ~impls:[ Registry.find queue ]
+      ~threads ~runs ~workload
 
 let queue_term =
   let doc = "Queue to profile (see `fig6 --help` for names)." in
@@ -162,6 +176,6 @@ let cmd =
     Term.(
       const run $ queue_term $ threads_term $ Fig_common.runs_term
       $ Fig_common.scale_term $ Fig_common.csv_term
-      $ Fig_common.max_threads_term $ plot_term)
+      $ Fig_common.max_threads_term $ plot_term $ Fig_common.trace_term)
 
 let () = exit (Cmd.eval cmd)

@@ -20,8 +20,10 @@ let threads_b = [ 1; 4; 8; 12; 16; 20; 24; 28; 32; 40; 48; 56; 64 ]
 
 let base = "evequoz-cas"
 
-let run_figure figure runs scale csv max_threads with_plot with_metrics =
+let run_figure figure runs scale csv max_threads with_plot with_metrics
+    with_trace =
   let workload = Fig_common.workload_of_scale scale in
+  let summary_rows = ref [] in
   let print_one fig =
     let series, threads, normalized, paper_name =
       match fig with
@@ -36,6 +38,19 @@ let run_figure figure runs scale csv max_threads with_plot with_metrics =
     Printf.eprintf "# measuring %s (%d thread counts x %d series x %d runs)\n%!"
       paper_name (List.length threads) (List.length series) runs;
     let results = Fig_common.measure_series ~series ~threads ~runs ~workload in
+    let variant =
+      match fig with `A | `C -> "llsc-suite" | `B | `D -> "cas-suite"
+    in
+    List.iter
+      (fun (r : Fig_common.sweep_result) ->
+        List.iter
+          (fun (_, m) ->
+            summary_rows :=
+              Nbq_harness.Bench_summary.row_of_measurement ~bench:"fig6"
+                ~variant m
+              :: !summary_rows)
+          r.Fig_common.cells)
+      results;
     let title =
       Printf.sprintf "%s  [%d iterations/thread, mean of %d runs, seconds]"
         paper_name workload.Nbq_harness.Workload.iterations runs
@@ -53,15 +68,21 @@ let run_figure figure runs scale csv max_threads with_plot with_metrics =
   (match figure with
   | Some f -> print_one f
   | None -> List.iter print_one [ `A; `B; `C; `D ]);
+  Fig_common.write_summary (List.rev !summary_rows);
+  let aux_threads =
+    match Fig_common.clamp_threads max_threads [ 4 ] with
+    | [] -> 1
+    | t :: _ -> t
+  in
   if with_metrics then
-    let threads =
-      match Fig_common.clamp_threads max_threads [ 4 ] with
-      | [] -> 1
-      | t :: _ -> t
-    in
     Fig_common.metrics_pass ~prefix:"fig6"
       ~series:[ "evequoz-cas"; "evequoz-llsc" ]
-      ~threads ~runs ~workload
+      ~threads:aux_threads ~runs ~workload;
+  if with_trace then
+    Fig_common.trace_pass ~prefix:"fig6"
+      ~impls:
+        (List.map Nbq_harness.Registry.find [ "evequoz-cas"; "evequoz-llsc" ])
+      ~threads:aux_threads ~runs ~workload
 
 let figure_term =
   let fig_conv = Arg.enum [ ("a", `A); ("b", `B); ("c", `C); ("d", `D) ] in
@@ -79,6 +100,7 @@ let cmd =
     Term.(
       const run_figure $ figure_term $ Fig_common.runs_term
       $ Fig_common.scale_term $ Fig_common.csv_term
-      $ Fig_common.max_threads_term $ plot_term $ Fig_common.metrics_term)
+      $ Fig_common.max_threads_term $ plot_term $ Fig_common.metrics_term
+      $ Fig_common.trace_term)
 
 let () = exit (Cmd.eval cmd)

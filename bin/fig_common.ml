@@ -118,8 +118,53 @@ let metrics_pass ~prefix ~series ~threads ~runs ~workload =
   | None -> ());
   Sink.close sink
 
+(* Re-run each impl with the flight recorder attached and write one Chrome
+   trace-event JSON per queue (one Perfetto track per domain).  A fresh
+   recorder per queue keeps the files single-subject; validation failures
+   are fatal so --trace doubles as a smoke test of the export path. *)
+let trace_pass ~prefix ~impls ~threads ~runs ~workload =
+  List.iter
+    (fun (impl : Registry.impl) ->
+      let tracer = Nbq_trace.Recorder.create () in
+      let cfg = { Runner.threads; runs; workload; capacity = None } in
+      Nbq_trace.Recorder.arm tracer;
+      ignore (Runner.measure ~tracer impl cfg : Runner.measurement);
+      Nbq_trace.Recorder.disarm tracer;
+      let path =
+        Printf.sprintf "results/trace-%s-%s.json" prefix impl.Registry.name
+      in
+      Nbq_trace.Export.write_chrome
+        ~process_name:(prefix ^ ":" ^ impl.Registry.name)
+        ~path tracer;
+      match Nbq_trace.Export.validate_chrome_file path with
+      | Ok s ->
+          Printf.printf
+            "trace written to %s (%d domain tracks, %d spans, %d instants; \
+             open in ui.perfetto.dev)\n"
+            path s.Nbq_trace.Export.tracks s.Nbq_trace.Export.spans
+            s.Nbq_trace.Export.instants
+      | Error e ->
+          Printf.eprintf "trace validation failed: %s\n%!" e;
+          exit 1)
+    impls
+
+let write_summary rows =
+  if rows <> [] then begin
+    let n = Bench_summary.write rows in
+    Printf.printf "bench summary: %s (%d rows)\n" Bench_summary.default_path n
+  end
+
 (* Common cmdliner terms. *)
 open Cmdliner
+
+let trace_term =
+  let doc =
+    "Re-run with the flight recorder armed (sampled operation spans plus \
+     in-algorithm events) and write results/trace-<bench>-<queue>.json: \
+     Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev), one \
+     track per domain."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
 
 let metrics_term =
   let doc =

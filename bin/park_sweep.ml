@@ -77,9 +77,13 @@ let consumer_loop ~mode ~stop (inst : Registry.instance) =
   done;
   !count
 
-let run_cell ~queue ~domains ~mode ~seconds ~capacity =
+let run_cell ?tracer ~queue ~domains ~mode ~seconds ~capacity () =
   let impl = Registry.find queue in
-  let inst = impl.Registry.create ~capacity in
+  let inst =
+    match tracer with
+    | None -> impl.Registry.create ~capacity
+    | Some tr -> impl.Registry.create_traced ~metrics:None ~tracer:tr ~capacity
+  in
   let stop = Atomic.make false in
   let t0 = Unix.gettimeofday () in
   let result =
@@ -168,12 +172,12 @@ let default_domains () =
   let cores = Domain.recommended_domain_count () in
   Printf.sprintf "%d,%d,%d" cores (2 * cores) (4 * cores)
 
-let run_gate ~queue ~seconds ~capacity ~min_ops =
+let run_gate ?tracer ~queue ~seconds ~capacity ~min_ops () =
   let domains = 16 in
   Printf.printf
     "park_sweep gate: %d parked domains on %s for %.1fs (capacity %d)\n%!"
     domains queue seconds capacity;
-  let c = run_cell ~queue ~domains ~mode:Park ~seconds ~capacity in
+  let c = run_cell ?tracer ~queue ~domains ~mode:Park ~seconds ~capacity () in
   let ok_conserved = conserved c in
   let ok_progress = c.min_domain_ops >= min_ops in
   Printf.printf
@@ -188,12 +192,41 @@ let run_gate ~queue ~seconds ~capacity ~min_ops =
     exit 1
   end
 
-let run queues_csv domains_csv seconds capacity minor_heap gate min_ops out =
+let write_trace tracer =
+  match tracer with
+  | None -> ()
+  | Some tr ->
+      Nbq_trace.Recorder.disarm tr;
+      let path = "results/trace-park_sweep.json" in
+      Nbq_trace.Export.write_chrome ~process_name:"park_sweep" ~path tr;
+      (match Nbq_trace.Export.validate_chrome_file path with
+      | Ok s ->
+          Printf.printf
+            "trace written to %s (%d domain tracks, %d spans, %d instants; \
+             open in ui.perfetto.dev)\n"
+            path s.Nbq_trace.Export.tracks s.Nbq_trace.Export.spans
+            s.Nbq_trace.Export.instants
+      | Error e ->
+          Printf.eprintf "trace validation failed: %s\n%!" e;
+          exit 1)
+
+let run queues_csv domains_csv seconds capacity minor_heap gate min_ops out
+    with_trace =
   ensure_minor_heap minor_heap;
-  if gate then
-    run_gate
+  let tracer =
+    if with_trace then begin
+      let tr = Nbq_trace.Recorder.create () in
+      Nbq_trace.Recorder.arm tr;
+      Some tr
+    end
+    else None
+  in
+  if gate then begin
+    run_gate ?tracer
       ~queue:(List.hd (String.split_on_char ',' queues_csv))
-      ~seconds ~capacity ~min_ops
+      ~seconds ~capacity ~min_ops ();
+    write_trace tracer
+  end
   else begin
     let queues = String.split_on_char ',' queues_csv in
     let domains_list =
@@ -216,7 +249,9 @@ let run queues_csv domains_csv seconds capacity minor_heap gate min_ops out =
         (fun queue ->
           List.map
             (fun domains ->
-              let c = run_cell ~queue ~domains ~mode ~seconds ~capacity in
+              let c =
+                run_cell ?tracer ~queue ~domains ~mode ~seconds ~capacity ()
+              in
               Printf.eprintf "#   %s domains=%-3d %s: %.4f Mitems/s%s\n%!"
                 queue domains (mode_to_string mode) (mops c)
                 (if conserved c then "" else "  CONSERVATION VIOLATED");
@@ -281,6 +316,7 @@ let run queues_csv domains_csv seconds capacity minor_heap gate min_ops out =
     output_string oc csv;
     close_out oc;
     Printf.printf "\ncsv written to %s\n" out;
+    write_trace tracer;
     if List.exists (fun c -> not (conserved c)) cells then exit 1
   end
 
@@ -335,6 +371,6 @@ let cmd =
   Cmd.v (Cmd.info "park_sweep" ~doc)
     Term.(const run $ queues_term $ domains_term $ seconds_term
           $ capacity_term $ minor_heap_term $ gate_term $ min_ops_term
-          $ out_term)
+          $ out_term $ Fig_common.trace_term)
 
 let () = exit (Cmd.eval cmd)

@@ -19,6 +19,7 @@ type row = {
   items : int;         (* moved per direction, summed over runs/threads *)
   mean_seconds : float;
   mops : float;        (* items / mean_seconds, millions *)
+  measurement : Runner.measurement;
 }
 
 let impl_for ~shards =
@@ -44,6 +45,7 @@ let measure ~shards ~domains ~batch ~batched ~runs ~workload =
     items = m.Runner.items;
     mean_seconds = mean;
     mops = (if mean > 0.0 then per_run_items /. mean /. 1e6 else nan);
+    measurement = m;
   }
 
 let parse_int_list flag s =
@@ -76,7 +78,7 @@ let ensure_minor_heap words =
     Unix.execv Sys.executable_name Sys.argv
   end
 
-let run shards_csv domains_csv batch_csv runs scale minor_heap out =
+let run shards_csv domains_csv batch_csv runs scale minor_heap out with_trace =
   ensure_minor_heap minor_heap;
   let workload = Workload.scaled_config ~scale in
   let shards_list = parse_int_list "--shards" shards_csv in
@@ -157,7 +159,22 @@ let run shards_csv domains_csv batch_csv runs scale minor_heap out =
   let oc = open_out out in
   output_string oc csv;
   close_out oc;
-  Printf.printf "\ncsv written to %s\n" out
+  Printf.printf "\ncsv written to %s\n" out;
+  Fig_common.write_summary
+    (List.map
+       (fun r ->
+         let variant =
+           Printf.sprintf "shards=%d,batch=%d,%s" r.shards r.batch
+             (if r.batched then "batched" else "single")
+         in
+         Bench_summary.row_of_measurement ~bench:"shard_sweep" ~variant
+           r.measurement)
+       rows);
+  if with_trace then
+    let domains = List.fold_left max 1 domains_list in
+    Fig_common.trace_pass ~prefix:"shard_sweep"
+      ~impls:(List.map (fun shards -> impl_for ~shards) shards_list)
+      ~threads:domains ~runs ~workload
 
 let shards_term =
   let doc = "Comma-separated shard counts (1 = the plain single ring)." in
@@ -202,6 +219,6 @@ let cmd =
   let doc = "Throughput grid: sharded evequoz-cas over shards x domains" in
   Cmd.v (Cmd.info "shard_sweep" ~doc)
     Term.(const run $ shards_term $ domains_term $ batch_term $ runs_term
-          $ scale_term $ minor_heap_term $ out_term)
+          $ scale_term $ minor_heap_term $ out_term $ Fig_common.trace_term)
 
 let () = exit (Cmd.eval cmd)

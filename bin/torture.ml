@@ -50,7 +50,8 @@ let run_wait_matrix iterations csv =
   Printf.printf "\n%d/%d cells passed\n" (!rounds - !failures) !rounds;
   if !failures > 0 then exit 1
 
-let run_queue_matrix queue_filter seconds seed workers ops with_crash csv =
+let run_queue_matrix queue_filter seconds seed workers ops with_crash csv
+    with_trace =
   let prng = Nbq_primitives.Prng.create ~seed in
   let targets =
     match queue_filter with
@@ -93,16 +94,52 @@ let run_queue_matrix queue_filter seconds seed workers ops with_crash csv =
               let trigger_after =
                 10 + Nbq_primitives.Prng.int prng 200
               in
+              (* Every round carries a full-rate (unsampled) flight
+                 recorder: a fresh one per round, because each round spawns
+                 fresh domains and their rings would otherwise pile up.
+                 Recording is a handful of plain stores per hook, cheap
+                 enough for a correctness harness. *)
+              let tracer = Nbq_trace.Recorder.create ~sample:1 () in
               let o =
                 Torture.run ~workers ~target_ops:ops ~trigger_after
-                  ~timeout:seconds t ~point ~action
+                  ~timeout:seconds ~tracer t ~point ~action
               in
               let ok =
                 o.Torture.triggered
                 && o.Torture.min_survivor_ops >= ops
                 && o.Torture.conserved && o.Torture.recovered
               in
-              if not ok then incr failures;
+              if not ok then begin
+                incr failures;
+                (* One machine-grepable line to reproduce the round, then
+                   the per-domain flight-recorder tail: what each domain
+                   was doing (operation spans, protocol events, the fault
+                   window) when the property broke. *)
+                Printf.printf
+                  "NBQ-FAULT-REPRO v1-torture queue=%s point=%s action=%s \
+                   workers=%d ops=%d trigger=%d seed=%d\n"
+                  o.Torture.target
+                  (Fault.to_string o.Torture.point)
+                  (Injector.action_to_string o.Torture.action)
+                  workers ops trigger_after seed;
+                Nbq_trace.Export.dump tracer stdout
+              end;
+              if with_trace then begin
+                let path =
+                  Printf.sprintf "results/trace-torture-%s-%s-%s.json"
+                    o.Torture.target
+                    (Fault.to_string o.Torture.point)
+                    (Injector.action_to_string o.Torture.action)
+                in
+                Nbq_trace.Export.write_chrome
+                  ~process_name:("torture:" ^ o.Torture.target)
+                  ~path tracer;
+                match Nbq_trace.Export.validate_chrome_file path with
+                | Ok _ -> Printf.eprintf "# trace written to %s\n%!" path
+                | Error e ->
+                    Printf.eprintf "trace validation failed: %s\n%!" e;
+                    exit 1
+              end;
               Nbq_harness.Table.add_row table
                 [
                   o.Torture.target;
@@ -132,9 +169,11 @@ let run_queue_matrix queue_filter seconds seed workers ops with_crash csv =
   if !failures > 0 then exit 1
 
 let run_matrix queue_filter seconds seed workers ops with_crash csv wait
-    wait_iters =
+    wait_iters with_trace =
   if wait then run_wait_matrix wait_iters csv
-  else run_queue_matrix queue_filter seconds seed workers ops with_crash csv
+  else
+    run_queue_matrix queue_filter seconds seed workers ops with_crash csv
+      with_trace
 
 let queue_term =
   let doc = "Queue to torture, or $(b,all) for the whole registry." in
@@ -185,6 +224,15 @@ let wait_iters_term =
   let doc = "Rounds per cell of the $(b,--wait) matrix." in
   Arg.(value & opt int 300 & info [ "wait-iters" ] ~docv:"N" ~doc)
 
+let trace_term =
+  let doc =
+    "Also write each round's flight-recorder contents as Chrome \
+     trace-event JSON under results/trace-torture-*.json (Perfetto \
+     loadable; one track per domain).  Failing rounds always dump their \
+     per-domain record tail to stdout regardless of this flag."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
 let cmd =
   let doc =
     "Stall/crash torture across all registry queues: freeze one domain \
@@ -194,6 +242,7 @@ let cmd =
   Cmd.v (Cmd.info "torture" ~doc)
     Term.(
       const run_matrix $ queue_term $ seconds_term $ seed_term $ workers_term
-      $ ops_term $ crash_term $ csv_term $ wait_term $ wait_iters_term)
+      $ ops_term $ crash_term $ csv_term $ wait_term $ wait_iters_term
+      $ trace_term)
 
 let () = exit (Cmd.eval cmd)

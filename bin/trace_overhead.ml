@@ -1,0 +1,68 @@
+(* Measures what an armed flight recorder costs: the same paper workload
+   on the same queue, once through the plain registry path and once with
+   the tracer attached and armed (sampled operation spans, default 1/64,
+   plus in-algorithm events inside sampled spans).  The acceptance bar is
+   traced/untraced <= 1.10.
+
+   Same interleaved-block / min-run / median-ratio discipline as
+   obs_overhead: a single block where the oversubscribed scheduler parks
+   one variant unluckily cannot drive the verdict. *)
+
+open Cmdliner
+open Nbq_harness
+
+let run queue threads runs scale sample blocks =
+  let workload = Fig_common.workload_of_scale scale in
+  let impl = Registry.find queue in
+  let cfg = { Runner.threads; runs; workload; capacity = None } in
+  let ratios =
+    List.init blocks (fun _ ->
+        let plain = (Runner.measure impl cfg).Runner.summary.Stats.min in
+        let tracer = Nbq_trace.Recorder.create ~sample () in
+        Nbq_trace.Recorder.arm tracer;
+        let traced =
+          (Runner.measure ~tracer impl cfg).Runner.summary.Stats.min
+        in
+        Nbq_trace.Recorder.disarm tracer;
+        traced /. plain)
+  in
+  let ratio = (Stats.summarize ratios).Stats.median in
+  Printf.printf
+    "trace overhead: %s @ %d threads, %d runs x %d blocks, %d \
+     iterations/thread, 1/%d span sampling\n"
+    queue threads runs blocks workload.Workload.iterations (max 1 sample);
+  Printf.printf "  block ratios: %s\n"
+    (String.concat " " (List.map (fun r -> Printf.sprintf "%.3f" r) ratios));
+  Printf.printf "  median ratio: %.3fx (%+.1f%%)  [target <= 1.10x]  %s\n" ratio
+    ((ratio -. 1.0) *. 100.0)
+    (if ratio <= 1.10 then "PASS" else "WARN");
+  if ratio > 1.10 then exit 1
+
+let queue_term =
+  let doc = "Queue to measure." in
+  Arg.(value & opt string "evequoz-cas" & info [ "queue"; "q" ] ~docv:"NAME" ~doc)
+
+let threads_term =
+  let doc = "Domains." in
+  Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"N" ~doc)
+
+let sample_term =
+  let doc = "Span sampling period (1 = trace every operation)." in
+  Arg.(value & opt int 64 & info [ "sample" ] ~docv:"N" ~doc)
+
+let blocks_term =
+  let doc =
+    "Interleaved plain/traced measurement blocks; the verdict is the \
+     median block ratio, so more blocks buy robustness against scheduler \
+     noise on oversubscribed boxes."
+  in
+  Arg.(value & opt int 6 & info [ "blocks" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "Measure the throughput cost of an armed flight recorder" in
+  Cmd.v (Cmd.info "trace_overhead" ~doc)
+    Term.(
+      const run $ queue_term $ threads_term $ Fig_common.runs_term
+      $ Fig_common.scale_term $ sample_term $ blocks_term)
+
+let () = exit (Cmd.eval cmd)

@@ -10,8 +10,24 @@ type built = {
 type target = {
   name : string;
   deep_points : Fault.point list;
-  build : Injector.t -> capacity:int -> built;
+  build : ?tracer:Nbq_trace.Recorder.t -> Injector.t -> capacity:int -> built;
 }
+
+(* With a tracer, the flight recorder rides the same seams the injector
+   uses: its fault hook is composed LEFT of the injector (the "entered the
+   window" record must land before the stall/crash fires) and its probe
+   replaces [Probe.Noop] inside the algorithm, so a post-mortem dump shows
+   the protocol steps leading into the armed window. *)
+let hook ?tracer inj =
+  let h = Injector.hook inj in
+  match tracer with
+  | None -> h
+  | Some tr -> Fault.compose (Nbq_trace.Recorder.fault_hook tr) h
+
+let probe ?tracer () =
+  match tracer with
+  | None -> (module Nbq_primitives.Probe.Noop : Nbq_primitives.Probe.S)
+  | Some tr -> Nbq_trace.Recorder.probe tr
 
 let name t = t.name
 
@@ -20,12 +36,11 @@ let name t = t.name
    lock-based) queues. *)
 let points t = t.deep_points @ [ Fault.Op_gap ]
 
-let build_cas inj ~capacity =
-  let module F = (val Injector.hook inj) in
+let build_cas ?tracer inj ~capacity =
+  let module F = (val hook ?tracer inj) in
+  let module P = (val probe ?tracer ()) in
   let module Q =
-    Nbq_core.Evequoz_cas.Make_injected
-      (Nbq_primitives.Atomic_intf.Real)
-      (Nbq_primitives.Probe.Noop)
+    Nbq_core.Evequoz_cas.Make_injected (Nbq_primitives.Atomic_intf.Real) (P)
       (F)
   in
   let q = Q.create ~capacity in
@@ -49,17 +64,14 @@ let build_cas inj ~capacity =
     audit = (fun () -> Some (Q.audit q));
   }
 
-let build_llsc inj ~capacity =
-  let module F = (val Injector.hook inj) in
+let build_llsc ?tracer inj ~capacity =
+  let module F = (val hook ?tracer inj) in
+  let module P = (val probe ?tracer ()) in
   let module Cell =
-    Nbq_primitives.Llsc.Make_injected
-      (Nbq_primitives.Atomic_intf.Real)
-      (Nbq_primitives.Probe.Noop)
+    Nbq_primitives.Llsc.Make_injected (Nbq_primitives.Atomic_intf.Real) (P)
       (F)
   in
-  let module Q =
-    Nbq_core.Evequoz_llsc.Make_injected (Cell) (Nbq_primitives.Probe.Noop) (F)
-  in
+  let module Q = Nbq_core.Evequoz_llsc.Make_injected (Cell) (P) (F) in
   let q = Q.create ~capacity in
   {
     enqueue = (fun v -> Q.try_enqueue q v);
@@ -95,12 +107,11 @@ let evequoz_llsc =
    plus [Shard_steal] — the instant between a home-shard failure and the
    first foreign probe, where the victim holds no reservation on any ring
    and the steal-path progress claim is on trial. *)
-let build_sharded_cas ~shards inj ~capacity =
-  let module F = (val Injector.hook inj) in
+let build_sharded_cas ~shards ?tracer inj ~capacity =
+  let module F = (val hook ?tracer inj) in
+  let module P = (val probe ?tracer ()) in
   let module Q =
-    Nbq_core.Evequoz_cas.Make_injected
-      (Nbq_primitives.Atomic_intf.Real)
-      (Nbq_primitives.Probe.Noop)
+    Nbq_core.Evequoz_cas.Make_injected (Nbq_primitives.Atomic_intf.Real) (P)
       (F)
   in
   let per = max 1 ((capacity + shards - 1) / shards) in
@@ -177,8 +188,13 @@ let generic_of_impl (impl : Registry.impl) =
     name = impl.Registry.name;
     deep_points = [];
     build =
-      (fun _inj ~capacity ->
-        let inst = impl.Registry.create ~capacity in
+      (fun ?tracer _inj ~capacity ->
+        let inst =
+          match tracer with
+          | None -> impl.Registry.create ~capacity
+          | Some tracer ->
+            impl.Registry.create_traced ~metrics:None ~tracer ~capacity
+        in
         {
           enqueue = (fun v -> inst.Registry.enqueue { Registry.tag = v });
           dequeue =
@@ -226,14 +242,15 @@ type worker = {
 let now () = Unix.gettimeofday ()
 
 let run ?(workers = 4) ?(target_ops = 10_000) ?(capacity = 64)
-    ?(trigger_after = 50) ?(timeout = 30.) t ~point ~action =
+    ?(trigger_after = 50) ?(timeout = 30.) ?tracer t ~point ~action =
   if workers < 2 then invalid_arg "Torture.run: workers < 2";
   if not (List.mem point (points t)) then
     invalid_arg
       (Printf.sprintf "Torture.run: %s has no %s point" t.name
          (Fault.to_string point));
   let inj = Injector.create () in
-  let b = t.build inj ~capacity in
+  let b = t.build ?tracer inj ~capacity in
+  Option.iter Nbq_trace.Recorder.arm tracer;
   let stop = Atomic.make false in
   let ws =
     Array.init workers (fun _ ->
@@ -252,8 +269,14 @@ let run ?(workers = 4) ?(target_ops = 10_000) ?(capacity = 64)
     try
       while not (Atomic.get stop) do
         (* Op_gap is harness-level: fired here, between operations, rather
-           than inside the queue's protocol. *)
-        if point = Fault.Op_gap then Injector.hit inj Fault.Op_gap;
+           than inside the queue's protocol.  Record it before hitting the
+           injector — same order the composed deep hooks guarantee. *)
+        if point = Fault.Op_gap then begin
+          Option.iter
+            (fun tr -> Nbq_trace.Recorder.fault tr Fault.Op_gap)
+            tracer;
+          Injector.hit inj Fault.Op_gap
+        end;
         v := !v + workers;
         if b.enqueue !v then Atomic.incr w.enq;
         Atomic.incr w.ops;

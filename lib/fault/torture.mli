@@ -88,6 +88,7 @@ val run :
   ?capacity:int ->
   ?trigger_after:int ->
   ?timeout:float ->
+  ?tracer:Nbq_trace.Recorder.t ->
   target ->
   point:Nbq_primitives.Fault.point ->
   action:Injector.action ->
@@ -101,4 +102,10 @@ val run :
     [timeout] (default 30s) bounds the whole round; a round that times out
     reports [triggered = false] or a small [min_survivor_ops] rather than
     hanging.  Raises [Invalid_argument] if [point] is not one of
-    [points t] or [workers < 2]. *)
+    [points t] or [workers < 2].
+
+    With [?tracer] (use a full-mode recorder, [~sample:1]) the instance is
+    built with the recorder's hooks composed into the same seams as the
+    injector — fault-window records land {e before} the stall/crash fires —
+    and the recorder is armed before workers spawn, so a failing round can
+    be explained by [Nbq_trace.Export.dump] next to its repro line. *)

@@ -1,0 +1,176 @@
+(* The machine-readable bench trajectory: results/bench_summary.json.
+
+   One file, one schema, every bench binary appends its rows (keyed by
+   bench x queue x variant x domains, newest run wins), so successive
+   working-tree states leave a comparable record — bin/bench_compare diffs
+   two such files and flags throughput regressions. *)
+
+module Sink = Nbq_obs.Sink
+module Histogram = Nbq_obs.Histogram
+
+let schema = "nbq-bench-summary"
+let version = 1
+let default_path = "results/bench_summary.json"
+
+type row = {
+  bench : string;  (* emitting binary: "fig6", "contend", "shard_sweep" *)
+  queue : string;
+  variant : string;  (* bench-specific sub-configuration; "" when none *)
+  domains : int;
+  runs : int;
+  items : int;  (* items moved, summed over runs and domains *)
+  mitems_per_s : float;
+  p50_ns : float;  (* sampled op latency; nan = not measured *)
+  p99_ns : float;
+  p999_ns : float;
+}
+
+let key r = (r.bench, r.queue, r.variant, r.domains)
+
+let row_of_measurement ~bench ?(variant = "") (m : Runner.measurement) =
+  let total_s = List.fold_left ( +. ) 0.0 m.Runner.per_run_seconds in
+  let p50, p99, p999 =
+    match m.Runner.metrics with
+    | None -> (nan, nan, nan)
+    | Some s ->
+      let h = Histogram.merge s.Nbq_obs.Metrics.enq s.Nbq_obs.Metrics.deq in
+      ( Histogram.percentile_ns h 0.5,
+        Histogram.percentile_ns h 0.99,
+        Histogram.percentile_ns h 0.999 )
+  in
+  {
+    bench;
+    queue = m.Runner.impl_name;
+    variant;
+    domains = m.Runner.threads_used;
+    runs = List.length m.Runner.per_run_seconds;
+    items = m.Runner.items;
+    mitems_per_s =
+      (if total_s > 0.0 then float_of_int m.Runner.items /. total_s /. 1e6
+       else nan);
+    p50_ns = p50;
+    p99_ns = p99;
+    p999_ns = p999;
+  }
+
+(* --- JSON round-trip ----------------------------------------------------- *)
+
+let row_json r =
+  Sink.Obj
+    [
+      ("bench", Sink.String r.bench);
+      ("queue", Sink.String r.queue);
+      ("variant", Sink.String r.variant);
+      ("domains", Sink.Int r.domains);
+      ("runs", Sink.Int r.runs);
+      ("items", Sink.Int r.items);
+      ("mitems_per_s", Sink.Float r.mitems_per_s);
+      ("p50_ns", Sink.Float r.p50_ns);
+      ("p99_ns", Sink.Float r.p99_ns);
+      ("p999_ns", Sink.Float r.p999_ns);
+    ]
+
+let to_json rows =
+  Sink.Obj
+    [
+      ("schema", Sink.String schema);
+      ("version", Sink.Int version);
+      ("rows", Sink.List (List.map row_json rows));
+    ]
+
+let str name j =
+  match Sink.member name j with
+  | Some (Sink.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+let int_field name j =
+  match Sink.member name j with
+  | Some (Sink.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "missing int field %S" name)
+
+(* Float fields come back as Null when the writer had nan (no latency
+   sampling on that row) — that is data, not an error. *)
+let fnum name j =
+  match Sink.member name j with
+  | Some (Sink.Float f) -> f
+  | Some (Sink.Int i) -> float_of_int i
+  | _ -> nan
+
+let ( let* ) = Result.bind
+
+let row_of_json j =
+  let* bench = str "bench" j in
+  let* queue = str "queue" j in
+  let* variant = str "variant" j in
+  let* domains = int_field "domains" j in
+  let* runs = int_field "runs" j in
+  let* items = int_field "items" j in
+  Ok
+    {
+      bench;
+      queue;
+      variant;
+      domains;
+      runs;
+      items;
+      mitems_per_s = fnum "mitems_per_s" j;
+      p50_ns = fnum "p50_ns" j;
+      p99_ns = fnum "p99_ns" j;
+      p999_ns = fnum "p999_ns" j;
+    }
+
+let of_json j =
+  let* s = str "schema" j in
+  if s <> schema then Error (Printf.sprintf "unexpected schema %S" s)
+  else
+    match Sink.member "rows" j with
+    | Some (Sink.List rows) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | r :: tl ->
+          let* row = row_of_json r in
+          go (row :: acc) tl
+      in
+      go [] rows
+    | _ -> Error "missing rows array"
+
+let read path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let* j = Sink.parse text in
+    Result.map_error (fun e -> path ^ ": " ^ e) (of_json j)
+
+(* Merge-write: rows already in [path] survive unless superseded by a new
+   row with the same key, so fig6, contend and shard_sweep can all feed
+   one trajectory file. *)
+let write ?(path = default_path) rows =
+  (* Within one batch, keep the last row per key (e.g. fig6's normalized
+     sub-figures re-measure the same cells). *)
+  let rows =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, seen) r ->
+              if List.mem (key r) seen then (acc, seen)
+              else (r :: acc, key r :: seen))
+            ([], []) (List.rev rows)))
+  in
+  let existing =
+    if Sys.file_exists path then
+      match read path with Ok rs -> rs | Error _ -> []
+    else []
+  in
+  let keys = List.map key rows in
+  let kept = List.filter (fun r -> not (List.mem (key r) keys)) existing in
+  let all = kept @ rows in
+  (match Filename.dirname path with
+  | "" | "." -> ()
+  | dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755);
+  let oc = open_out path in
+  output_string oc (Sink.json_to_string (to_json all));
+  output_char oc '\n';
+  close_out oc;
+  List.length all

@@ -21,6 +21,12 @@ let event_table ?(title = "events") (s : Metrics.snapshot) =
     Event.all;
   Table.render t
 
+(* The tail triple the summary file and the latency table both report. *)
+let percentiles (h : Histogram.snapshot) =
+  ( Histogram.percentile_ns h 0.5,
+    Histogram.percentile_ns h 0.99,
+    Histogram.percentile_ns h 0.999 )
+
 let latency_row label (h : Histogram.snapshot) =
   let p q =
     let v = Histogram.percentile_ns h q in

@@ -2,6 +2,9 @@
     table (with per-1000-LL-reservation rates), a latency percentile table,
     and an {!Ascii_plot} of the latency distribution on a log10 axis. *)
 
+val percentiles : Nbq_obs.Histogram.snapshot -> float * float * float
+(** (p50, p99, p999) in ns; nan components on an empty histogram. *)
+
 val event_table : ?title:string -> Nbq_obs.Metrics.snapshot -> string
 val latency_table : ?title:string -> Nbq_obs.Metrics.snapshot -> string
 val histogram_plot : ?title:string -> Nbq_obs.Metrics.snapshot -> string

@@ -31,6 +31,17 @@ type impl = {
           metrics hub; Evéquoz queues are rebuilt with probes inside the
           algorithm ({!Nbq_obs.Instrumented.deep}), everything else gets
           the shallow retry/latency wrapper. *)
+  create_traced :
+    metrics:Nbq_obs.Metrics.t option ->
+    tracer:Nbq_trace.Recorder.t ->
+    capacity:int ->
+    instance;
+      (** Like [create_probed] but additionally feeding the flight
+          recorder: sampled operation spans around every public op, and —
+          for the Evéquoz queues and the native sharded rows — the
+          recorder's probe composed with the metrics probe inside the
+          algorithm's functor seams, so one run produces counters and a
+          trace from the same hooks. *)
 }
 
 (* Deadline-based blocking (the [*_until] fields) rides on a pair of
@@ -93,6 +104,73 @@ let basic_instance ?probe ~enqueue ~dequeue ~length () =
     dequeue_until;
   }
 
+(* Facade-level tracing for instances with no CONC module to wrap (custom
+   impls, sharded facades): spans around the plain-operation closures.
+   The [*_until] closures stay unwrapped — their wait-layer events arrive
+   through the composed probe instead, and a parked span would dwarf the
+   operations around it. *)
+let traced_instance tr (inst : instance) =
+  let module R = Nbq_trace.Recorder in
+  let mask = R.sample_mask tr in
+  (* Same racy shared sampling ticks as the functor wrapper (lost updates
+     only perturb the rate), checked before anything else so a non-sampled
+     operation — the common case — pays one ref increment and a mask test;
+     even the armed read waits for the 1-in-[sample] branch. *)
+  let enq_tick = ref 0 and deq_tick = ref 0 in
+  let sampled tick =
+    let n = !tick + 1 in
+    tick := n;
+    n land mask = 0
+  in
+  {
+    inst with
+    enqueue =
+      (fun p ->
+        if not (sampled enq_tick) then inst.enqueue p
+        else
+          match R.span_open tr Nbq_trace.Record.Enq ~arg:0 with
+          | None -> inst.enqueue p
+          | Some ring ->
+              let ok = inst.enqueue p in
+              R.span_close tr ring Nbq_trace.Record.Enq ~arg:(Bool.to_int ok);
+              ok);
+    dequeue =
+      (fun () ->
+        if not (sampled deq_tick) then inst.dequeue ()
+        else
+          match R.span_open tr Nbq_trace.Record.Deq ~arg:0 with
+          | None -> inst.dequeue ()
+          | Some ring ->
+              let r = inst.dequeue () in
+              R.span_close tr ring Nbq_trace.Record.Deq
+                ~arg:(Bool.to_int (r <> None));
+              r);
+    enqueue_batch =
+      (fun items ->
+        if not (sampled enq_tick) then inst.enqueue_batch items
+        else
+          match
+            R.span_open tr Nbq_trace.Record.Enq_batch
+              ~arg:(Array.length items)
+          with
+          | None -> inst.enqueue_batch items
+          | Some ring ->
+              let n = inst.enqueue_batch items in
+              R.span_close tr ring Nbq_trace.Record.Enq_batch ~arg:n;
+              n);
+    dequeue_batch =
+      (fun k ->
+        if not (sampled deq_tick) then inst.dequeue_batch k
+        else
+          match R.span_open tr Nbq_trace.Record.Deq_batch ~arg:k with
+          | None -> inst.dequeue_batch k
+          | Some ring ->
+              let got = inst.dequeue_batch k in
+              R.span_close tr ring Nbq_trace.Record.Deq_batch
+                ~arg:(List.length got);
+              got);
+  }
+
 let instance_of ?probe (module Q : Queue_intf.CONC) ~capacity =
   let q = Q.create ~capacity in
   let enqueue p = Q.try_enqueue q p and dequeue () = Q.try_dequeue q in
@@ -122,6 +200,12 @@ let of_conc ~name ~family ?(bounded_delay_assumption = false)
           ~probe:(Nbq_obs.Metrics.probe metrics)
           (Nbq_obs.Instrumented.deep metrics ~name (module Q))
           ~capacity);
+    create_traced =
+      (fun ~metrics ~tracer ~capacity ->
+        instance_of
+          ~probe:(Nbq_trace.Instrument.probe ?metrics tracer)
+          (Nbq_trace.Instrument.deep ?metrics tracer ~name (module Q))
+          ~capacity);
   }
 
 let custom ~name ~family ?(bounded_delay_assumption = false) ?(bounded = false)
@@ -134,8 +218,12 @@ let custom ~name ~family ?(bounded_delay_assumption = false) ?(bounded = false)
     relaxed_fifo = false;
     create;
     (* No CONC module to wrap: probed creation falls back to the plain
-       instance — callers still get workload-level retry counts. *)
+       instance — callers still get workload-level retry counts.  Tracing
+       wraps the bare closures, so custom impls still get op spans. *)
     create_probed = (fun ~metrics:_ -> create);
+    create_traced =
+      (fun ~metrics:_ ~tracer ~capacity ->
+        traced_instance tracer (create ~capacity));
   }
 
 module Cap = Queue_intf.Capability
@@ -202,6 +290,23 @@ let sharded_instance ?probe ~(q : payload Nbq_scale.Sharded.t) ~enqueue
         | `Timeout -> None);
   }
 
+(* Shared tail for the native sharded compositions below: build the
+   instance from any CONC whose queue type is the sharded facade's (the
+   equation lets [sharded_instance] reach the facade's waitable layer). *)
+module Sharded_tail
+    (S : Queue_intf.CONC with type 'a t = 'a Nbq_scale.Sharded.t) =
+struct
+  let make ?probe ~capacity () =
+    let q = S.create ~capacity in
+    sharded_instance ?probe ~q
+      ~enqueue:(fun p -> S.try_enqueue q p)
+      ~dequeue:(fun () -> S.try_dequeue q)
+      ~enqueue_batch:(fun items -> S.try_enqueue_batch q items)
+      ~dequeue_batch:(fun k -> S.try_dequeue_batch q k)
+      ~length:(fun () -> S.length q)
+      ()
+end
+
 let sharded_evequoz_cas ~shards =
   let name = "evequoz-cas-shard" ^ string_of_int shards in
   let module N = struct
@@ -246,14 +351,45 @@ let sharded_evequoz_cas ~shards =
       let metrics = metrics
     end in
     let module S = Nbq_obs.Instrumented.Make (M) (S0) in
-    let q = S.create ~capacity in
-    sharded_instance ~probe ~q
-      ~enqueue:(fun p -> S.try_enqueue q p)
-      ~dequeue:(fun () -> S.try_dequeue q)
-      ~enqueue_batch:(fun items -> S.try_enqueue_batch q items)
-      ~dequeue_batch:(fun k -> S.try_dequeue_batch q k)
-      ~length:(fun () -> S.length q)
-      ()
+    let module T = Sharded_tail (S) in
+    T.make ~probe ~capacity ()
+  in
+  (* Traced creation mirrors the probed composition with the recorder's
+     probe composed in (counters too, when a hub is given), then adds the
+     span wrapper over the whole facade. *)
+  let create_traced ~metrics ~tracer ~capacity =
+    let probe = Nbq_trace.Instrument.probe ?metrics tracer in
+    let module P = (val probe) in
+    let module Core =
+      Nbq_core.Evequoz_cas.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+    in
+    let module R = Nbq_core.Evequoz_cas.With_implicit_handles (Core) in
+    let module Ring =
+      Queue_intf.Make
+        (Queue_intf.Capability.Bounded_batch (struct
+          include R
+
+          let try_enqueue_batch = R.try_enqueue_batch_runs
+          let try_dequeue_batch = R.try_dequeue_batch_runs
+        end))
+    in
+    let module S0 = Nbq_scale.Sharded.Make_probed (N) (P) (Ring) in
+    let module T = struct
+      let tracer = tracer
+    end in
+    match metrics with
+    | Some m ->
+      let module M = struct
+        let metrics = m
+      end in
+      let module S1 = Nbq_obs.Instrumented.Make (M) (S0) in
+      let module S = Nbq_trace.Instrument.Wrap (T) (S1) in
+      let module Tail = Sharded_tail (S) in
+      Tail.make ~probe ~capacity ()
+    | None ->
+      let module S = Nbq_trace.Instrument.Wrap (T) (S0) in
+      let module Tail = Sharded_tail (S) in
+      Tail.make ~probe ~capacity ()
   in
   {
     name;
@@ -263,6 +399,7 @@ let sharded_evequoz_cas ~shards =
     relaxed_fifo = true;
     create;
     create_probed;
+    create_traced;
   }
 
 let sharded ~shards (base : impl) : impl =
@@ -294,6 +431,19 @@ let sharded ~shards (base : impl) : impl =
         wrap
           ~probe:(Nbq_obs.Metrics.probe metrics)
           (base.create_probed ~metrics));
+    (* Shard probed (not traced) inner instances and put the span wrapper
+       on the facade: one span per facade operation, not one per shard
+       probe, with wait events arriving through the composed probe. *)
+    create_traced =
+      (fun ~metrics ~tracer ~capacity ->
+        let inner =
+          match metrics with
+          | Some m -> base.create_probed ~metrics:m
+          | None -> base.create
+        in
+        traced_instance tracer
+          (wrap ~probe:(Nbq_trace.Instrument.probe ?metrics tracer) inner
+             ~capacity));
   }
 
 let concurrent =

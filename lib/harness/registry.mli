@@ -67,6 +67,17 @@ type impl = {
           Evéquoz queues are rebuilt with probes inside the algorithm
           ({!Nbq_obs.Instrumented.deep}); other queues get the shallow
           retry/latency wrapper; {!custom} impls fall back to [create]. *)
+  create_traced :
+    metrics:Nbq_obs.Metrics.t option ->
+    tracer:Nbq_trace.Recorder.t ->
+    capacity:int ->
+    instance;
+      (** Like [create_probed] but additionally feeding the flight
+          recorder ([Nbq_trace]): sampled operation spans around every
+          public operation, and — for the Evéquoz queues and the native
+          sharded rows — the recorder's probe composed with the metrics
+          probe inside the algorithm's functor seams.  Omitting [metrics]
+          trades the counter hub away for a pure trace. *)
 }
 
 val all : impl list

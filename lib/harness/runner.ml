@@ -23,16 +23,17 @@ let default_config ?(threads = 4) ?(runs = 5) workload =
 
 let available_domains () = Domain.recommended_domain_count ()
 
-let one_run ?metrics ?(batched = false) (impl : Registry.impl) cfg =
+let one_run ?metrics ?tracer ?(batched = false) (impl : Registry.impl) cfg =
   let capacity =
     match cfg.capacity with
     | Some c -> c
     | None -> Workload.min_capacity cfg.workload ~threads:cfg.threads
   in
   let q =
-    match metrics with
-    | Some m -> impl.Registry.create_probed ~metrics:m ~capacity
-    | None -> impl.Registry.create ~capacity
+    match (tracer, metrics) with
+    | Some tr, _ -> impl.Registry.create_traced ~metrics ~tracer:tr ~capacity
+    | None, Some m -> impl.Registry.create_probed ~metrics:m ~capacity
+    | None, None -> impl.Registry.create ~capacity
   in
   let run_thread =
     if batched then Workload.run_thread_batched else Workload.run_thread
@@ -46,12 +47,12 @@ let one_run ?metrics ?(batched = false) (impl : Registry.impl) cfg =
   in
   List.map Domain.join domains
 
-let measure ?metrics ?batched impl cfg =
+let measure ?metrics ?tracer ?batched impl cfg =
   if cfg.threads < 1 then invalid_arg "Runner.measure: threads < 1";
   let full = ref 0 and empty = ref 0 and items = ref 0 in
   let per_run =
     List.init cfg.runs (fun _ ->
-        let results = one_run ?metrics ?batched impl cfg in
+        let results = one_run ?metrics ?tracer ?batched impl cfg in
         List.iter
           (fun (r : Workload.thread_result) ->
             full := !full + r.full_retries;

@@ -30,6 +30,7 @@ val default_config : ?threads:int -> ?runs:int -> Workload.config -> run_config
 
 val measure :
   ?metrics:Nbq_obs.Metrics.t ->
+  ?tracer:Nbq_trace.Recorder.t ->
   ?batched:bool ->
   Registry.impl ->
   run_config ->
@@ -43,6 +44,11 @@ val measure :
     sampled latencies land in the hub; [full_retries]/[empty_retries] are
     then read from the snapshot (the workload's spin counters observe the
     same failed operations, so the two agree).
+
+    With [?tracer] the queue is built via [create_traced] instead (the
+    hub, if also given, rides along through the composed probe); the
+    caller arms/disarms the recorder and exports — the runner only wires
+    the hooks.
 
     With [~batched:true] workers run {!Workload.run_thread_batched} —
     the same item ledger through the batch entry points. *)

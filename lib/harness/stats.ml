@@ -7,6 +7,7 @@ type summary = {
   median : float;
   p95 : float;
   p99 : float;
+  p999 : float;
 }
 
 let mean xs =
@@ -48,6 +49,7 @@ let summarize xs =
         median;
         p95 = percentile_sorted sorted 0.95;
         p99 = percentile_sorted sorted 0.99;
+        p999 = percentile_sorted sorted 0.999;
       }
 
 let normalize ~base x =
@@ -55,5 +57,6 @@ let normalize ~base x =
 
 let pp_summary fmt s =
   Format.fprintf fmt
-    "mean=%.6f sd=%.6f min=%.6f med=%.6f p95=%.6f p99=%.6f max=%.6f (n=%d)"
-    s.mean s.stddev s.min s.median s.p95 s.p99 s.max s.n
+    "mean=%.6f sd=%.6f min=%.6f med=%.6f p95=%.6f p99=%.6f p999=%.6f \
+     max=%.6f (n=%d)"
+    s.mean s.stddev s.min s.median s.p95 s.p99 s.p999 s.max s.n

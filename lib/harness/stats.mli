@@ -14,6 +14,7 @@ type summary = {
   median : float;
   p95 : float;  (** nearest-rank 95th percentile *)
   p99 : float;  (** nearest-rank 99th percentile *)
+  p999 : float;  (** nearest-rank 99.9th percentile (= [max] for n < ~1000) *)
 }
 
 val summarize : float list -> summary

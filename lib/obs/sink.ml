@@ -62,6 +62,186 @@ let json_to_string j =
   add_json buf j;
   Buffer.contents buf
 
+(* --- JSON parser --------------------------------------------------------- *)
+
+(* Recursive-descent reader for the same value type, so bench_compare and
+   the trace validator can round-trip what this module writes without a
+   JSON dependency.  Accepts standard JSON; integers without '.'/exponent
+   parse as [Int], everything else numeric as [Float]. *)
+let parse (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "%s at byte %d" msg !pos) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then incr pos
+    else fail (Printf.sprintf "expected '%c', found '%c'" c (peek ()))
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let add_utf8 buf code =
+    (* Enough for \uXXXX escapes (BMP); surrogate pairs are not paired —
+       the writer never emits them. *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+  in
+  let pstring () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        (if !pos >= n then fail "unterminated escape";
+         match s.[!pos] with
+         | '"' -> Buffer.add_char buf '"'; incr pos
+         | '\\' -> Buffer.add_char buf '\\'; incr pos
+         | '/' -> Buffer.add_char buf '/'; incr pos
+         | 'n' -> Buffer.add_char buf '\n'; incr pos
+         | 'r' -> Buffer.add_char buf '\r'; incr pos
+         | 't' -> Buffer.add_char buf '\t'; incr pos
+         | 'b' -> Buffer.add_char buf '\b'; incr pos
+         | 'f' -> Buffer.add_char buf '\012'; incr pos
+         | 'u' ->
+           if !pos + 4 >= n then fail "truncated \\u escape";
+           let hex = String.sub s (!pos + 1) 4 in
+           (match int_of_string_opt ("0x" ^ hex) with
+           | Some code ->
+             add_utf8 buf code;
+             pos := !pos + 5
+           | None -> fail "bad \\u escape")
+         | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_float = ref false in
+    let rec go () =
+      match peek () with
+      | '0' .. '9' | '-' | '+' ->
+        incr pos;
+        go ()
+      | '.' | 'e' | 'E' ->
+        is_float := true;
+        incr pos;
+        go ()
+      | _ -> ()
+    in
+    go ();
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number")
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> String (pstring ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' -> number ()
+    | c -> fail (Printf.sprintf "unexpected '%c'" c)
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then begin
+      incr pos;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws ();
+        let k = pstring () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+          incr pos;
+          fields ((k, v) :: acc)
+        | '}' ->
+          incr pos;
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      fields []
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then begin
+      incr pos;
+      List []
+    end
+    else begin
+      let rec elts acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+          incr pos;
+          elts (v :: acc)
+        | ']' ->
+          incr pos;
+          List (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      elts []
+    end
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Failure msg -> Error msg
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
 let pct s q =
   let v = Histogram.percentile_ns s q in
   if Float.is_nan v then Null else Float v

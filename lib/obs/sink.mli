@@ -13,6 +13,14 @@ type json =
 
 val json_to_string : json -> string
 
+val parse : string -> (json, string) result
+(** Inverse of {!json_to_string} for standard JSON text: integers without
+    a fraction/exponent parse as [Int], other numerics as [Float].  The
+    error carries a byte offset. *)
+
+val member : string -> json -> json option
+(** Field lookup on an [Obj]; [None] on missing field or non-object. *)
+
 val histogram_json : Histogram.snapshot -> json
 (** [{total, mean_ns, p50_ns, p95_ns, p99_ns, p999_ns, buckets: [[lower_ns,
     count], ...]}]; percentiles are [null] when the histogram is empty. *)

@@ -40,3 +40,14 @@ end
 module Noop : S = struct
   let hit _ = ()
 end
+
+(* [compose a b] runs [a]'s hook first, then [b]'s.  Order matters when
+   [b] stalls or raises: a flight recorder composed on the left has
+   already written its "entered the window" record by the time the
+   injector freezes or kills the thread inside it. *)
+let compose (module A : S) (module B : S) : (module S) =
+  (module struct
+    let hit p =
+      A.hit p;
+      B.hit p
+  end)

@@ -85,3 +85,9 @@ end
 (** No faults: every [hit] is a no-op the compiler can erase.  All
     production instantiations use this. *)
 module Noop : S
+
+val compose : (module S) -> (module S) -> (module S)
+(** [compose a b] calls [a.hit p] then [b.hit p].  Put the hook that must
+    observe the window {e before} the fault fires (the flight recorder) on
+    the left and the one that stalls/crashes (the injector) on the
+    right. *)

@@ -21,6 +21,25 @@ module type S = sig
       condition satisfied between publish and park). *)
 end
 
+(* Fan one hook call out to two probe modules (metrics + trace, in that
+   order).  Kept here rather than in a consumer library so any layer that
+   owns a probe seam can compose without new dependencies. *)
+let compose (module A : S) (module B : S) : (module S) =
+  (module struct
+    let ll_reserve () = A.ll_reserve (); B.ll_reserve ()
+    let sc_fail () = A.sc_fail (); B.sc_fail ()
+    let tail_help () = A.tail_help (); B.tail_help ()
+    let head_help () = A.head_help (); B.head_help ()
+    let tag_register () = A.tag_register (); B.tag_register ()
+    let tag_reregister () = A.tag_reregister (); B.tag_reregister ()
+    let tag_deregister () = A.tag_deregister (); B.tag_deregister ()
+    let tag_recycle () = A.tag_recycle (); B.tag_recycle ()
+    let shard_steal () = A.shard_steal (); B.shard_steal ()
+    let wait_park () = A.wait_park (); B.wait_park ()
+    let wait_wake () = A.wait_wake (); B.wait_wake ()
+    let wait_cancel () = A.wait_cancel (); B.wait_cancel ()
+  end)
+
 module Noop : S = struct
   let ll_reserve () = ()
   let sc_fail () = ()

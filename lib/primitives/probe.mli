@@ -50,5 +50,9 @@ module type S = sig
   val wait_cancel : unit -> unit
 end
 
+val compose : (module S) -> (module S) -> (module S)
+(** [compose a b] calls [a]'s hook then [b]'s on every event — e.g. the
+    metrics probe and the flight-recorder probe on one queue. *)
+
 module Noop : S
 (** Every hook does nothing; the default instantiation. *)

@@ -1,0 +1,211 @@
+(* Turning flight-recorder rings into things a human can open.
+
+   Three surfaces:
+   - Chrome trace-event JSON (Perfetto / chrome://tracing loadable): one
+     track per domain (tid = domain id, pid = 0), sampled operation spans
+     as "X" complete events, probe/fault records as "i" instants.
+   - A merged text timeline, for terminals and test assertions.
+   - [dump]: the per-domain last-N listing printed next to a torture
+     failure's NBQ-FAULT-REPRO line. *)
+
+module Sink = Nbq_obs.Sink
+
+type entry = { dom : int; r : Ring.record }
+
+let entries ?last t =
+  Recorder.rings t
+  |> List.concat_map (fun ring ->
+         Ring.snapshot ?last ring
+         |> Array.to_list
+         |> List.map (fun r -> { dom = Ring.dom ring; r }))
+
+(* --- Chrome trace-event JSON --------------------------------------------- *)
+
+let us_of_ns ns = float_of_int ns /. 1000.
+
+let base_fields ~name ~cat ~ph ~ts ~dom =
+  [
+    ("name", Sink.String name);
+    ("cat", Sink.String cat);
+    ("ph", Sink.String ph);
+    ("ts", Sink.Float (us_of_ns ts));
+    ("pid", Sink.Int 0);
+    ("tid", Sink.Int dom);
+  ]
+
+let instant ~name ~cat ~ts ~dom ~span =
+  Sink.Obj
+    (base_fields ~name ~cat ~ph:"i" ~ts ~dom
+    @ [ ("s", Sink.String "t"); ("args", Sink.Obj [ ("span", Sink.Int span) ]) ]
+    )
+
+let complete ~name ~ts ~dur ~dom ~span ~arg ~result =
+  Sink.Obj
+    (base_fields ~name ~cat:"op" ~ph:"X" ~ts ~dom
+    @ [
+        ("dur", Sink.Float (us_of_ns (max 0 dur)));
+        ( "args",
+          Sink.Obj
+            [
+              ("span", Sink.Int span);
+              ("arg", Sink.Int arg);
+              ("result", Sink.Int result);
+            ] );
+      ])
+
+let thread_meta ~dom =
+  Sink.Obj
+    [
+      ("name", Sink.String "thread_name");
+      ("ph", Sink.String "M");
+      ("pid", Sink.Int 0);
+      ("tid", Sink.Int dom);
+      ("args", Sink.Obj [ ("name", Sink.String (Printf.sprintf "domain %d" dom)) ]);
+    ]
+
+(* One ring's records, span begins paired with their ends by span id into
+   "X" complete events.  An unpaired begin (ring wrapped, or the run
+   stopped mid-operation) degrades to an instant, never a parse error. *)
+let ring_events ring =
+  let dom = Ring.dom ring in
+  let open_spans : (int, int * Record.op * int) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  Array.iter
+    (fun ({ Ring.tag; ts; span; arg } : Ring.record) ->
+      match Record.kind_of_tag tag with
+      | None -> () (* torn oldest slot of a live writer: drop *)
+      | Some (Record.Span_begin op) -> Hashtbl.replace open_spans span (ts, op, arg)
+      | Some (Record.Span_end op) -> (
+        match Hashtbl.find_opt open_spans span with
+        | Some (ts0, op0, arg0) when op0 = op ->
+          Hashtbl.remove open_spans span;
+          emit
+            (complete ~name:(Record.op_name op) ~ts:ts0 ~dur:(ts - ts0) ~dom
+               ~span ~arg:arg0 ~result:arg)
+        | _ ->
+          emit
+            (instant
+               ~name:(Record.kind_name (Record.Span_end op))
+               ~cat:"op" ~ts ~dom ~span))
+      | Some kind ->
+        emit
+          (instant ~name:(Record.kind_name kind) ~cat:(Record.category kind)
+             ~ts ~dom ~span))
+    (Ring.snapshot ring);
+  (* Begins whose end fell outside the ring render as zero-length marks. *)
+  Hashtbl.iter
+    (fun span (ts, op, _arg) ->
+      emit
+        (instant
+           ~name:(Record.kind_name (Record.Span_begin op))
+           ~cat:"op" ~ts ~dom ~span))
+    open_spans;
+  List.rev !out
+
+let chrome_json ?(process_name = "nbq") t =
+  let rings = Recorder.rings t in
+  let process_meta =
+    Sink.Obj
+      [
+        ("name", Sink.String "process_name");
+        ("ph", Sink.String "M");
+        ("pid", Sink.Int 0);
+        ("args", Sink.Obj [ ("name", Sink.String process_name) ]);
+      ]
+  in
+  let metas = List.map (fun ring -> thread_meta ~dom:(Ring.dom ring)) rings in
+  let events = List.concat_map ring_events rings in
+  Sink.Obj
+    [
+      ("displayTimeUnit", Sink.String "ns");
+      ("traceEvents", Sink.List ((process_meta :: metas) @ events));
+    ]
+
+let write_chrome ?process_name ~path t =
+  (match Filename.dirname path with
+  | "" | "." -> ()
+  | dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755);
+  let oc = open_out path in
+  output_string oc (Sink.json_to_string (chrome_json ?process_name t));
+  output_char oc '\n';
+  close_out oc
+
+(* --- Validation (check.sh smoke, tests) ---------------------------------- *)
+
+type chrome_stats = { tracks : int; spans : int; instants : int }
+
+let field_string name j =
+  match Sink.member name j with Some (Sink.String s) -> Some s | _ -> None
+
+let validate_chrome_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Sink.parse text with
+  | Error e -> Error (Printf.sprintf "%s: JSON parse failed: %s" path e)
+  | Ok j -> (
+    match (Sink.member "displayTimeUnit" j, Sink.member "traceEvents" j) with
+    | Some (Sink.String "ns"), Some (Sink.List evs) ->
+      let tracks = Hashtbl.create 8 in
+      let spans = ref 0 and instants = ref 0 in
+      let bad = ref None in
+      List.iteri
+        (fun i ev ->
+          match field_string "ph" ev with
+          | Some "M" ->
+            if field_string "name" ev = Some "thread_name" then
+              (match Sink.member "tid" ev with
+              | Some (Sink.Int tid) -> Hashtbl.replace tracks tid ()
+              | _ -> if !bad = None then bad := Some (i, "M without int tid"))
+          | Some "X" ->
+            incr spans;
+            if Sink.member "dur" ev = None && !bad = None then
+              bad := Some (i, "X without dur")
+          | Some "i" -> incr instants
+          | Some ph ->
+            if !bad = None then bad := Some (i, "unknown ph " ^ ph)
+          | None -> if !bad = None then bad := Some (i, "event without ph"))
+        evs;
+      (match !bad with
+      | Some (i, why) -> Error (Printf.sprintf "%s: event %d: %s" path i why)
+      | None ->
+        Ok { tracks = Hashtbl.length tracks; spans = !spans; instants = !instants })
+    | _ -> Error (path ^ ": missing displayTimeUnit/traceEvents"))
+
+(* --- Text surfaces ------------------------------------------------------- *)
+
+let pp_record buf dom ({ Ring.tag; ts; span; arg } : Ring.record) =
+  let name =
+    match Record.kind_of_tag tag with
+    | Some k -> Record.kind_name k
+    | None -> Printf.sprintf "?tag=%#x" tag
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%12d ns  dom %-3d span %-6d %-22s arg=%d\n" ts dom span
+       name arg)
+
+let timeline ?last t =
+  let es = entries ?last t in
+  let es = List.sort (fun a b -> compare a.r.Ring.ts b.r.Ring.ts) es in
+  let buf = Buffer.create 1024 in
+  List.iter (fun { dom; r } -> pp_record buf dom r) es;
+  Buffer.contents buf
+
+(* The post-mortem surface: last [last] records of each domain's ring,
+   grouped per domain, oldest first — printed by torture next to the
+   NBQ-FAULT-REPRO line so a failure report carries the schedule that
+   produced it. *)
+let dump ?(last = 64) t oc =
+  List.iter
+    (fun ring ->
+      let recs = Ring.snapshot ~last ring in
+      Printf.fprintf oc
+        "--- trace: domain %d (last %d of %d records) ---\n" (Ring.dom ring)
+        (Array.length recs) (Ring.written ring);
+      let buf = Buffer.create 256 in
+      Array.iter (pp_record buf (Ring.dom ring)) recs;
+      output_string oc (Buffer.contents buf))
+    (Recorder.rings t);
+  flush oc

@@ -1,0 +1,29 @@
+(** Exporters over a {!Recorder}: Chrome trace-event JSON (Perfetto /
+    chrome://tracing loadable), a merged text timeline, and the per-domain
+    post-mortem dump printed on torture failures. *)
+
+val chrome_json : ?process_name:string -> Recorder.t -> Nbq_obs.Sink.json
+(** [{displayTimeUnit: "ns", traceEvents: [...]}] with one track per
+    domain (tid = domain id, pid = 0): thread_name metadata per track,
+    sampled operation spans as "X" complete events (begin/end paired by
+    span id; unpaired records degrade to instants), probe and fault
+    records as "i" instants. *)
+
+val write_chrome : ?process_name:string -> path:string -> Recorder.t -> unit
+(** {!chrome_json} serialized to [path] (parent dir created, one level). *)
+
+type chrome_stats = { tracks : int; spans : int; instants : int }
+
+val validate_chrome_file : string -> (chrome_stats, string) result
+(** Parse a written trace back and check the Chrome trace-event shape:
+    top-level keys, every event carries a known [ph], "X" events carry
+    [dur], thread metadata carries an int [tid].  Used by the check.sh
+    smoke gate and tests. *)
+
+val timeline : ?last:int -> Recorder.t -> string
+(** All domains' records merged and sorted by timestamp, one line each. *)
+
+val dump : ?last:int -> Recorder.t -> out_channel -> unit
+(** Last [last] (default 64) records of each domain's ring, grouped per
+    domain, oldest first — the flight-recorder dump torture prints next to
+    its NBQ-FAULT-REPRO line. *)

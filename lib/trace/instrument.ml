@@ -1,0 +1,150 @@
+(* Attaching the recorder to a queue.
+
+   [Wrap] is the shallow layer: operation spans around the public queue
+   interface (sampled inside the recorder).  [deep] rebuilds the evequoz
+   queues with the recorder's probe threaded through their functor seams —
+   composed LEFT-of-nothing with a metrics probe when one is given, so a
+   single run can feed both the counter hub and the flight recorder from
+   the same hooks. *)
+
+module Queue_intf = Nbq_core.Queue_intf
+module Metrics = Nbq_obs.Metrics
+module Probe = Nbq_primitives.Probe
+
+module type TRACER = sig
+  val tracer : Recorder.t
+end
+
+module Wrap (T : TRACER) (Q : Queue_intf.CONC) :
+  Queue_intf.CONC with type 'a t = 'a Q.t = struct
+  type 'a t = 'a Q.t
+
+  let name = Q.name
+  let bounded = Q.bounded
+  let create = Q.create
+  let tr = T.tracer
+  let mask = Recorder.sample_mask tr
+
+  (* Sampling ticks are plain refs shared across domains, exactly like
+     the metrics layer's: lost updates merely perturb the sampling rate.
+     The tick is checked BEFORE the armed flag, so the common path — any
+     non-sampled operation, armed or not — is one ref increment and a
+     mask test; the atomic armed read, DLS lookup, clock reads and ring
+     stores all hide behind the 1-in-[sample] branch. *)
+  let enq_tick = ref 0
+  let deq_tick = ref 0
+
+  let try_enqueue t x =
+    let n = !enq_tick + 1 in
+    enq_tick := n;
+    if n land mask <> 0 then Q.try_enqueue t x
+    else
+      match Recorder.span_open tr Record.Enq ~arg:0 with
+      | None -> Q.try_enqueue t x
+      | Some r ->
+        let ok = Q.try_enqueue t x in
+        Recorder.span_close tr r Record.Enq ~arg:(Bool.to_int ok);
+        ok
+
+  let try_dequeue t =
+    let n = !deq_tick + 1 in
+    deq_tick := n;
+    if n land mask <> 0 then Q.try_dequeue t
+    else
+      match Recorder.span_open tr Record.Deq ~arg:0 with
+      | None -> Q.try_dequeue t
+      | Some r ->
+        let x = Q.try_dequeue t in
+        Recorder.span_close tr r Record.Deq ~arg:(Bool.to_int (x <> None));
+        x
+
+  (* Batch spans carry the attempted size in [arg] and items moved in the
+     end record's result word. *)
+  let try_enqueue_batch t items =
+    let n = !enq_tick + 1 in
+    enq_tick := n;
+    if n land mask <> 0 then Q.try_enqueue_batch t items
+    else
+      match
+        Recorder.span_open tr Record.Enq_batch ~arg:(Array.length items)
+      with
+      | None -> Q.try_enqueue_batch t items
+      | Some r ->
+        let accepted = Q.try_enqueue_batch t items in
+        Recorder.span_close tr r Record.Enq_batch ~arg:accepted;
+        accepted
+
+  let try_dequeue_batch t k =
+    let n = !deq_tick + 1 in
+    deq_tick := n;
+    if n land mask <> 0 then Q.try_dequeue_batch t k
+    else
+      match Recorder.span_open tr Record.Deq_batch ~arg:k with
+      | None -> Q.try_dequeue_batch t k
+      | Some r ->
+        let got = Q.try_dequeue_batch t k in
+        Recorder.span_close tr r Record.Deq_batch ~arg:(List.length got);
+        got
+
+  let length = Q.length
+end
+
+let conc (tr : Recorder.t) (module Q : Queue_intf.CONC) :
+    (module Queue_intf.CONC) =
+  (module Wrap
+            (struct
+              let tracer = tr
+            end)
+            (Q))
+
+(* The probe an algorithm functor should receive under tracing.  Deep
+   in-algorithm events are a full-mode feature: in sampled mode every
+   probe hook would pay an armed-check + DLS access on the hottest paths
+   of the algorithm (several hooks per operation), which alone blows the
+   <=10% armed-overhead budget — so sampled tracing records operation
+   spans only, and the probe reduces to the metrics hooks (or nothing).
+   Full mode composes the trace hooks to the right of the metrics probe:
+   counters tick and events record from the same seams. *)
+let probe ?metrics (tr : Recorder.t) : (module Probe.S) =
+  match (Recorder.full tr, metrics) with
+  | false, None -> (module Probe.Noop)
+  | false, Some m -> Metrics.probe m
+  | true, None -> Recorder.probe tr
+  | true, Some m -> Probe.compose (Metrics.probe m) (Recorder.probe tr)
+
+let with_metrics ?metrics q =
+  match metrics with
+  | None -> q
+  | Some m -> Nbq_obs.Instrumented.instrument m q
+
+(* Deep tracing mirrors [Instrumented.deep]: in full mode the two evequoz
+   queues are rebuilt with the composed probe inside their functor seams;
+   everything else — and every queue in sampled mode, where the deep
+   hooks are disabled (see [probe]) — gets the shallow span wrapper over
+   [fallback], keeping the statically-inlined Noop probes of the original
+   build on the algorithm's hot paths. *)
+let deep ?metrics (tr : Recorder.t) ~name (fallback : (module Queue_intf.CONC))
+    : (module Queue_intf.CONC) =
+  if not (Recorder.full tr) then
+    match metrics with
+    | Some m -> conc tr (Nbq_obs.Instrumented.deep m ~name fallback)
+    | None -> conc tr fallback
+  else
+  match name with
+  | "evequoz-cas" ->
+    let module P = (val probe ?metrics tr) in
+    let module Core =
+      Nbq_core.Evequoz_cas.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+    in
+    let module Q = Nbq_core.Evequoz_cas.With_implicit_handles (Core) in
+    let module C = Queue_intf.Make (Queue_intf.Capability.Bounded_batch (Q)) in
+    conc tr (with_metrics ?metrics (module C : Queue_intf.CONC))
+  | "evequoz-llsc" ->
+    let module P = (val probe ?metrics tr) in
+    let module Cell =
+      Nbq_primitives.Llsc.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+    in
+    let module Q = Nbq_core.Evequoz_llsc.Make_probed (Cell) (P) in
+    let module C = Queue_intf.Make (Queue_intf.Capability.Bounded (Q)) in
+    conc tr (with_metrics ?metrics (module C : Queue_intf.CONC))
+  | _ -> conc tr (with_metrics ?metrics fallback)

@@ -1,0 +1,68 @@
+(* One domain's flight-recorder ring: a flat int buffer of
+   [capacity * Record.words] words plus a padded cursor counting records
+   ever written.
+
+   SPSC by construction — only the owning domain writes.  A write is
+   Record.words plain stores into the slot followed by one [Atomic.set] of
+   the cursor: the release publish.  A reader that observes cursor = c is
+   therefore guaranteed fully-written records for every seq < c that has
+   not yet been overwritten; only the oldest slots can be torn, and only
+   while the writer is still running (post-mortem dumps and quiescent
+   exports are exact).
+
+   The mutable span/tick/next_span fields are scratch state for the
+   recorder's sampling and span tracking; they are touched only by the
+   owning domain. *)
+
+type t = {
+  dom : int;  (* Domain.self of the owner, the export track id *)
+  mask : int;
+  buf : int array;
+  cursor : int Atomic.t;  (* padded: the wake-side reader polls it *)
+  mutable span : int;      (* active sampled span id; 0 = none *)
+  mutable next_span : int;
+  mutable tick : int;      (* operation counter driving span sampling *)
+}
+
+type record = { tag : int; ts : int; span : int; arg : int }
+
+let create ~dom ~bits =
+  if bits < 2 || bits > 24 then invalid_arg "Ring.create: bits outside 2..24";
+  let n = 1 lsl bits in
+  {
+    dom;
+    mask = n - 1;
+    buf = Array.make (n * Record.words) 0;
+    cursor = Nbq_obs.Padding.atomic 0;
+    span = 0;
+    next_span = 1;
+    tick = 0;
+  }
+
+let dom t = t.dom
+let capacity t = t.mask + 1
+let written t = Atomic.get t.cursor
+
+let write t ~tag ~ts ~span ~arg =
+  let seq = Atomic.get t.cursor in
+  let base = (seq land t.mask) * Record.words in
+  Array.unsafe_set t.buf base tag;
+  Array.unsafe_set t.buf (base + 1) ts;
+  Array.unsafe_set t.buf (base + 2) span;
+  Array.unsafe_set t.buf (base + 3) arg;
+  Atomic.set t.cursor (seq + 1)
+
+(* Oldest-to-newest view of the (at most) last [last] retained records. *)
+let snapshot ?last t =
+  let c = Atomic.get t.cursor in
+  let n = min c (t.mask + 1) in
+  let n = match last with Some k -> min n (max 0 k) | None -> n in
+  Array.init n (fun i ->
+      let seq = c - n + i in
+      let base = (seq land t.mask) * Record.words in
+      {
+        tag = t.buf.(base);
+        ts = t.buf.(base + 1);
+        span = t.buf.(base + 2);
+        arg = t.buf.(base + 3);
+      })

@@ -1,0 +1,38 @@
+(** A single domain's SPSC flight-recorder ring.
+
+    Only the owning domain calls {!write}; readers ({!snapshot}) may run
+    concurrently and rely on the cursor's release publish: every record
+    older than the observed cursor and not yet overwritten is fully
+    written.  While the writer is live the {e oldest} retained slots can
+    be torn (overwritten mid-read); post-mortem reads are exact. *)
+
+type t = {
+  dom : int;
+  mask : int;
+  buf : int array;
+  cursor : int Atomic.t;
+  mutable span : int;
+  mutable next_span : int;
+  mutable tick : int;
+}
+(** Exposed concretely so the recorder's hot path can touch the sampling
+    scratch fields ([span]/[next_span]/[tick]) without a call. *)
+
+type record = { tag : int; ts : int; span : int; arg : int }
+
+val create : dom:int -> bits:int -> t
+(** [2 lsl bits] ... a ring of [2^bits] records.  Raises
+    [Invalid_argument] outside 2..24. *)
+
+val dom : t -> int
+val capacity : t -> int
+
+val written : t -> int
+(** Records ever written (not capped by capacity). *)
+
+val write : t -> tag:int -> ts:int -> span:int -> arg:int -> unit
+(** Owner only: plain stores + one release publish of the cursor. *)
+
+val snapshot : ?last:int -> t -> record array
+(** The retained records, oldest first, optionally truncated to the last
+    [last]. *)
