@@ -21,6 +21,16 @@ dune exec bin/torture.exe -- --wait > /dev/null
 # Oversubscription gate: 16 parked domains on one core-starved queue,
 # requiring item conservation and per-domain progress.
 dune exec bin/park_sweep.exe -- --gate --seconds 2 > /dev/null
+# Model-checking gate: exhaustive DPOR over the capacity-2 / 2-thread
+# scenario catalog.  The fast line covers Algorithm 1 plus the simulated
+# eventcount (park/wake must have no lost wakeup; the two seeded-bug
+# entries must still be convicted) and proves >= 5x reduction vs plain
+# DFS; the second line runs Algorithm 2's larger trees (batch commit and
+# drain races included) to exhaustion.
+dune exec bin/modelcheck_run.exe -- -a evequoz-llsc -a sim-wait -a toy-blocking \
+  --min-reduction 5 --require-exhaustive > /dev/null
+dune exec bin/modelcheck_run.exe -- -a evequoz-cas -a sharded-llsc \
+  --require-exhaustive > /dev/null
 # Flight-recorder overhead gate: an armed recorder (default 1/64 span
 # sampling) must cost <= 10% vs the plain path (median of interleaved
 # blocks, best-of-6-runs per block).  Single-threaded on purpose: on a

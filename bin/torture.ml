@@ -168,12 +168,144 @@ let run_queue_matrix queue_filter seconds seed workers ops with_crash csv
     (!rounds - !failures) !rounds;
   if !failures > 0 then exit 1
 
-let run_matrix queue_filter seconds seed workers ops with_crash csv wait
+(* --replay: re-derive a failure from its NBQ-FAULT-REPRO line.
+
+   v2-mc lines (the model checker's) deterministically re-execute the
+   violating schedule through Dpor.replay and print the interleaving dump;
+   v1-torture lines re-run the single named torture round.  Exit 0 iff the
+   recorded failure reproduces. *)
+let replay_mc line (r : Nbq_modelcheck.Repro.t) =
+  let module MC = Nbq_modelcheck in
+  match MC.Scenarios.find ~algorithm:r.algorithm ~scenario:r.scenario with
+  | None ->
+      Printf.eprintf
+        "unknown spec %s/%s (this repro line is from another revision?)\n"
+        r.algorithm r.scenario;
+      exit 2
+  | Some spec -> (
+      Printf.printf "replaying %s\n" line;
+      match
+        MC.Dpor.replay ~progress:spec.progress spec.build_instance r.schedule
+      with
+      | outcome ->
+          (match outcome.status with
+          | `Completed -> print_endline "schedule ran to completion"
+          | `Fair_completed ->
+              print_endline "schedule completed under the fair continuation"
+          | `Diverged dv ->
+              Printf.printf "schedule diverges: %s\n"
+                (MC.Props.describe_divergence dv));
+          (match outcome.violation with
+          | Some msg -> Printf.printf "violation reproduced: %s\n" msg
+          | None -> print_endline "NO violation on this schedule");
+          MC.Scenarios.dump_schedule spec r.schedule stdout;
+          exit (if outcome.violation <> None then 0 else 1)
+      | exception Invalid_argument msg ->
+          Printf.eprintf "replay failed: %s\n" msg;
+          exit 2)
+
+let replay_torture line =
+  let fields =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter_map (fun tok ->
+           match String.index_opt tok '=' with
+           | None -> None
+           | Some i ->
+               Some
+                 ( String.sub tok 0 i,
+                   String.sub tok (i + 1) (String.length tok - i - 1) ))
+  in
+  let need k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "v1-torture line is missing %s=\n" k;
+        exit 2
+  in
+  let target =
+    match Torture.find (need "queue") with
+    | Some t -> t
+    | None ->
+        Printf.eprintf "unknown queue %s\n" (need "queue");
+        exit 2
+  in
+  let point =
+    match Fault.of_string (need "point") with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "unknown injection point %s\n" (need "point");
+        exit 2
+  in
+  let action =
+    match need "action" with
+    | "stall" -> Injector.Stall
+    | "crash" -> Injector.Crash
+    | a ->
+        Printf.eprintf "unknown action %s\n" a;
+        exit 2
+  in
+  let int_of k = try int_of_string (need k) with Failure _ ->
+    Printf.eprintf "malformed %s=\n" k; exit 2
+  in
+  let workers = int_of "workers" and ops = int_of "ops" in
+  let trigger_after = int_of "trigger" in
+  Printf.printf "replaying %s\n" line;
+  let tracer = Nbq_trace.Recorder.create ~sample:1 () in
+  let o =
+    Torture.run ~workers ~target_ops:ops ~trigger_after ~tracer target ~point
+      ~action
+  in
+  let ok =
+    o.Torture.triggered
+    && o.Torture.min_survivor_ops >= ops
+    && o.Torture.conserved && o.Torture.recovered
+  in
+  if ok then print_endline "round passed: failure did NOT reproduce"
+  else begin
+    print_endline "failure reproduced:";
+    Nbq_trace.Export.dump tracer stdout
+  end;
+  exit (if ok then 1 else 0)
+
+let run_replay line =
+  match Nbq_modelcheck.Repro.parse line with
+  | Some r -> replay_mc line r
+  | None ->
+      let contains_sub s sub =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      if contains_sub line "v1-torture" then replay_torture line
+      else begin
+        Printf.eprintf
+          "not a recognizable NBQ-FAULT-REPRO line (know v1-torture and \
+           v2-mc)\n";
+        exit 2
+      end
+
+let run_matrix replay queue_filter seconds seed workers ops with_crash csv wait
     wait_iters with_trace =
-  if wait then run_wait_matrix wait_iters csv
-  else
-    run_queue_matrix queue_filter seconds seed workers ops with_crash csv
-      with_trace
+  match replay with
+  | Some line -> run_replay line
+  | None ->
+      if wait then run_wait_matrix wait_iters csv
+      else
+        run_queue_matrix queue_filter seconds seed workers ops with_crash csv
+          with_trace
+
+let replay_term =
+  let doc =
+    "Replay an NBQ-FAULT-REPRO line instead of running the matrix: a \
+     $(b,v2-mc) line (from bin/modelcheck_run.exe) deterministically \
+     re-executes its schedule through the model checker and prints the \
+     interleaving; a $(b,v1-torture) line re-runs that single round.  \
+     Exits 0 iff the recorded failure reproduces."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"LINE" ~doc)
 
 let queue_term =
   let doc = "Queue to torture, or $(b,all) for the whole registry." in
@@ -241,8 +373,8 @@ let cmd =
   in
   Cmd.v (Cmd.info "torture" ~doc)
     Term.(
-      const run_matrix $ queue_term $ seconds_term $ seed_term $ workers_term
-      $ ops_term $ crash_term $ csv_term $ wait_term $ wait_iters_term
-      $ trace_term)
+      const run_matrix $ replay_term $ queue_term $ seconds_term $ seed_term
+      $ workers_term $ ops_term $ crash_term $ csv_term $ wait_term
+      $ wait_iters_term $ trace_term)
 
 let () = exit (Cmd.eval cmd)

@@ -342,21 +342,52 @@ end = struct
     spin (max retries 0)
 end
 
-(** Parked blocking operations over any {!CONC} queue, with the probe and
-    fault-injection hooks exposed as functor parameters — {!Blocking} is
-    this functor applied to the no-op hooks.
+(** What the blocking wrapper needs from a wait layer: exactly the
+    eventcount surface it uses.  [Nbq_wait.Eventcount] matches it; so does
+    the model checker's simulated instantiation
+    ([Nbq_modelcheck.Sim_wait]), which is how the park/wake paths of
+    {!Blocking_ec} run under exhaustive schedule exploration. *)
+module type EVENTCOUNT = sig
+  type t
+
+  val create :
+    ?on_park:(unit -> unit) ->
+    ?on_wake:(unit -> unit) ->
+    ?on_cancel:(unit -> unit) ->
+    ?park_window:(unit -> unit) ->
+    ?wake_window:(unit -> unit) ->
+    unit ->
+    t
+
+  val await :
+    ?spin:int ->
+    ?deadline:float ->
+    ?max_park:int ->
+    t ->
+    (unit -> 'a option) ->
+    [ `Ok of 'a | `Timeout ]
+
+  val wake_one : t -> bool
+end
+
+(** Parked blocking operations over any {!CONC} queue, with the wait layer
+    and the probe and fault-injection hooks exposed as functor parameters —
+    {!Blocking_hooked} fixes the wait layer to the production
+    [Nbq_wait.Eventcount], and {!Blocking} additionally fixes the hooks to
+    no-ops.
 
     Unlike {!Blocking_spin}, a blocked operation here spins only briefly
-    and then {e parks its domain} on an [Nbq_wait.Eventcount] (one for
-    "became non-empty", one for "became non-full"), so waiting costs no
-    CPU and — crucially under oversubscription — no scheduler slices that
-    the producers being waited for could have used.  Each successful
+    and then {e parks its domain} on an eventcount (one for "became
+    non-empty", one for "became non-full"), so waiting costs no CPU and —
+    crucially under oversubscription — no scheduler slices that the
+    producers being waited for could have used.  Each successful
     enqueue/dequeue through this wrapper issues the corresponding wake;
     raw [Q] operations on the same underlying queue (via {!queue} or
     {!of_queue}) are permitted but issue no wakes, so parked peers then
     wake only via the wait layer's bounded-park backstop (~tens of
     milliseconds), never hang. *)
-module Blocking_hooked
+module Blocking_ec
+    (EC : EVENTCOUNT)
     (P : Nbq_primitives.Probe.S)
     (F : Nbq_primitives.Fault.S)
     (Q : CONC) : sig
@@ -393,8 +424,6 @@ module Blocking_hooked
 
   val dequeue_budget : 'a t -> retries:int -> [ `Ok of 'a | `Timeout ]
 end = struct
-  module EC = Nbq_wait.Eventcount
-
   type 'a t = { q : 'a Q.t; not_empty : EC.t; not_full : EC.t }
 
   let mk_ec () =
@@ -480,6 +509,9 @@ end = struct
     in
     spin (max retries 0)
 end
+
+(** {!Blocking_ec} over the production wait layer. *)
+module Blocking_hooked = Blocking_ec (Nbq_wait.Eventcount)
 
 (** {!Blocking_hooked} with no-op probe and fault hooks: the default
     parked blocking wrapper.  See DESIGN.md §10 for why a parked waiter

@@ -1,0 +1,469 @@
+(* Dynamic partial-order reduction (Flanagan–Godefroid persistent sets plus
+   sleep sets) over Sim's choice tree.
+
+   Two schedules that differ only in the order of *independent* steps —
+   steps touching different atomic locations, or both merely reading the
+   same one — reach the same state, so exploring one of each Mazurkiewicz
+   trace suffices.  The engine runs schedules by re-execution (Sim state
+   cannot be snapshotted), keeping a frame per depth of the current path:
+
+   - each executed step records the access it performed (Sim yields
+     *before* the access, so a paused task's next footprint is also known
+     without running it);
+   - after each run, every pair of steps (j < i) by different threads with
+     dependent accesses adds thread i to the *backtrack set* of the frame
+     where j was taken — the persistent-set rule: the alternative order
+     must be explored from that state;
+   - *sleep sets* prune the other side: a thread already explored from a
+     state stays asleep in sibling branches until some dependent step wakes
+     it, so the same commutation is never explored twice.
+
+   Dependence is judged conservatively: CAS/fetch-and-add announce
+   themselves as writes even when they fail, and no happens-before vector
+   clocks are kept (every dependent pair backtracks, not just racing
+   reversible ones).  That costs some extra schedules but is sound, and on
+   this repository's scenarios still cuts the tree by an order of
+   magnitude.
+
+   A task that never started is independent of everything: its first step
+   only runs up to its first scheduling point, touching no shared state.
+
+   Divergence: a run cut at max_steps is continued under a fair round-robin
+   scheduler (the probe) and classified per Props.divergence; the scenario's
+   claimed progress guarantee decides whether that is a violation. *)
+
+type instance = {
+  tasks : (unit -> unit) array;
+  check : unit -> unit;  (* completion check; raise = safety violation *)
+  invariant : (unit -> unit) option;  (* checked after every step *)
+}
+
+type stats = {
+  schedules : int;
+  completed : int;  (* ran to quiescence (including via the fair probe) *)
+  resolved : int;  (* subset of completed: cut at max_steps, finished fair *)
+  benign : int;
+  livelock : int;
+  stuck : int;
+  pruned : int;  (* branches abandoned because every runnable task slept *)
+  exhaustive : bool;
+}
+
+let diverged s = s.benign + s.livelock + s.stuck
+
+(* --- dependence ---------------------------------------------------------- *)
+
+let dep_access (a : Sim.access) (b : Sim.access) =
+  a.loc = b.loc && (a.kind = `Write || b.kind = `Write)
+
+let dep_foot (f : Sim.Exec.footprint) (g : Sim.Exec.footprint) =
+  match (f, g) with
+  | Sim.Exec.Access a, Sim.Exec.Access b -> dep_access a b
+  | _ -> false
+
+(* --- the fair probe ------------------------------------------------------ *)
+
+(* Continue a cut execution round-robin and watch for progress.  [window]
+   steps without an op completing classifies the branch; a branch that
+   keeps completing ops is benign and abandoned at [window * 16] total
+   steps (it would re-fill any window forever). *)
+let probe ex ~window =
+  let hard_cap = window * 16 in
+  let since = ref 0 and total = ref 0 and progressed_once = ref false in
+  let writers = ref [] in
+  let cursor = ref 0 in
+  let classify en =
+    if !writers <> [] then
+      Props.Livelock_witness { writers = List.sort compare !writers }
+    else begin
+      let parked, spinning = List.partition (Sim.Exec.parked ex) en in
+      Props.Stuck { spinning; parked }
+    end
+  in
+  let rec loop () =
+    match Sim.Exec.enabled ex with
+    | [] -> `Quiesced
+    | en ->
+        if !since >= window then `Diverged (classify en)
+        else if !total >= hard_cap then
+          `Diverged (if !progressed_once then Props.Benign_retry else classify en)
+        else begin
+          let t =
+            match List.find_opt (fun i -> i >= !cursor) en with
+            | Some t -> t
+            | None -> List.hd en
+          in
+          cursor := t + 1;
+          let info = Sim.Exec.step ex t in
+          incr total;
+          if info.progressed then begin
+            since := 0;
+            writers := [];
+            progressed_once := true
+          end
+          else incr since;
+          (match info.performed with
+          | Some { Sim.kind = `Write; _ } ->
+              if not (List.mem t !writers) then writers := t :: !writers
+          | _ -> ());
+          loop ()
+        end
+  in
+  loop ()
+
+(* --- the explorer -------------------------------------------------------- *)
+
+type frame = {
+  enabled : int list;  (* runnable tasks at this state *)
+  mutable chosen : int;  (* child currently being explored *)
+  mutable foot : Sim.Exec.footprint;  (* chosen's footprint here *)
+  mutable access : Sim.access option;  (* what chosen's step performed *)
+  mutable backtrack : int list;  (* persistent set: children to explore *)
+  mutable done_ : int list;  (* children fully explored *)
+  sleep_entry : (int * Sim.Exec.footprint) list;  (* sleep set on entry *)
+  mutable explored : (int * Sim.Exec.footprint) list;
+      (* finished children with their footprints — they join siblings'
+         sleep sets until a dependent step wakes them *)
+  mutable divergent_below : bool;
+      (* some schedule under the current child was cut at max_steps while
+         starving a task entirely: the sleep-set coverage argument (every
+         task eventually runs) does not hold for that subtree, so its
+         child must NOT suppress siblings *)
+}
+
+exception Internal_violation of { depth : int; message : string }
+
+let explore ?(dpor = true) ?(preemption_bound = None) ?(max_steps = 150)
+    ?(max_schedules = 2_000_000) ?(probe_window = 200) ~progress build =
+  let stack : frame option array = Array.make (max_steps + 1) None in
+  let depth = ref 0 in
+  (* Replay state: frames 0..replay_to-1 are a fixed prefix; [forced]
+     overrides the choice at depth replay_to (the frame there is reused —
+     its backtrack/done/explored knowledge persists across re-executions). *)
+  let replay_to = ref 0 in
+  let forced = ref None in
+  let frame d = Option.get stack.(d) in
+  let schedule_to d = List.init d (fun i -> (frame i).chosen) in
+  let schedules = ref 0
+  and completed = ref 0
+  and resolved = ref 0
+  and benign = ref 0
+  and livelock = ref 0
+  and stuck = ref 0
+  and pruned = ref 0 in
+
+  let run_one () =
+    Sim.reset_locations ();
+    let { tasks; check; invariant } = build () in
+    let ex = Sim.Exec.start tasks in
+    let sleep = ref [] in
+    let last = ref (-1) in
+    let preemptions = ref 0 in
+    let check_invariant d =
+      match invariant with
+      | None -> ()
+      | Some f -> (
+          try f ()
+          with e ->
+            raise
+              (Internal_violation
+                 { depth = d; message = "invariant: " ^ Printexc.to_string e }))
+    in
+    let rec loop d =
+      match Sim.Exec.enabled ex with
+      | [] -> `Completed
+      | _ when d >= max_steps -> `Cutoff
+      | en -> (
+          let pick_free () =
+            let sleeping = List.map fst !sleep in
+            let allowed =
+              if dpor then List.filter (fun t -> not (List.mem t sleeping)) en
+              else
+                match preemption_bound with
+                | Some b
+                  when !last >= 0 && List.mem !last en && !preemptions >= b ->
+                    [ !last ]
+                | _ -> en
+            in
+            match allowed with
+            | [] -> None  (* every runnable task sleeps: covered elsewhere *)
+            | _ ->
+                let chosen =
+                  if List.mem !last allowed then !last else List.hd allowed
+                in
+                let f =
+                  {
+                    enabled = en;
+                    chosen;
+                    foot = Sim.Exec.Pure;
+                    access = None;
+                    (* In DPOR mode the backtrack set starts with just the
+                       chosen child and grows by the race rule; in plain
+                       DFS mode every allowed child must be explored. *)
+                    backtrack = (if dpor then [ chosen ] else allowed);
+                    done_ = [];
+                    sleep_entry = !sleep;
+                    explored = [];
+                    divergent_below = false;
+                  }
+                in
+                stack.(d) <- Some f;
+                depth := d + 1;
+                Some f
+          in
+          let f =
+            if d < !replay_to then begin
+              let f = frame d in
+              if f.enabled <> en then
+                invalid_arg "Dpor: scenario is not deterministic";
+              Some f
+            end
+            else if d = !replay_to && !forced <> None then begin
+              let f = frame d in
+              let p = Option.get !forced in
+              forced := None;
+              if not (List.mem p en) then
+                invalid_arg "Dpor: scenario is not deterministic";
+              f.chosen <- p;
+              depth := d + 1;
+              Some f
+            end
+            else pick_free ()
+          in
+          match f with
+          | None -> `Pruned
+          | Some f ->
+              let chosen = f.chosen in
+              f.foot <- Sim.Exec.pending ex chosen;
+              let info = Sim.Exec.step ex chosen in
+              f.access <- info.performed;
+              check_invariant (d + 1);
+              (* Sleep set for the child state: everything asleep here or
+                 already explored from here stays asleep unless the chosen
+                 step is dependent on it. *)
+              if dpor then
+                sleep :=
+                  List.filter
+                    (fun (_, fq) -> not (dep_foot fq f.foot))
+                    (f.sleep_entry @ f.explored);
+              if !last >= 0 && chosen <> !last && List.mem !last en then
+                incr preemptions;
+              last := chosen;
+              loop (d + 1))
+    in
+    let outcome = loop 0 in
+    incr schedules;
+    match outcome with
+    | `Completed -> (
+        incr completed;
+        try check ()
+        with e ->
+          raise
+            (Internal_violation
+               { depth = !depth; message = Printexc.to_string e }))
+    | `Pruned -> incr pruned
+    | `Cutoff -> (
+        (* A task that never stepped inside the bounded horizon left no
+           accesses for the race rule to find — its interactions with the
+           divergent prefix are invisible (a spinning task starves
+           everything behind it under the keep-last heuristic), and the
+           sleep-set argument that would justify pruning its orderings
+           only covers traces where every task eventually runs.  Reopen
+           the branch conservatively: try each starved task at every state
+           along the cut path, and stop this path's children from entering
+           siblings' sleep sets (divergent_below).  As soon as one of the
+           reopened runs shows the starved task's accesses, the ordinary
+           race rule takes over.  Cutoffs that starved nobody need neither
+           repair: every task's accesses are on the path for the race rule,
+           and the probe has already classified the tail. *)
+        if dpor && !depth > 0 then begin
+          let stepped = List.init !depth (fun i -> (frame i).chosen) in
+          let starved =
+            List.filter
+              (fun t -> not (List.mem t stepped))
+              (frame 0).enabled
+          in
+          if starved <> [] then
+            for d = 0 to !depth - 1 do
+              let f = frame d in
+              List.iter
+                (fun t ->
+                  if
+                    List.mem t f.enabled
+                    && (not (List.mem t f.backtrack))
+                    && not (List.mem t f.done_)
+                  then f.backtrack <- t :: f.backtrack)
+                starved;
+              f.divergent_below <- true
+            done
+        end;
+        match probe ex ~window:probe_window with
+        | `Quiesced -> (
+            incr completed;
+            incr resolved;
+            try check ()
+            with e ->
+              raise
+                (Internal_violation
+                   {
+                     depth = !depth;
+                     message =
+                       "(completed under fair continuation) "
+                       ^ Printexc.to_string e;
+                   }))
+        | `Diverged dv -> (
+            (match dv with
+            | Props.Benign_retry -> incr benign
+            | Props.Livelock_witness _ -> incr livelock
+            | Props.Stuck _ -> incr stuck);
+            match Props.violation_of progress dv with
+            | Some message ->
+                raise (Internal_violation { depth = !depth; message })
+            | None -> ()))
+  in
+
+  (* Persistent-set rule, applied to the whole just-run path: for each pair
+     of dependent steps by different threads, the later thread must also be
+     tried where the earlier step was taken. *)
+  let add_backtracks () =
+    for i = 1 to !depth - 1 do
+      let fi = frame i in
+      match fi.access with
+      | None -> ()
+      | Some ai ->
+          let ti = fi.chosen in
+          for j = 0 to i - 1 do
+            let fj = frame j in
+            if fj.chosen <> ti then
+              match fj.access with
+              | Some aj when dep_access aj ai ->
+                  if
+                    (not (List.mem ti fj.backtrack))
+                    && not (List.mem ti fj.done_)
+                  then fj.backtrack <- ti :: fj.backtrack
+              | _ -> ()
+          done
+    done
+  in
+
+  (* Pop finished subtrees; stop at the deepest frame with an unexplored
+     backtrack candidate that is not asleep there. *)
+  let rec next () =
+    if !depth = 0 then `Done
+    else begin
+      let d = !depth - 1 in
+      let f = frame d in
+      f.done_ <- f.chosen :: f.done_;
+      if not f.divergent_below then
+        f.explored <- (f.chosen, f.foot) :: f.explored;
+      let sleeping = List.map fst f.sleep_entry in
+      let cands =
+        List.filter
+          (fun p -> (not (List.mem p f.done_)) && not (List.mem p sleeping))
+          f.backtrack
+      in
+      match cands with
+      | [] ->
+          stack.(d) <- None;
+          depth := d;
+          next ()
+      | p :: ps ->
+          forced := Some (List.fold_left min p ps);
+          replay_to := d;
+          (* The new child's subtree starts clean; divergence under it will
+             re-mark this frame before it is next popped. *)
+          f.divergent_below <- false;
+          `More
+    end
+  in
+
+  let exhaustive = ref true in
+  (try
+     let continue_ = ref true in
+     while !continue_ do
+       if !schedules >= max_schedules then begin
+         exhaustive := false;
+         continue_ := false
+       end
+       else begin
+         run_one ();
+         if dpor then add_backtracks ();
+         match next () with `Done -> continue_ := false | `More -> ()
+       end
+     done
+   with Internal_violation { depth = d; message } ->
+     raise (Sim.Violation { schedule = schedule_to d; message }));
+  {
+    schedules = !schedules;
+    completed = !completed;
+    resolved = !resolved;
+    benign = !benign;
+    livelock = !livelock;
+    stuck = !stuck;
+    pruned = !pruned;
+    exhaustive = !exhaustive;
+  }
+
+(* --- replay -------------------------------------------------------------- *)
+
+type replay_outcome = {
+  status : [ `Completed | `Fair_completed | `Diverged of Props.divergence ];
+  violation : string option;
+}
+
+(* Deterministically re-execute one schedule (a Violation.schedule) and
+   re-derive its verdict: follow the choices, then — if the schedule ends
+   with tasks still runnable — hand the state to the fair probe exactly as
+   the explorer would have.  Never raises on a mismatched verdict; the
+   caller (tests, torture --replay) compares. *)
+let replay ?(probe_window = 200) ~progress build schedule =
+  Sim.reset_locations ();
+  let { tasks; check; invariant } = build () in
+  let ex = Sim.Exec.start tasks in
+  let exception Stop of replay_outcome in
+  let finish status violation = raise (Stop { status; violation }) in
+  try
+    let rec follow = function
+      | [] -> ()
+      | c :: rest ->
+          (match Sim.Exec.enabled ex with
+          | [] -> invalid_arg "Dpor.replay: schedule longer than execution"
+          | en when not (List.mem c en) ->
+              invalid_arg "Dpor.replay: schedule disagrees with scenario"
+          | _ -> ());
+          ignore (Sim.Exec.step ex c : Sim.Exec.step_info);
+          (match invariant with
+          | Some f -> (
+              try f ()
+              with e ->
+                finish `Completed
+                  (Some ("invariant: " ^ Printexc.to_string e)))
+          | None -> ());
+          follow rest
+    in
+    follow schedule;
+    match Sim.Exec.enabled ex with
+    | [] ->
+        let violation =
+          try
+            check ();
+            None
+          with e -> Some (Printexc.to_string e)
+        in
+        { status = `Completed; violation }
+    | _ -> (
+        match probe ex ~window:probe_window with
+        | `Quiesced ->
+            let violation =
+              try
+                check ();
+                None
+              with e ->
+                Some
+                  ("(completed under fair continuation) "
+                  ^ Printexc.to_string e)
+            in
+            { status = `Fair_completed; violation }
+        | `Diverged dv ->
+            { status = `Diverged dv; violation = Props.violation_of progress dv })
+  with Stop o -> o

@@ -1,0 +1,76 @@
+(** Dynamic partial-order reduction over {!Sim}'s choice tree.
+
+    Two schedules that differ only in the order of independent steps (steps
+    touching different atomic locations, or both merely reading the same
+    one) reach the same state; the engine explores one representative per
+    such equivalence class using Flanagan–Godefroid persistent sets grown
+    by a dynamic race rule, plus sleep sets to prune the already-covered
+    side.  Dependence is judged conservatively from the access footprints
+    {!Sim.Exec} exposes (CAS counts as a write even when it fails) — never
+    unsound, and exhaustive whenever the run reports [exhaustive = true]
+    with nothing diverged.
+
+    Schedules cut at [max_steps] are continued under a fair round-robin
+    scheduler and classified per {!Props.divergence}; a classification that
+    contradicts the scenario's claimed {!Props.progress} raises
+    {!Sim.Violation} with the reproducing schedule, exactly like a safety
+    failure. *)
+
+type instance = {
+  tasks : (unit -> unit) array;
+  check : unit -> unit;
+      (** completion check — raise to signal a safety violation *)
+  invariant : (unit -> unit) option;
+      (** checked after {e every} step of every explored schedule *)
+}
+
+type stats = {
+  schedules : int;
+  completed : int;
+      (** ran to quiescence, including via the fair continuation *)
+  resolved : int;
+      (** subset of [completed]: cut at [max_steps] but quiesced fair *)
+  benign : int;  (** diverged, still completing ops under fairness *)
+  livelock : int;  (** diverged with writes but no completions *)
+  stuck : int;  (** diverged with neither writes nor completions *)
+  pruned : int;  (** branches whose every runnable task slept *)
+  exhaustive : bool;
+}
+
+val diverged : stats -> int
+(** [benign + livelock + stuck]. *)
+
+val explore :
+  ?dpor:bool ->
+  ?preemption_bound:int option ->
+  ?max_steps:int ->
+  ?max_schedules:int ->
+  ?probe_window:int ->
+  progress:Props.progress ->
+  (unit -> instance) ->
+  stats
+(** Explore every Mazurkiewicz trace of the instance's threads.  [dpor]
+    (default true) enables the reduction; with [~dpor:false] the engine
+    degenerates to unreduced DFS — the baseline reduction factors are
+    measured against — and only then does [preemption_bound] (default
+    [None]) apply, CHESS-style.  [max_steps] (default 150) cuts a single
+    schedule; [probe_window] (default 200) is how many progress-free fair
+    steps classify a cut branch as diverged.  Raises {!Sim.Violation} on
+    any safety or liveness violation. *)
+
+type replay_outcome = {
+  status : [ `Completed | `Fair_completed | `Diverged of Props.divergence ];
+  violation : string option;
+}
+
+val replay :
+  ?probe_window:int ->
+  progress:Props.progress ->
+  (unit -> instance) ->
+  int list ->
+  replay_outcome
+(** Deterministically re-execute one schedule (e.g. a
+    {!Sim.Violation}[.schedule]) and re-derive its verdict, fair probe
+    included.  Never raises on a reproduced violation — it is returned —
+    but raises [Invalid_argument] if the schedule does not match the
+    scenario. *)

@@ -1,12 +1,42 @@
 module H = Nbq_lincheck.History
 module C = Nbq_lincheck.Checker
+module E = Nbq_obs.Event
 
-type op = Enq of int | Deq | Peek
+type op = Enq of int | Deq | Peek | Enq_batch of int list | Deq_batch of int
 
 type scenario = unit -> (unit -> unit) array * (unit -> unit)
 
-let record recorder ~thread ~enq ~deq ?peek op =
-  match op with
+(* --- protocol-event sink for counterexample dumps ------------------------ *)
+
+(* The simulated queues are built through the probed functor variants, so
+   the same protocol events the real flight recorder captures (SC failures,
+   helping, tag registry traffic, parks/wakes) are available under
+   simulation.  During exploration the sink is [None] and every hook is a
+   no-op; [dump_schedule] installs a sink to rebuild the merged timeline of
+   a counterexample. *)
+let trace_sink : (E.t -> unit) option ref = ref None
+
+let emit ev = match !trace_sink with None -> () | Some f -> f ev
+
+module Trace_probe : Nbq_primitives.Probe.S = struct
+  let ll_reserve () = emit E.Ll_reserve
+  let sc_fail () = emit E.Sc_fail
+  let tail_help () = emit E.Tail_help
+  let head_help () = emit E.Head_help
+  let tag_register () = emit E.Tag_register
+  let tag_reregister () = emit E.Tag_reregister
+  let tag_deregister () = emit E.Tag_deregister
+  let tag_recycle () = emit E.Tag_recycle
+  let shard_steal () = emit E.Shard_steal
+  let wait_park () = emit E.Wait_park
+  let wait_wake () = emit E.Wait_wake
+  let wait_cancel () = emit E.Wait_cancel
+end
+
+(* --- recording ----------------------------------------------------------- *)
+
+let record recorder ~thread ~enq ~deq ?peek ?enq_batch ?deq_batch op =
+  (match op with
   | Enq v ->
       ignore
         (H.record recorder ~thread (H.Enqueue v) (fun () ->
@@ -24,6 +54,36 @@ let record recorder ~thread ~enq ~deq ?peek op =
                  match peek () with
                  | Some v -> H.Got v
                  | None -> H.Observed_empty)))
+  | Enq_batch vs -> (
+      match enq_batch with
+      | None -> invalid_arg "Scenarios: this algorithm has no batch enqueue"
+      | Some enq_batch ->
+          ignore
+            (H.record_call recorder ~thread (fun () ->
+                 let n = enq_batch (Array.of_list vs) in
+                 (* record_call convention: accepted prefix, then one
+                    Rejected for the first refused item. *)
+                 List.concat
+                   (List.mapi
+                      (fun i v ->
+                        if i < n then [ (H.Enqueue v, H.Accepted) ]
+                        else if i = n then [ (H.Enqueue v, H.Rejected) ]
+                        else [])
+                      vs))))
+  | Deq_batch k -> (
+      match deq_batch with
+      | None -> invalid_arg "Scenarios: this algorithm has no batch dequeue"
+      | Some deq_batch ->
+          ignore
+            (H.record_call recorder ~thread (fun () ->
+                 let xs = deq_batch k in
+                 List.map (fun v -> (H.Dequeue, H.Got v)) xs
+                 @
+                 if List.length xs < k then [ (H.Dequeue, H.Observed_empty) ]
+                 else []))));
+  (* Feed the liveness layer: each recorded queue operation is one unit of
+     progress (not a scheduling point). *)
+  Sim.op_completed ()
 
 let lin_check ~capacity recorder () =
   match C.check_linearizable ~capacity (H.events recorder) with
@@ -46,9 +106,9 @@ let generic ~make_queue ~spec_capacity ~prefill threads () =
   ( Array.of_list (List.mapi task threads),
     lin_check ~capacity:spec_capacity recorder )
 
-module SimCell = Nbq_primitives.Llsc.Make (Sim.Atomic)
-module SimQ1 = Nbq_core.Evequoz_llsc.Make (SimCell)
-module SimQ2 = Nbq_core.Evequoz_cas.Make (Sim.Atomic)
+module SimCell = Nbq_primitives.Llsc.Make_probed (Sim.Atomic) (Trace_probe)
+module SimQ1 = Nbq_core.Evequoz_llsc.Make_probed (SimCell) (Trace_probe)
+module SimQ2 = Nbq_core.Evequoz_cas.Make_probed (Sim.Atomic) (Trace_probe)
 module SimShann = Nbq_baselines.Shann.Make (Sim.Atomic)
 module SimTz = Nbq_baselines.Tsigas_zhang.Make (Sim.Atomic)
 module SimMs = Nbq_baselines.Michael_scott.Make (Sim.Atomic)
@@ -156,3 +216,534 @@ let standard_matrix =
     ("enq|deq at full", 2, [ 100; 200 ], [ [ Enq 1 ]; [ Deq ] ]);
     ("2 ops each", 2, [], [ [ Enq 1; Deq ]; [ Enq 2; Deq ] ]);
   ]
+
+(* ========================================================================= *)
+(* The spec catalog: scenarios as data, for the DPOR pass.                   *)
+(* ========================================================================= *)
+
+type spec = {
+  algorithm : string;
+  scenario : string;  (* slug, stable across sessions: the repro-line key *)
+  descr : string;
+  progress : Props.progress;
+  expect : [ `Pass | `Violation ];
+  build_instance : unit -> Dpor.instance;
+}
+
+let slug name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+      | _ -> '-')
+    name
+
+(* The paper's progress claims, per algorithm.  Algorithm 2 simulates
+   LL/SC with CAS + tags: a reservation can be stolen and retaken forever
+   under mutual interference, so its guarantee is obstruction freedom, not
+   lock freedom (DESIGN.md §12 — the exhaustive pass finds no livelock
+   under the *fair* continuation, but the adversarial one is real).
+   Herlihy–Wing's dequeue is total (waits for an enqueuer), hence
+   blocking. *)
+let progress_of_algorithm = function
+  | "evequoz-cas" -> Props.Obstruction_free
+  | "herlihy-wing" -> Props.Blocking
+  | _ -> Props.Lock_free
+
+(* Multiset of items that must still be in the queue when every recorded
+   operation has responded: accepted enqueues minus dequeued gets. *)
+let remaining_of_history events =
+  let enq =
+    List.filter_map
+      (fun e ->
+        match (e.H.op, e.H.outcome) with
+        | H.Enqueue v, H.Accepted -> Some v
+        | _ -> None)
+      events
+  in
+  let got =
+    List.filter_map
+      (fun e ->
+        match (e.H.op, e.H.outcome) with
+        | H.Dequeue, H.Got v -> Some v
+        | _ -> None)
+      events
+  in
+  let remove_one x l =
+    let rec go acc = function
+      | [] ->
+          failwith
+            (Printf.sprintf "conservation: dequeued %d was never enqueued" x)
+      | y :: tl -> if y = x then List.rev_append acc tl else go (y :: acc) tl
+    in
+    go [] l
+  in
+  List.sort compare (List.fold_left (fun l x -> remove_one x l) enq got)
+
+let drain_all deq =
+  let rec go acc =
+    match deq () with Some v -> go (v :: acc) | None -> List.rev acc
+  in
+  go []
+
+(* Conservation, checked by draining: what is left in the queue must be
+   exactly what the history says is left.  (Order of the remainder can be
+   ambiguous when concurrent enqueues raced, so multisets are compared;
+   FIFO order itself is the linearizability check's job.) *)
+let conservation_check recorder deq () =
+  Sim.run_sequential (fun () ->
+      let expected = remaining_of_history (H.events recorder) in
+      let drained = List.sort compare (drain_all deq) in
+      if drained <> expected then
+        failwith
+          (Printf.sprintf "conservation: drained [%s] but history left [%s]"
+             (String.concat ";" (List.map string_of_int drained))
+             (String.concat ";" (List.map string_of_int expected))))
+
+(* --- strengthened per-algorithm instances -------------------------------- *)
+
+(* Algorithm 1 (LL/SC), with conservation-by-drain and a per-step index
+   invariant on top of the linearizability check. *)
+let llsc_instance ~capacity ~prefill threads () =
+  let nthreads = List.length threads in
+  let q = SimQ1.create ~capacity in
+  let cap = Nbq_core.Queue_intf.round_capacity capacity in
+  let recorder = H.recorder ~threads:(nthreads + 1) in
+  let enq v = SimQ1.try_enqueue q v in
+  let deq () = SimQ1.try_dequeue q in
+  let peek () = SimQ1.try_peek q in
+  Sim.run_sequential (fun () ->
+      List.iter
+        (fun v ->
+          record recorder ~thread:nthreads ~enq ~deq:(fun () -> None) (Enq v))
+        prefill);
+  let task i ops () = List.iter (record recorder ~thread:i ~enq ~deq ~peek) ops in
+  {
+    Dpor.tasks = Array.of_list (List.mapi task threads);
+    check =
+      (fun () ->
+        lin_check ~capacity recorder ();
+        conservation_check recorder deq ());
+    invariant =
+      Some
+        (fun () ->
+          Sim.run_sequential (fun () ->
+              let l = SimQ1.tail_index q - SimQ1.head_index q in
+              if l < 0 || l > cap then
+                failwith
+                  (Printf.sprintf "index invariant: tail-head = %d not in [0,%d]"
+                     l cap)));
+  }
+
+(* Algorithm 2 (CAS-simulated LL/SC) with explicit handles; optionally
+   exercising the batch-run paths.  On top of linearizability:
+   conservation by drain, tag-registry hygiene at quiescence (owned
+   reservations return to the post-registration baseline; the registry
+   never outgrows the thread high-water mark), and the registry bound as a
+   per-step invariant. *)
+let cas_instance ~capacity ~prefill threads () =
+  let nthreads = List.length threads in
+  let q = SimQ2.create ~capacity in
+  let recorder = H.recorder ~threads:(nthreads + 1) in
+  let baseline_owned = ref 0 in
+  Sim.run_sequential (fun () ->
+      let h = SimQ2.register q in
+      List.iter
+        (fun v ->
+          record recorder ~thread:nthreads
+            ~enq:(fun v -> SimQ2.enqueue_with q h v)
+            ~deq:(fun () -> None)
+            (Enq v))
+        prefill;
+      SimQ2.deregister h;
+      baseline_owned := SimQ2.owned_count q);
+  let registry_cap () =
+    (* Every simulated thread plus the prologue/drain handle; the registry
+       tracks the high-water mark of concurrently registered threads
+       (paper §5's space adaptivity), so it may never exceed this. *)
+    nthreads + 1
+  in
+  let task i ops () =
+    let h = SimQ2.register q in
+    let enq v = SimQ2.enqueue_with q h v in
+    let deq () = SimQ2.dequeue_with q h in
+    let peek () = SimQ2.peek_with q h in
+    List.iter
+      (record recorder ~thread:i ~enq ~deq ~peek
+         ~enq_batch:(fun a -> SimQ2.enqueue_batch_with q h a)
+         ~deq_batch:(fun k -> SimQ2.dequeue_batch_with q h k))
+      ops;
+    SimQ2.deregister h
+  in
+  {
+    Dpor.tasks = Array.of_list (List.mapi task threads);
+    check =
+      (fun () ->
+        lin_check ~capacity recorder ();
+        Sim.run_sequential (fun () ->
+            let h = SimQ2.register q in
+            let drained =
+              List.sort compare
+                (drain_all (fun () -> SimQ2.dequeue_with q h))
+            in
+            let expected = remaining_of_history (H.events recorder) in
+            if drained <> expected then
+              failwith
+                (Printf.sprintf
+                   "conservation: drained [%s] but history left [%s]"
+                   (String.concat ";" (List.map string_of_int drained))
+                   (String.concat ";" (List.map string_of_int expected)));
+            SimQ2.deregister h;
+            let owned = SimQ2.owned_count q in
+            if owned > !baseline_owned then
+              failwith
+                (Printf.sprintf
+                   "registry hygiene: %d tag vars still owned at quiescence \
+                    (baseline %d)"
+                   owned !baseline_owned);
+            let size = SimQ2.registry_size q in
+            if size > registry_cap () then
+              failwith
+                (Printf.sprintf
+                   "registry hygiene: %d tag vars allocated for %d threads"
+                   size (registry_cap ()))));
+    invariant =
+      Some
+        (fun () ->
+          Sim.run_sequential (fun () ->
+              let size = SimQ2.registry_size q in
+              if size > registry_cap () then
+                failwith
+                  (Printf.sprintf
+                     "registry invariant: %d tag vars allocated for %d threads"
+                     size (registry_cap ()))));
+  }
+
+(* Other algorithms: the linearizability check as before, no extra
+   invariant (their internals are baselines, not the paper's claims). *)
+let generic_instance ~algorithm ~capacity ~prefill threads () =
+  let tasks, check = build ~algorithm ~capacity ~prefill threads () in
+  { Dpor.tasks; check; invariant = None }
+
+let matrix_instance ~algorithm ~capacity ~prefill threads =
+  match algorithm with
+  | "evequoz-llsc" -> llsc_instance ~capacity ~prefill threads
+  | "evequoz-cas" -> cas_instance ~capacity ~prefill threads
+  | _ -> generic_instance ~algorithm ~capacity ~prefill threads
+
+(* --- post-paper scenarios: sharded facade, batched runs ------------------ *)
+
+module Sh = Nbq_scale.Sharded
+
+(* 2 shards x capacity 2 over Algorithm 1, task affinity pinned so the
+   steal-sweep window is open from the first step: shard 0 starts full, the
+   enqueuer's home is shard 0 (must sweep to shard 1), the dequeuer's home
+   is shard 1 (must steal from shard 0).  The facade is *not* linearizable
+   against a single FIFO (per-shard FIFO only), so the check is
+   conservation plus outcome sanity, not lincheck. *)
+let sharded_instance () =
+  let home () = match Sim.current_task () with -1 -> 0 | t -> t mod 2 in
+  let f =
+    Sh.create
+      ~note_steal:(fun () -> emit E.Shard_steal)
+      ~home ~shards:2
+      (fun _ ->
+        let q = SimQ1.create ~capacity:2 in
+        Sh.ops_of_singles
+          ~enq:(fun v -> SimQ1.try_enqueue q v)
+          ~deq:(fun () -> SimQ1.try_dequeue q)
+          ~len:(fun () -> SimQ1.length q))
+  in
+  Sim.run_sequential (fun () ->
+      if not (Sh.try_enqueue f 100 && Sh.try_enqueue f 101) then
+        failwith "sharded prefill failed");
+  let enq_ok = ref false and got = ref None in
+  let tasks =
+    [|
+      (fun () ->
+        enq_ok := Sh.try_enqueue f 1;
+        Sim.op_completed ());
+      (fun () ->
+        got := Sh.try_dequeue f;
+        Sim.op_completed ());
+    |]
+  in
+  let check () =
+    Sim.run_sequential (fun () ->
+        (* Shard 1 is only ever written by the enqueuer's sweep, so the
+           sweep always finds room: the enqueue must succeed.  Shard 0
+           holds >= 1 item until the single dequeuer takes one, so the
+           dequeue must succeed too. *)
+        if not !enq_ok then failwith "sharded: enqueue failed with free slots";
+        let taken =
+          match !got with
+          | None -> failwith "sharded: dequeue failed with items present"
+          | Some v -> v
+        in
+        let drained = List.sort compare (drain_all (fun () -> Sh.try_dequeue f)) in
+        let expected =
+          List.sort compare
+            (List.filter (fun v -> v <> taken) [ 100; 101; 1 ])
+        in
+        if drained <> expected then
+          failwith
+            (Printf.sprintf "sharded conservation: drained [%s], expected [%s]"
+               (String.concat ";" (List.map string_of_int drained))
+               (String.concat ";" (List.map string_of_int expected))))
+  in
+  { Dpor.tasks; check; invariant = None }
+
+(* --- seeded-bug scenarios: the liveness checker's own test dummies ------- *)
+
+(* A "queue" whose dequeue spins on a flag nobody ever sets: blocking by
+   construction, declared lock-free, so the checker must convict it
+   (Stuck { spinning }). *)
+let toy_blocking_instance () =
+  let flag = Sim.Atomic.make false in
+  let tasks =
+    [|
+      (fun () ->
+        while not (Sim.Atomic.get flag) do () done;
+        Sim.op_completed ());
+      (fun () -> Sim.op_completed ());
+    |]
+  in
+  { Dpor.tasks; check = (fun () -> ()); invariant = None }
+
+(* --- wait-layer scenarios: the eventcount under simulation --------------- *)
+
+module SimConc1 =
+  Nbq_core.Queue_intf.Make (Nbq_core.Queue_intf.Capability.Bounded (SimQ1))
+
+(* The production blocking wrapper (Queue_intf.Blocking_ec) over the
+   production eventcount protocol (Eventcount_core), both running on
+   simulated atomics and the cooperative parker.  A consumer blocks on an
+   empty queue; a producer enqueues (which issues the wake).  Lock-free
+   here means: no schedule may strand the parked consumer — the exhaustive
+   no-lost-wakeup check. *)
+let sim_wait_instance () =
+  let module W = Sim_wait.Make () in
+  let module BQ =
+    Nbq_core.Queue_intf.Blocking_ec (W.EC) (Trace_probe)
+      (Nbq_primitives.Fault.Noop)
+      (SimConc1)
+  in
+  let bq = BQ.create ~capacity:2 in
+  let got = ref None in
+  let tasks =
+    [|
+      (fun () ->
+        got := Some (BQ.dequeue bq);
+        Sim.op_completed ());
+      (fun () ->
+        BQ.enqueue bq 42;
+        Sim.op_completed ());
+    |]
+  in
+  let check () =
+    if !got <> Some 42 then failwith "sim-wait: consumer finished empty-handed"
+  in
+  { Dpor.tasks; check; invariant = None }
+
+(* The same shape with the Dekker handshake deliberately broken: the
+   consumer publishes its waiter and commits WITHOUT re-checking the
+   condition.  The producer's wake_one can then hit the empty-stack fast
+   path (condition made true before the waiter published) and skip both
+   the seq bump and the signal — the consumer parks forever.  The checker
+   must convict this as Stuck { parked } with a replayable schedule. *)
+let lost_wakeup_instance () =
+  let module W = Sim_wait.Make () in
+  let q = SimQ1.create ~capacity:2 in
+  let not_empty = W.EC.create () in
+  let got = ref None in
+  let tasks =
+    [|
+      (fun () ->
+        let rec deq () =
+          match SimQ1.try_dequeue q with
+          | Some v ->
+              got := Some v;
+              Sim.op_completed ()
+          | None -> (
+              let w = W.EC.prepare_wait not_empty in
+              (* BUG under test: no condition re-check between publish and
+                 commit — the second half of the Dekker handshake is
+                 missing. *)
+              match W.EC.commit_wait not_empty w with
+              | `Woken | `Timeout -> deq ())
+        in
+        deq ());
+      (fun () ->
+        ignore (SimQ1.try_enqueue q 42 : bool);
+        ignore (W.EC.wake_one not_empty : bool);
+        Sim.op_completed ());
+    |]
+  in
+  let check () =
+    if !got <> Some 42 then failwith "lost-wakeup: consumer finished empty"
+  in
+  { Dpor.tasks; check; invariant = None }
+
+(* --- the catalog --------------------------------------------------------- *)
+
+let matrix_specs algorithm =
+  List.map
+    (fun (name, capacity, prefill, threads) ->
+      {
+        algorithm;
+        scenario = slug name;
+        descr =
+          Printf.sprintf "%s, capacity %d, %d threads" name capacity
+            (List.length threads);
+        progress = progress_of_algorithm algorithm;
+        expect = `Pass;
+        build_instance = matrix_instance ~algorithm ~capacity ~prefill threads;
+      })
+    standard_matrix
+
+let extra_specs =
+  [
+    {
+      algorithm = "sharded-llsc";
+      scenario = "steal-sweep-2x2";
+      descr = "2 shards x capacity 2, forced steal-sweep race (PR 3 facade)";
+      progress = Props.Lock_free;
+      expect = `Pass;
+      build_instance = sharded_instance;
+    };
+    {
+      algorithm = "evequoz-cas";
+      scenario = "batch-commit";
+      descr = "batch-run enqueue commit vs concurrent dequeue";
+      progress = Props.Obstruction_free;
+      expect = `Pass;
+      build_instance =
+        cas_instance ~capacity:2 ~prefill:[] [ [ Enq_batch [ 1; 2 ] ]; [ Deq ] ];
+    };
+    {
+      algorithm = "evequoz-cas";
+      scenario = "batch-drain";
+      descr = "batch-run dequeue vs concurrent enqueue at the full boundary";
+      progress = Props.Obstruction_free;
+      expect = `Pass;
+      build_instance =
+        cas_instance ~capacity:2 ~prefill:[ 7; 8 ] [ [ Deq_batch 2 ]; [ Enq 1 ] ];
+    };
+    {
+      algorithm = "sim-wait";
+      scenario = "park-wake";
+      descr = "Blocking_ec dequeue parks; enqueue wakes (no lost wakeup)";
+      progress = Props.Lock_free;
+      expect = `Pass;
+      build_instance = sim_wait_instance;
+    };
+    {
+      algorithm = "sim-wait";
+      scenario = "lost-wakeup";
+      descr = "seeded bug: commit without the Dekker re-check strands waiter";
+      progress = Props.Lock_free;
+      expect = `Violation;
+      build_instance = lost_wakeup_instance;
+    };
+    {
+      algorithm = "toy-blocking";
+      scenario = "spin-on-dead-flag";
+      descr = "seeded bug: spin on a flag nobody sets, claimed lock-free";
+      progress = Props.Lock_free;
+      expect = `Violation;
+      build_instance = toy_blocking_instance;
+    };
+  ]
+
+let specs () =
+  List.concat_map matrix_specs algorithms @ extra_specs
+
+let spec_algorithms =
+  algorithms @ [ "sharded-llsc"; "sim-wait"; "toy-blocking" ]
+
+let find ~algorithm ~scenario =
+  List.find_opt
+    (fun s -> s.algorithm = algorithm && s.scenario = scenario)
+    (specs ())
+
+let scenario_of_spec s () =
+  let i = s.build_instance () in
+  (i.Dpor.tasks, i.Dpor.check)
+
+(* --- counterexample dump ------------------------------------------------- *)
+
+let describe_foot = function
+  | Sim.Exec.Access { Sim.loc; kind } ->
+      Printf.sprintf "%s loc#%d"
+        (match kind with `Read -> "read " | `Write -> "write")
+        loc
+  | Sim.Exec.Pure -> "yield"
+  | Sim.Exec.Unstarted -> "start"
+
+(* Re-execute a (counterexample) schedule printing every step's task and
+   access, then a short fair continuation so liveness counterexamples show
+   the loop they are stuck in, then the merged timeline of protocol events
+   (probe hooks) in Nbq_trace's flight-recorder rendering — task index as
+   the "domain", step number as the timestamp. *)
+let dump_schedule spec schedule oc =
+  Sim.reset_locations ();
+  let inst = spec.build_instance () in
+  let ex = Sim.Exec.start inst.Dpor.tasks in
+  let stepno = ref 0 and cur = ref (-1) in
+  let events = ref [] in
+  trace_sink :=
+    Some
+      (fun ev ->
+        events :=
+          ( !cur,
+            {
+              Nbq_trace.Ring.tag = Nbq_trace.Record.obs_tag ev;
+              ts = !stepno;
+              span = 0;
+              arg = 0;
+            } )
+          :: !events);
+  Fun.protect
+    ~finally:(fun () -> trace_sink := None)
+    (fun () ->
+      let buf = Buffer.create 512 in
+      let do_step c =
+        cur := c;
+        let foot = Sim.Exec.pending ex c in
+        ignore (Sim.Exec.step ex c : Sim.Exec.step_info);
+        Buffer.add_string buf
+          (Printf.sprintf "  step %-4d task %d  %s\n" !stepno c
+             (describe_foot foot));
+        incr stepno
+      in
+      Printf.fprintf oc "interleaving for %s/%s (%d scheduled steps):\n"
+        spec.algorithm spec.scenario (List.length schedule);
+      List.iter
+        (fun c -> if List.mem c (Sim.Exec.enabled ex) then do_step c)
+        schedule;
+      if Sim.Exec.enabled ex <> [] then begin
+        Buffer.add_string buf "  --- fair continuation (first 48 steps) ---\n";
+        let cursor = ref 0 in
+        (try
+           for _ = 1 to 48 do
+             match Sim.Exec.enabled ex with
+             | [] -> raise Exit
+             | en ->
+                 let t =
+                   match List.find_opt (fun i -> i >= !cursor) en with
+                   | Some t -> t
+                   | None -> List.hd en
+                 in
+                 cursor := t + 1;
+                 do_step t
+           done
+         with Exit -> ())
+      end;
+      output_string oc (Buffer.contents buf);
+      match List.rev !events with
+      | [] -> ()
+      | evs ->
+          output_string oc
+            "  protocol events (task as dom, step as timestamp):\n";
+          output_string oc (Nbq_trace.Export.timeline_of ~time_unit:"st" evs);
+          flush oc)

@@ -1,78 +1,163 @@
 open Effect
 open Effect.Deep
 
-type _ Effect.t += Yield : unit Effect.t
+(* Every scheduling point announces the shared-memory access the resuming
+   task is about to perform (None for plain [yield]s): the footprint DPOR
+   needs to decide which schedule reorderings can matter.  The yield fires
+   *before* the access, so a paused task's next footprint is known to the
+   scheduler at choice time. *)
+type access = { loc : int; kind : [ `Read | `Write ] }
 
-let yield () = perform Yield
+type _ Effect.t +=
+  | Yield : access option -> unit Effect.t
+  | Progress : unit Effect.t        (* a queue operation completed *)
+  | Task_id : int Effect.t          (* identity for per-task sim state *)
+  | Parked : bool -> unit Effect.t  (* waiting-layer metadata for liveness *)
+
+let yield () = perform (Yield None)
+let op_completed () = perform Progress
+let current_task () = perform Task_id
+let mark_parked b = perform (Parked b)
+
+(* Location ids must be deterministic across re-executions (DPOR compares
+   footprints recorded in one run against accesses replayed in another), so
+   explorers reset this counter before each scenario build.  Locations
+   allocated lazily mid-run are still sound: any state reached through a
+   shared replayed prefix allocates them in the same order. *)
+let loc_counter = ref 0
+let reset_locations () = loc_counter := 0
+
+let fresh_loc () =
+  incr loc_counter;
+  !loc_counter
 
 module Atomic : Nbq_primitives.Atomic_intf.ATOMIC = struct
   (* Plain refs: the simulated threads are cooperatively scheduled in one
      domain, so each access is already atomic; the Yield before it makes
      it a scheduling point. *)
-  type 'a t = 'a ref
+  type 'a t = { cell : 'a ref; loc : int }
 
-  let make v = ref v
+  let make v = { cell = ref v; loc = fresh_loc () }
 
   let get r =
-    yield ();
-    !r
+    perform (Yield (Some { loc = r.loc; kind = `Read }));
+    !(r.cell)
 
   let set r v =
-    yield ();
-    r := v
+    perform (Yield (Some { loc = r.loc; kind = `Write }));
+    r.cell := v
 
   let compare_and_set r old v =
-    yield ();
-    (* Same semantics as Stdlib.Atomic: physical comparison (which is value
-       comparison for immediates). *)
-    if !r == old then begin
-      r := v;
+    (* A failed CAS writes nothing, but announcing it as a write keeps the
+       dependency relation static (the outcome is unknown at choice time)
+       — conservative, never unsound. *)
+    perform (Yield (Some { loc = r.loc; kind = `Write }));
+    if !(r.cell) == old then begin
+      r.cell := v;
       true
     end
     else false
 
   let fetch_and_add r n =
-    yield ();
-    let v = !r in
-    r := v + n;
+    perform (Yield (Some { loc = r.loc; kind = `Write }));
+    let v = !(r.cell) in
+    r.cell := v + n;
     v
 end
 
-(* --- One controlled execution --- *)
+(* --- The stepping core: one controlled execution --- *)
 
-type task =
-  | Pending of (unit -> unit)
-  | Paused of (unit, unit) continuation
-  | Finished
+module Exec = struct
+  type footprint =
+    | Access of access  (* paused immediately before this atomic access *)
+    | Pure  (* paused at a plain [yield]; the next step touches nothing *)
+    | Unstarted  (* never ran; its first step runs up to its first yield,
+                    performing no shared access on the way *)
 
-(* Run task [i] until its next scheduling point (or completion). *)
-let step st i =
-  let handler =
+  type task =
+    | Pending of (unit -> unit)
+    | Paused of (unit, unit) continuation * access option
+    | Finished
+
+  type t = {
+    st : task array;
+    parked : bool array;
+    mutable progress_hit : bool;
+  }
+
+  type step_info = { performed : access option; progressed : bool }
+
+  let start thunks =
     {
-      retc = (fun () -> st.(i) <- Finished);
-      exnc = raise;
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Yield ->
-              Some
-                (fun (k : (a, unit) continuation) -> st.(i) <- Paused k)
-          | _ -> None);
+      st = Array.map (fun f -> Pending f) thunks;
+      parked = Array.make (Array.length thunks) false;
+      progress_hit = false;
     }
-  in
-  match st.(i) with
-  | Pending thunk -> match_with thunk () handler
-  | Paused k ->
-      (* Mark running so a re-entrant step is impossible; the handler
-         attached at [match_with] time still intercepts the next Yield. *)
-      st.(i) <- Finished;
-      continue k ()
-  | Finished -> invalid_arg "Sim.step: task already finished"
 
-let enabled st =
-  let acc = ref [] in
-  Array.iteri (fun i t -> if t <> Finished then acc := i :: !acc) st;
-  List.rev !acc
+  let ntasks t = Array.length t.st
+
+  let enabled t =
+    let acc = ref [] in
+    Array.iteri
+      (fun i task -> match task with Finished -> () | _ -> acc := i :: !acc)
+      t.st;
+    List.rev !acc
+
+  let pending t i =
+    match t.st.(i) with
+    | Pending _ -> Unstarted
+    | Paused (_, Some a) -> Access a
+    | Paused (_, None) -> Pure
+    | Finished -> invalid_arg "Sim.Exec.pending: task already finished"
+
+  let parked t i = t.parked.(i)
+
+  (* Run task [i] until its next scheduling point (or completion). *)
+  let step t i =
+    let handler =
+      {
+        retc = (fun () -> t.st.(i) <- Finished);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield acc ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    t.st.(i) <- Paused (k, acc))
+            | Progress ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    t.progress_hit <- true;
+                    continue k ())
+            | Task_id -> Some (fun (k : (a, unit) continuation) -> continue k i)
+            | Parked b ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    t.parked.(i) <- b;
+                    continue k ())
+            | _ -> None);
+      }
+    in
+    t.progress_hit <- false;
+    let performed =
+      match t.st.(i) with
+      | Pending _ -> None
+      | Paused (_, a) -> a
+      | Finished -> invalid_arg "Sim.step: task already finished"
+    in
+    (match t.st.(i) with
+    | Pending thunk -> match_with thunk () handler
+    | Paused (k, _) ->
+        (* Mark running so a re-entrant step is impossible; the handler
+           attached at [match_with] time still intercepts the next Yield. *)
+        t.st.(i) <- Finished;
+        continue k ()
+    | Finished -> invalid_arg "Sim.step: task already finished");
+    { performed; progressed = t.progress_hit }
+end
+
+(* --- Legacy DFS explorer (rebuilt on Exec, behavior unchanged) --- *)
 
 (* Execute one schedule.  [choices] pins the first decisions; beyond it the
    schedule continues non-preemptively (keep running the current task).
@@ -87,9 +172,9 @@ let enabled st =
    with at most that many preemptions (the CHESS insight: almost all
    concurrency bugs need very few).  [None] = unbounded. *)
 let run_once tasks ~choices ~max_steps ~preemption_bound =
-  let st = Array.map (fun f -> Pending f) tasks in
+  let ex = Exec.start tasks in
   let rec loop steps choices rev_trace last preemptions =
-    match enabled st with
+    match Exec.enabled ex with
     | [] -> (`Completed, rev_trace)
     | en ->
         if steps >= max_steps then (`Diverged, rev_trace)
@@ -101,8 +186,7 @@ let run_once tasks ~choices ~max_steps ~preemption_bound =
           in
           let allowed =
             match last with
-            | Some l when List.mem l en ->
-                if may_preempt then en else [ l ]
+            | Some l when List.mem l en -> if may_preempt then en else [ l ]
             | Some _ | None -> en
           in
           let chosen, rest =
@@ -117,7 +201,7 @@ let run_once tasks ~choices ~max_steps ~preemption_bound =
             | Some l -> chosen <> l && List.mem l en
             | None -> false
           in
-          step st chosen;
+          ignore (Exec.step ex chosen : Exec.step_info);
           loop (steps + 1) rest
             ((allowed, chosen) :: rev_trace)
             (Some chosen)
@@ -143,8 +227,7 @@ let next_prefix rev_trace =
     | [] -> None
     | (en, chosen) :: shallower -> (
         match List.find_opt (fun e -> e > chosen) en with
-        | Some alt ->
-            Some (List.rev_append (List.map snd shallower) [ alt ])
+        | Some alt -> Some (List.rev_append (List.map snd shallower) [ alt ])
         | None -> go shallower)
   in
   go rev_trace
@@ -156,6 +239,7 @@ let explore ?(max_steps = 10_000) ?(max_schedules = 1_000_000)
     if !schedules >= max_schedules then false
     else begin
       incr schedules;
+      reset_locations ();
       let tasks, check = scenario () in
       let status, rev_trace =
         run_once tasks ~choices:prefix ~max_steps ~preemption_bound
@@ -166,8 +250,7 @@ let explore ?(max_steps = 10_000) ?(max_schedules = 1_000_000)
           try check ()
           with e ->
             let schedule = List.rev_map snd rev_trace in
-            raise
-              (Violation { schedule; message = Printexc.to_string e }))
+            raise (Violation { schedule; message = Printexc.to_string e }))
       | `Diverged -> incr diverged);
       match next_prefix rev_trace with
       | None -> true
@@ -190,7 +273,10 @@ let run_sequential f =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Yield -> Some (fun (k : (a, _) continuation) -> continue k ())
+          | Yield _ -> Some (fun (k : (a, _) continuation) -> continue k ())
+          | Progress -> Some (fun (k : (a, _) continuation) -> continue k ())
+          | Task_id -> Some (fun (k : (a, _) continuation) -> continue k (-1))
+          | Parked _ -> Some (fun (k : (a, _) continuation) -> continue k ())
           | _ -> None);
     }
 
@@ -200,10 +286,11 @@ let run_sequential f =
    exploration: a seeded chooser gives a reproducible run, and the returned
    trace is the exact schedule for replay/shrinking. *)
 let run_guided ?(max_steps = 100_000) ~choose scenario =
+  reset_locations ();
   let tasks, check = scenario () in
-  let st = Array.map (fun f -> Pending f) tasks in
+  let ex = Exec.start tasks in
   let rec loop steps rev_trace =
-    match enabled st with
+    match Exec.enabled ex with
     | [] ->
         check ();
         (`Completed, List.rev rev_trace)
@@ -213,17 +300,17 @@ let run_guided ?(max_steps = 100_000) ~choose scenario =
           let chosen = choose ~step:steps ~enabled:en in
           if not (List.mem chosen en) then
             invalid_arg "Sim.run_guided: choose picked a disabled task";
-          step st chosen;
+          ignore (Exec.step ex chosen : Exec.step_info);
           loop (steps + 1) (chosen :: rev_trace)
         end
   in
   loop 0 []
 
-let run_schedule scenario schedule =
+let run_schedule ?(max_steps = max_int) scenario schedule =
+  reset_locations ();
   let tasks, check = scenario () in
   let status, _ =
-    run_once tasks ~choices:schedule ~max_steps:max_int
-      ~preemption_bound:None
+    run_once tasks ~choices:schedule ~max_steps ~preemption_bound:None
   in
   (match status with `Completed -> check () | `Diverged -> ());
   status

@@ -21,7 +21,19 @@
     schedule tree).  Schedules longer than [max_steps] are cut off and
     counted as {e diverged} rather than explored further; the checker
     therefore verifies every {e terminating} schedule and reports how many
-    divergent branches were pruned. *)
+    divergent branches were pruned.  {!Dpor} refines both sides of this
+    picture: partial-order reduction over the access footprints exposed by
+    {!Exec}, and a fairness probe that classifies diverged branches.
+
+    {!explore} here remains the plain unreduced DFS — the baseline the
+    DPOR engine is measured against, and the engine behind the original
+    matrix tests. *)
+
+type access = { loc : int; kind : [ `Read | `Write ] }
+(** The shared-memory footprint of one scheduling point: which atomic
+    location the resuming task is about to touch, and whether it may write
+    it.  CAS and fetch-and-add announce themselves as writes even when
+    they end up failing — conservative for DPOR, never unsound. *)
 
 module Atomic : Nbq_primitives.Atomic_intf.ATOMIC
 (** Instrumented atomics.  Only meaningful inside a thread run by
@@ -30,6 +42,66 @@ module Atomic : Nbq_primitives.Atomic_intf.ATOMIC
 val yield : unit -> unit
 (** An explicit scheduling point, for modelling non-atomic interleaving
     inside scenario threads. *)
+
+val op_completed : unit -> unit
+(** Scenario threads call this when a queue operation completes.  It is
+    {e not} a scheduling point (the handler resumes immediately); it feeds
+    the liveness checker's notion of progress: a diverged branch in which
+    no thread ever reaches [op_completed] again is a livelock witness. *)
+
+val current_task : unit -> int
+(** Index of the simulated task performing the call ([-1] under
+    {!run_sequential}).  Lets simulated per-thread state (e.g. the parker
+    of the simulated wait layer) be keyed without domains. *)
+
+val mark_parked : bool -> unit
+(** Waiting-layer metadata: the calling task declares itself parked (or
+    unparked).  Not a scheduling point.  Used by divergence classification
+    to tell a lost wakeup (parked forever) from a plain spin. *)
+
+val reset_locations : unit -> unit
+(** Reset the global location-id counter.  Explorers call this before each
+    scenario build so location ids are deterministic across the
+    re-executions DPOR compares. *)
+
+(** The stepping core: one controlled execution of a task array, exposing
+    exactly what a scheduler needs — who is runnable, what each runnable
+    task will touch next, and single-stepping.  {!explore}, {!run_guided}
+    and {!Dpor} are all built on it. *)
+module Exec : sig
+  type footprint =
+    | Access of access
+        (** paused immediately before this atomic access *)
+    | Pure  (** paused at a plain {!yield}; the next step touches nothing *)
+    | Unstarted
+        (** never ran; its first step runs up to its first scheduling
+            point, performing no shared access on the way *)
+
+  type t
+
+  type step_info = {
+    performed : access option;
+        (** the access the step performed on resumption, if any *)
+    progressed : bool;  (** did the step pass an {!op_completed}? *)
+  }
+
+  val start : (unit -> unit) array -> t
+  val ntasks : t -> int
+
+  val enabled : t -> int list
+  (** Unfinished task indices, ascending. *)
+
+  val pending : t -> int -> footprint
+  (** What the task will do when next scheduled.  The yield fires before
+      the access, so this is known without running it. *)
+
+  val parked : t -> int -> bool
+  (** Whether the task last declared itself parked via {!mark_parked}. *)
+
+  val step : t -> int -> step_info
+  (** Run one task until its next scheduling point (or completion).
+      Raises [Invalid_argument] on a finished task. *)
+end
 
 type stats = {
   schedules : int;      (** schedules executed (completed + diverged) *)
@@ -83,11 +155,15 @@ val run_guided :
     ([Nbq_fault.Explore]). *)
 
 val run_schedule :
+  ?max_steps:int ->
   (unit -> (unit -> unit) array * (unit -> unit)) -> int list ->
   [ `Completed | `Diverged ]
 (** Re-execute one specific schedule (e.g. a {!Violation.schedule}) for
     debugging; runs the check if the schedule completes.  Choices beyond
-    the list fall back to the lowest enabled thread. *)
+    the list fall back to the lowest enabled thread.  [max_steps] (default
+    unbounded) cuts the run off as [`Diverged] — pass the schedule length
+    to replay a liveness counterexample without running its infinite
+    suffix. *)
 
 val run_sequential : (unit -> 'a) -> 'a
 (** Run code that uses {!Atomic} outside the explorer, ignoring the

@@ -176,22 +176,32 @@ let validate_chrome_file path =
 
 (* --- Text surfaces ------------------------------------------------------- *)
 
-let pp_record buf dom ({ Ring.tag; ts; span; arg } : Ring.record) =
+let pp_record ?(time_unit = "ns") buf dom
+    ({ Ring.tag; ts; span; arg } : Ring.record) =
   let name =
     match Record.kind_of_tag tag with
     | Some k -> Record.kind_name k
     | None -> Printf.sprintf "?tag=%#x" tag
   in
   Buffer.add_string buf
-    (Printf.sprintf "%12d ns  dom %-3d span %-6d %-22s arg=%d\n" ts dom span
-       name arg)
+    (Printf.sprintf "%12d %-4sdom %-3d span %-6d %-22s arg=%d\n" ts time_unit
+       dom span name arg)
+
+(* The merged timeline over explicit (domain, record) pairs — shared by
+   the recorder-backed [timeline] below and the model checker's
+   interleaving dumps, where "domain" is a simulated task index and [ts]
+   is a schedule step number rather than nanoseconds. *)
+let timeline_of ?time_unit pairs =
+  let pairs =
+    List.stable_sort (fun (_, a) (_, b) -> compare a.Ring.ts b.Ring.ts) pairs
+  in
+  let buf = Buffer.create 1024 in
+  List.iter (fun (dom, r) -> pp_record ?time_unit buf dom r) pairs;
+  Buffer.contents buf
 
 let timeline ?last t =
   let es = entries ?last t in
-  let es = List.sort (fun a b -> compare a.r.Ring.ts b.r.Ring.ts) es in
-  let buf = Buffer.create 1024 in
-  List.iter (fun { dom; r } -> pp_record buf dom r) es;
-  Buffer.contents buf
+  timeline_of (List.map (fun { dom; r } -> (dom, r)) es)
 
 (* The post-mortem surface: last [last] records of each domain's ring,
    grouped per domain, oldest first — printed by torture next to the

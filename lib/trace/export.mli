@@ -23,6 +23,12 @@ val validate_chrome_file : string -> (chrome_stats, string) result
 val timeline : ?last:int -> Recorder.t -> string
 (** All domains' records merged and sorted by timestamp, one line each. *)
 
+val timeline_of : ?time_unit:string -> (int * Ring.record) list -> string
+(** The same merged-timeline rendering over explicit (domain, record)
+    pairs.  Reused by the model checker's counterexample dumps, where the
+    "domain" is a simulated task index and [ts] a schedule step number
+    ([~time_unit:"st"]). *)
+
 val dump : ?last:int -> Recorder.t -> out_channel -> unit
 (** Last [last] (default 64) records of each domain's ring, grouped per
     domain, oldest first — the flight-recorder dump torture prints next to

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Regenerates every experiment artifact into results/ (see EXPERIMENTS.md).
 set -x
-dune exec bin/modelcheck_run.exe > results/modelcheck.txt 2>&1
+dune exec bin/modelcheck_run.exe -- --json results/modelcheck.json > results/modelcheck.txt 2>&1
 dune exec bin/space.exe > results/space.txt 2>&1
 dune exec bin/overhead.exe -- --runs 5 --scale 0.1 > results/overhead.txt 2>&1
 dune exec bin/shann_vs_cas.exe -- --runs 3 --scale 0.1 > results/shann_vs_cas.txt 2>&1

@@ -356,6 +356,240 @@ let q2_livelock_branches_exist () =
         (stats.Sim.diverged > 0)
   | exception Sim.Violation { message; _ } -> Alcotest.fail message
 
+(* --- DPOR + temporal properties --- *)
+
+module Dpor = Nbq_modelcheck.Dpor
+module Props = Nbq_modelcheck.Props
+module Repro = Nbq_modelcheck.Repro
+
+let find_spec algorithm scenario =
+  match Scenarios.find ~algorithm ~scenario with
+  | Some s -> s
+  | None -> Alcotest.failf "spec %s/%s missing from the catalog" algorithm scenario
+
+(* A seeded liveness bug must be convicted, its NBQ-FAULT-REPRO line must
+   survive a print/parse roundtrip, and the schedule must reproduce the
+   verdict through both replay surfaces. *)
+let seeded_bug_convicted algorithm scenario () =
+  let spec = find_spec algorithm scenario in
+  match Dpor.explore ~max_steps:60 ~progress:spec.progress spec.build_instance with
+  | _ -> Alcotest.failf "%s/%s: seeded bug not convicted" algorithm scenario
+  | exception Sim.Violation { schedule; message } ->
+      Alcotest.(check bool) "classified as liveness" true
+        (Props.is_liveness_message message);
+      (* repro-line roundtrip *)
+      let repro =
+        Repro.of_violation ~algorithm:spec.algorithm ~scenario:spec.scenario
+          ~message schedule
+      in
+      let line = Repro.to_line repro in
+      (match Repro.parse ("prefix noise " ^ line) with
+      | Some r ->
+          Alcotest.(check string) "algorithm" algorithm r.Repro.algorithm;
+          Alcotest.(check string) "scenario" scenario r.Repro.scenario;
+          Alcotest.(check (list int)) "schedule" schedule r.Repro.schedule;
+          Alcotest.(check bool) "kind" true (r.Repro.kind = `Liveness)
+      | None -> Alcotest.fail "repro line did not parse back");
+      (* Dpor.replay re-derives the violation *)
+      (match
+         Dpor.replay ~progress:spec.progress spec.build_instance schedule
+       with
+      | { Dpor.violation = Some _; status = `Diverged (Props.Stuck _) } -> ()
+      | { Dpor.violation = Some _; _ } ->
+          Alcotest.fail "replay violated but not as Stuck"
+      | { Dpor.violation = None; _ } ->
+          Alcotest.fail "replay did not reproduce the violation");
+      (* ... and the legacy surface agrees the schedule diverges. *)
+      (match
+         Sim.run_schedule ~max_steps:(List.length schedule)
+           (Scenarios.scenario_of_spec spec)
+           schedule
+       with
+      | `Diverged -> ()
+      | `Completed -> Alcotest.fail "run_schedule completed unexpectedly")
+
+let dpor_convicts_toy_blocking =
+  seeded_bug_convicted "toy-blocking" "spin-on-dead-flag"
+
+let dpor_convicts_lost_wakeup = seeded_bug_convicted "sim-wait" "lost-wakeup"
+
+let dpor_park_wake_no_lost_wakeup () =
+  (* The production eventcount (Blocking_ec over Eventcount_core) under
+     simulation: every schedule either completes or resolves under the
+     fair continuation, and no schedule strands the parked consumer. *)
+  let spec = find_spec "sim-wait" "park-wake" in
+  match Dpor.explore ~max_steps:60 ~progress:spec.progress spec.build_instance with
+  | stats ->
+      Alcotest.(check bool) "exhaustive" true stats.Dpor.exhaustive;
+      Alcotest.(check int) "no stuck branch" 0 stats.Dpor.stuck;
+      Alcotest.(check bool) "nontrivial tree" true (stats.Dpor.schedules > 50)
+  | exception Sim.Violation { message; _ } -> Alcotest.fail message
+
+let dpor_catches_planted_safety_bug () =
+  (* The naive Fig.1-style ring again, this time through the DPOR engine:
+     reduction must not prune the item-losing interleaving away. *)
+  let build () =
+    let module A = Sim.Atomic in
+    let slots = Array.init 4 (fun _ -> A.make 0) in
+    let tail = A.make 0 in
+    let enq v () =
+      let t = A.get tail in
+      A.set slots.(t land 3) v;
+      ignore (A.compare_and_set tail t (t + 1));
+      Sim.op_completed ()
+    in
+    let check () =
+      Sim.run_sequential (fun () ->
+          let found = ref 0 in
+          Array.iter (fun s -> if A.get s <> 0 then incr found) slots;
+          if !found <> 2 then failwith "naive ring lost an item")
+    in
+    { Dpor.tasks = [| enq 1; enq 2 |]; check; invariant = None }
+  in
+  match Dpor.explore ~progress:Props.Lock_free build with
+  | _ -> Alcotest.fail "DPOR missed the naive-ring bug"
+  | exception Sim.Violation { schedule; message } -> (
+      Alcotest.(check bool) "safety, not liveness" false
+        (Props.is_liveness_message message);
+      match Dpor.replay ~progress:Props.Lock_free build schedule with
+      | { Dpor.violation = Some _; _ } -> ()
+      | { Dpor.violation = None; _ } ->
+          Alcotest.fail "replay did not reproduce")
+
+let dpor_reduction_factor () =
+  (* The acceptance bar: on the standard matrix, DPOR needs >= 5x fewer
+     schedules than unreduced DFS (preemption_bound None) over the same
+     tree.  The DFS budget is capped at 5x the DPOR count + 1, so hitting
+     the cap proves the ratio. *)
+  let spec = find_spec "evequoz-llsc" "enq-enq" in
+  let dpor_stats =
+    Dpor.explore ~max_steps:60 ~progress:spec.progress spec.build_instance
+  in
+  Alcotest.(check bool) "DPOR exhaustive" true dpor_stats.Dpor.exhaustive;
+  let budget = (5 * dpor_stats.Dpor.schedules) + 1 in
+  let dfs_stats =
+    Dpor.explore ~dpor:false ~max_steps:60 ~max_schedules:budget
+      ~progress:spec.progress spec.build_instance
+  in
+  Alcotest.(check bool) "DFS needs >= 5x the schedules" true
+    ((not dfs_stats.Dpor.exhaustive)
+    || dfs_stats.Dpor.schedules >= 5 * dpor_stats.Dpor.schedules)
+
+let dpor_livelock_witness_classified () =
+  (* Two writers ping-ponging forever without completing an operation:
+     the fair probe cannot resolve them, the divergence carries writers,
+     and a lock-free claim is violated — the Livelock_witness path. *)
+  let build () =
+    let c = Sim.Atomic.make 0 in
+    let spin i () =
+      while true do
+        Sim.Atomic.set c i
+      done
+    in
+    { Dpor.tasks = [| spin 1; spin 2 |]; check = (fun () -> ()); invariant = None }
+  in
+  (match Dpor.explore ~max_schedules:50 ~progress:Props.Lock_free build with
+  | _ -> Alcotest.fail "livelock witness not convicted under lock-freedom"
+  | exception Sim.Violation { message; _ } ->
+      Alcotest.(check bool) "liveness message" true
+        (Props.is_liveness_message message));
+  (* The same witness is tolerated under an obstruction-freedom claim. *)
+  match Dpor.explore ~max_schedules:50 ~progress:Props.Obstruction_free build with
+  | stats ->
+      Alcotest.(check bool) "witnesses observed" true (stats.Dpor.livelock > 0)
+  | exception Sim.Violation { message; _ } -> Alcotest.fail message
+
+let dpor_llsc_matrix_quick () =
+  (* The full standard matrix for Algorithm 1 through DPOR with the
+     strengthened checks (conservation by drain, index invariant) — small
+     enough to stay in the quick tier. *)
+  List.iter
+    (fun (s : Scenarios.spec) ->
+      if s.algorithm = "evequoz-llsc" then
+        match
+          Dpor.explore ~max_steps:60 ~progress:s.progress s.build_instance
+        with
+        | stats ->
+            Alcotest.(check bool)
+              (s.scenario ^ ": exhaustive") true stats.Dpor.exhaustive
+        | exception Sim.Violation { schedule; message } ->
+            Alcotest.failf "%s: schedule [%s]: %s" s.scenario
+              (String.concat ";" (List.map string_of_int schedule))
+              message)
+    (Scenarios.specs ())
+
+let dpor_extra_specs_quick () =
+  (* The post-paper scenarios: sharded steal-sweep and Algorithm 2's
+     batch-run commit/drain races.  Tiny trees, strong checks. *)
+  List.iter
+    (fun (algorithm, scenario) ->
+      let s = find_spec algorithm scenario in
+      match
+        Dpor.explore ~max_steps:60 ~progress:s.progress s.build_instance
+      with
+      | stats ->
+          Alcotest.(check bool)
+            (algorithm ^ "/" ^ scenario ^ ": exhaustive")
+            true stats.Dpor.exhaustive;
+          Alcotest.(check bool)
+            (algorithm ^ "/" ^ scenario ^ ": nontrivial")
+            true (stats.Dpor.schedules > 1)
+      | exception Sim.Violation { schedule; message } ->
+          Alcotest.failf "%s/%s: schedule [%s]: %s" algorithm scenario
+            (String.concat ";" (List.map string_of_int schedule))
+            message)
+    [
+      ("sharded-llsc", "steal-sweep-2x2");
+      ("evequoz-cas", "batch-commit");
+      ("evequoz-cas", "batch-drain");
+    ]
+
+let dump_schedule_renders () =
+  let spec = find_spec "toy-blocking" "spin-on-dead-flag" in
+  let schedule =
+    match
+      Dpor.explore ~max_steps:60 ~progress:spec.progress spec.build_instance
+    with
+    | _ -> Alcotest.fail "expected a violation"
+    | exception Sim.Violation { schedule; _ } -> schedule
+  in
+  let path = Filename.temp_file "nbq-dump" ".txt" in
+  let oc = open_out path in
+  Scenarios.dump_schedule spec schedule oc;
+  close_out oc;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "names the spec" true
+    (let sub = "toy-blocking/spin-on-dead-flag" in
+     let n = String.length sub and m = String.length text in
+     let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+     go 0);
+  Alcotest.(check bool) "shows steps" true
+    (String.length text > 200)
+
+let repro_parse_rejects_noise () =
+  Alcotest.(check bool) "plain text" true (Repro.parse "hello world" = None);
+  Alcotest.(check bool) "v1 line is not v2-mc" true
+    (Repro.parse
+       "NBQ-FAULT-REPRO v1-torture queue=evequoz-llsc point=ll_reserve \
+        action=stall workers=4 ops=100 trigger=12 seed=1"
+    = None);
+  let t =
+    {
+      Repro.algorithm = "evequoz-llsc";
+      scenario = "enq-enq";
+      kind = `Safety;
+      schedule = [];
+    }
+  in
+  match Repro.parse (Repro.to_line t) with
+  | Some r ->
+      Alcotest.(check bool) "empty schedule roundtrips" true
+        (r.Repro.schedule = [])
+  | None -> Alcotest.fail "roundtrip failed"
+
 let () =
   Alcotest.run "modelcheck"
     [
@@ -402,5 +636,18 @@ let () =
           slow "herlihy-wing matrix" hw_matrix;
           slow "lms-optimistic matrix" lms_matrix;
           slow "valois-dcas matrix" valois_matrix;
+        ] );
+      ( "dpor",
+        [
+          quick "convicts toy-blocking spin" dpor_convicts_toy_blocking;
+          quick "convicts eventcount lost wakeup" dpor_convicts_lost_wakeup;
+          quick "park/wake has no lost wakeup" dpor_park_wake_no_lost_wakeup;
+          quick "catches planted safety bug" dpor_catches_planted_safety_bug;
+          quick ">=5x reduction vs plain DFS" dpor_reduction_factor;
+          quick "livelock witness classification" dpor_livelock_witness_classified;
+          quick "algorithm-1 matrix exhaustive" dpor_llsc_matrix_quick;
+          quick "sharded + batch scenarios" dpor_extra_specs_quick;
+          quick "dump_schedule renders" dump_schedule_renders;
+          quick "repro parse rejects noise" repro_parse_rejects_noise;
         ] );
     ]
