@@ -5,7 +5,9 @@
    c) epoch-based reclamation batch size;
    d) array capacity vs contention for the CAS queue;
    e) the reclamation axis at a glance: GC vs HP vs EBR vs simulated-LL/SC
-      reclamation on the same MS queue.  *)
+      reclamation on the same MS queue;
+   f) the LL/SC backend axis: one ring functor, three cell contracts
+      (tag-protocol singles vs amortized batch runs vs Blelloch-Wei).  *)
 
 open Cmdliner
 open Nbq_harness
@@ -13,9 +15,20 @@ open Nbq_harness
 let custom_impl ~name ~family create_instance =
   Registry.custom ~name ~family create_instance
 
-let measure impl threads runs workload capacity =
+(* Every measurement lands in results/bench_summary.json (bench =
+   "ablation"; [variant] carries the knob setting) so check.sh's
+   bench_compare gate and later sessions can diff ablation runs. *)
+let summary_rows : Bench_summary.row list ref = ref []
+
+let measure ?variant ?batched impl threads runs workload capacity =
   let cfg = { Runner.threads; runs; workload; capacity } in
-  (Runner.measure impl cfg).Runner.summary.Stats.mean
+  let m = Runner.measure ?batched impl cfg in
+  summary_rows :=
+    Bench_summary.row_of_measurement ~bench:"ablation" ?variant m
+    :: !summary_rows;
+  m
+
+let mean (m : Runner.measurement) = m.Runner.summary.Stats.mean
 
 let weak_llsc_ablation ~threads ~runs ~workload ~csv =
   let t =
@@ -31,13 +44,18 @@ let weak_llsc_ablation ~threads ~runs ~workload ~csv =
     (fun rate ->
       Atomic.set Nbq_core.Evequoz_llsc.On_weak_cells.failure_rate rate;
       let impl = Registry.find "evequoz-llsc-weak" in
-      let mean = measure impl threads runs workload None in
-      if Float.is_nan !base then base := mean;
+      let s =
+        mean
+          (measure
+             ~variant:(Printf.sprintf "weak-llsc:rate=%.2f" rate)
+             impl threads runs workload None)
+      in
+      if Float.is_nan !base then base := s;
       Table.add_row t
         [
           Printf.sprintf "%.2f" rate;
-          Table.cell_float mean;
-          Printf.sprintf "%.2fx" (mean /. !base);
+          Table.cell_float s;
+          Printf.sprintf "%.2fx" (s /. !base);
         ])
     [ 0.0; 0.01; 0.05; 0.1; 0.2; 0.4 ];
   Atomic.set Nbq_core.Evequoz_llsc.On_weak_cells.failure_rate 0.05;
@@ -68,7 +86,9 @@ let hp_threshold_ablation ~threads ~runs ~workload ~csv =
               ~length:(fun () -> Nbq_baselines.Ms_hazard.length q)
               ())
       in
-      let mean = measure impl threads runs workload None in
+      let s =
+        mean (measure ~variant:"hp-threshold" impl threads runs workload None)
+      in
       let scans, freed =
         match !manager_probe with
         | Some mgr ->
@@ -79,7 +99,7 @@ let hp_threshold_ablation ~threads ~runs ~workload ~csv =
       Table.add_row t
         [
           string_of_int factor;
-          Table.cell_float mean;
+          Table.cell_float s;
           string_of_int scans;
           string_of_int freed;
         ])
@@ -110,7 +130,9 @@ let ebr_batch_ablation ~threads ~runs ~workload ~csv =
               ~length:(fun () -> Nbq_baselines.Ms_epoch.length q)
               ())
       in
-      let mean = measure impl threads runs workload None in
+      let s =
+        mean (measure ~variant:"ebr-batch" impl threads runs workload None)
+      in
       let freed, pending =
         match !probe with
         | Some mgr ->
@@ -120,7 +142,7 @@ let ebr_batch_ablation ~threads ~runs ~workload ~csv =
       Table.add_row t
         [
           string_of_int batch;
-          Table.cell_float mean;
+          Table.cell_float s;
           string_of_int freed;
           string_of_int pending;
         ])
@@ -141,8 +163,13 @@ let capacity_ablation ~threads ~runs ~workload ~csv =
     (fun mult ->
       let cap = min_cap * mult in
       let impl = Registry.find "evequoz-cas" in
-      let mean = measure impl threads runs workload (Some cap) in
-      Table.add_row t [ string_of_int cap; Table.cell_float mean ])
+      let s =
+        mean
+          (measure
+             ~variant:(Printf.sprintf "capacity:cap=%d" cap)
+             impl threads runs workload (Some cap))
+      in
+      Table.add_row t [ string_of_int cap; Table.cell_float s ])
     [ 1; 2; 8; 64 ];
   Fig_common.emit ~csv t
 
@@ -150,6 +177,16 @@ let reclamation_axis ~runs ~workload ~csv ~max_threads =
   let series = [ "ms-gc"; "ms-hp-sorted"; "ms-ebr"; "ms-doherty" ] in
   let threads = Fig_common.clamp_threads max_threads [ 1; 2; 4; 8; 16 ] in
   let results = Fig_common.measure_series ~series ~threads ~runs ~workload in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (_, m) ->
+          summary_rows :=
+            Bench_summary.row_of_measurement ~bench:"ablation"
+              ~variant:"reclamation" m
+            :: !summary_rows)
+        r.Fig_common.cells)
+    results;
   let table =
     Fig_common.actual_table
       ~title:
@@ -157,6 +194,65 @@ let reclamation_axis ~runs ~workload ~csv ~max_threads =
       ~series results
   in
   Fig_common.emit ~csv table
+
+(* Ablation (f): the tentpole's three cell contracts behind the one ring
+   functor (Evequoz_ring), same workload:
+   - cas-singles: the paper's tag-variable protocol, one ReRegister CAS
+     per operation ("evequoz-cas" as registered);
+   - cas-batched: the same queue through the amortized batch runs (one
+     ReRegister and one counter CAS per run), driven by the runner's
+     batched demand loop;
+   - evequoz-bw: the Blelloch-Wei constant-time backend, whose
+     ReRegister is a literal no-op (zero hot-path registry traffic). *)
+let backends_ablation ~runs ~workload ~csv ~max_threads =
+  let module Cas_batched_conc =
+    Nbq_core.Queue_intf.Make
+      (Nbq_core.Queue_intf.Capability.Bounded_batch
+         (Nbq_core.Evequoz_cas.Batched))
+  in
+  let batched_impl =
+    Registry.of_conc ~name:"evequoz-cas-batched" ~family:Registry.Array_based
+      (module Cas_batched_conc)
+  in
+  let threads_list = Fig_common.clamp_threads max_threads [ 1; 2; 4; 8 ] in
+  let t =
+    Table.create
+      ~title:
+        "Ablation (f): LL/SC backend under the unified ring functor \
+         [seconds] (singles = tag protocol; batched = amortized runs; bw = \
+         Blelloch-Wei, no-op ReRegister)"
+      ~columns:
+        [ "threads"; "cas-singles"; "cas-batched"; "evequoz-bw"; "bw/singles" ]
+  in
+  List.iter
+    (fun threads ->
+      let singles =
+        mean
+          (measure ~variant:"backends"
+             (Registry.find "evequoz-cas")
+             threads runs workload None)
+      in
+      let batched =
+        mean
+          (measure ~variant:"backends" ~batched:true batched_impl threads runs
+             workload None)
+      in
+      let bw =
+        mean
+          (measure ~variant:"backends"
+             (Registry.find "evequoz-bw")
+             threads runs workload None)
+      in
+      Table.add_row t
+        [
+          string_of_int threads;
+          Table.cell_float singles;
+          Table.cell_float batched;
+          Table.cell_float bw;
+          Printf.sprintf "%.2fx" (bw /. singles);
+        ])
+    threads_list;
+  Fig_common.emit ~csv t
 
 let run which threads runs scale csv max_threads =
   let workload = Fig_common.workload_of_scale scale in
@@ -167,9 +263,10 @@ let run which threads runs scale csv max_threads =
       ("ebr-batch", fun () -> ebr_batch_ablation ~threads ~runs ~workload ~csv);
       ("capacity", fun () -> capacity_ablation ~threads ~runs ~workload ~csv);
       ("reclamation", fun () -> reclamation_axis ~runs ~workload ~csv ~max_threads);
+      ("backends", fun () -> backends_ablation ~runs ~workload ~csv ~max_threads);
     ]
   in
-  match which with
+  (match which with
   | None -> List.iter (fun (_, f) -> f ()) all
   | Some name -> (
       match List.assoc_opt name all with
@@ -178,11 +275,12 @@ let run which threads runs scale csv max_threads =
           prerr_endline
             ("unknown ablation; valid: "
             ^ String.concat ", " (List.map fst all));
-          exit 2)
+          exit 2));
+  Fig_common.write_summary (List.rev !summary_rows)
 
 let which_term =
   let doc = "Run a single ablation (weak-llsc | hp-threshold | ebr-batch | \
-             capacity | reclamation); default: all." in
+             capacity | reclamation | backends); default: all." in
   Arg.(value & opt (some string) None & info [ "only" ] ~docv:"NAME" ~doc)
 
 let threads_term =

@@ -1,8 +1,15 @@
 (* Diffs two bench-summary trajectory files (results/bench_summary.json
-   as written by fig6/contend/shard_sweep) and flags throughput
+   as written by fig6/contend/shard_sweep/ablation) and flags throughput
    regressions beyond a threshold.  Rows are joined on their identity key
    (bench, queue, variant, domains); rows present on only one side are
-   listed but never fail the run.  Exit 1 iff any joined row regressed. *)
+   listed but never fail the run.  Exit 1 iff any joined row regressed.
+
+   --gate flips the failure condition for CI use (check.sh): absolute
+   throughput varies too much across machines to gate on, so instead the
+   run fails iff the current file is missing a configuration the
+   committed baseline has (coverage regression) or a joined row's
+   throughput is non-finite/non-positive (a sweep silently produced
+   garbage).  Slowdowns are still printed, but only as information. *)
 
 open Cmdliner
 open Nbq_harness
@@ -16,7 +23,7 @@ let label (r : Bench_summary.row) =
      else "[" ^ r.Bench_summary.variant ^ "]")
     r.Bench_summary.domains
 
-let run baseline current threshold =
+let run baseline current threshold gate =
   let load path =
     match Bench_summary.read path with
     | Ok rows -> rows
@@ -41,8 +48,11 @@ let run baseline current threshold =
           "verdict" ]
   in
   let regressions = ref 0 in
+  let invalid = ref 0 in
   List.iter
     (fun (c : Bench_summary.row) ->
+      let tp = c.Bench_summary.mitems_per_s in
+      if gate && (not (Float.is_finite tp) || tp <= 0.0) then incr invalid;
       match find base c with
       | None ->
           Table.add_row t
@@ -70,16 +80,36 @@ let run baseline current threshold =
               fmt_ns c.Bench_summary.p99_ns;
               verdict ])
     cur;
+  let dropped = ref 0 in
   List.iter
     (fun (b : Bench_summary.row) ->
-      if find cur b = None then
+      if find cur b = None then begin
+        incr dropped;
         Table.add_row t
           [ label b; fmt_f b.Bench_summary.mitems_per_s; "-"; "-";
-            fmt_ns b.Bench_summary.p99_ns; "-"; "dropped" ])
+            fmt_ns b.Bench_summary.p99_ns; "-"; "dropped" ]
+      end)
     base;
   print_string (Table.render t);
   print_newline ();
-  if !regressions > 0 then begin
+  if gate then begin
+    if !regressions > 0 then
+      Printf.printf
+        "gate: %d slowdown(s) beyond %.0f%% (informational on this machine)\n"
+        !regressions (threshold *. 100.0);
+    if !dropped > 0 || !invalid > 0 then begin
+      Printf.printf
+        "gate FAILED: %d configuration(s) missing vs baseline, %d row(s) \
+         with invalid throughput\n"
+        !dropped !invalid;
+      exit 1
+    end
+    else
+      Printf.printf
+        "gate ok: every baseline configuration present, all throughputs \
+         sane\n"
+  end
+  else if !regressions > 0 then begin
     Printf.printf "%d regression(s) beyond %.0f%%\n" !regressions
       (threshold *. 100.0);
     exit 1
@@ -99,9 +129,17 @@ let threshold_term =
   let doc = "Relative throughput drop that counts as a regression." in
   Arg.(value & opt float 0.10 & info [ "threshold" ] ~docv:"FRAC" ~doc)
 
+let gate_term =
+  let doc =
+    "CI mode: fail on coverage loss (baseline configurations missing from \
+     CURRENT) or invalid throughput, not on machine-dependent slowdowns."
+  in
+  Arg.(value & flag & info [ "gate" ] ~doc)
+
 let cmd =
   let doc = "Compare two bench-summary files and flag throughput regressions" in
   Cmd.v (Cmd.info "bench_compare" ~doc)
-    Term.(const run $ baseline_term $ current_term $ threshold_term)
+    Term.(const run $ baseline_term $ current_term $ threshold_term
+          $ gate_term)
 
 let () = exit (Cmd.eval cmd)

@@ -9,6 +9,9 @@ dune runtest
 # point of both Evequoz queues; fixed seed, reduced op target (<30s).
 dune exec bin/torture.exe -- --queue evequoz-cas --seed 42 --ops 2000 > /dev/null
 dune exec bin/torture.exe -- --queue evequoz-llsc --seed 42 --ops 2000 > /dev/null
+# Blelloch-Wei backend: same stall matrix over its LL/announce/SC windows
+# (Tag_reregister deliberately absent -- its ReRegister is a no-op).
+dune exec bin/torture.exe -- --queue evequoz-bw --seed 42 --ops 2000 > /dev/null
 # Sharded front-end gate: the same matrix over the 4-shard composition
 # additionally stalls victims inside the shard-steal sweep and the
 # between-operations gap (shard-steal / op-gap points), the windows the
@@ -31,6 +34,11 @@ dune exec bin/modelcheck_run.exe -- -a evequoz-llsc -a sim-wait -a toy-blocking 
   --min-reduction 5 --require-exhaustive > /dev/null
 dune exec bin/modelcheck_run.exe -- -a evequoz-cas -a sharded-llsc \
   --require-exhaustive > /dev/null
+# Blelloch-Wei model-checking gate: the full scenario matrix plus the
+# batch races to exhaustion, and the no-scan seeded bug (a recycled
+# reserved buffer losing an item to pointer ABA) must be convicted.
+dune exec bin/modelcheck_run.exe -- -a evequoz-bw -a evequoz-bw-noscan \
+  --require-exhaustive > /dev/null
 # Flight-recorder overhead gate: an armed recorder (default 1/64 span
 # sampling) must cost <= 10% vs the plain path (median of interleaved
 # blocks, best-of-6-runs per block).  Single-threaded on purpose: on a
@@ -44,5 +52,17 @@ dune exec bin/trace_overhead.exe -- -t 1 --runs 6 --scale 1.0 --blocks 10 > /dev
 dune exec bin/fig6.exe -- -f a --runs 1 --scale 0.002 --max-threads 4 --trace > /dev/null 2>&1
 test -s results/bench_summary.json
 dune exec bin/bench_compare.exe -- results/bench_summary.json results/bench_summary.json > /dev/null
+# Backend-ablation gate: a tiny three-backend grid (tag-protocol singles
+# vs amortized batch runs vs Blelloch-Wei) must run end to end, and the
+# merged trajectory must still cover every configuration the *committed*
+# summary has, with sane throughputs (--gate ignores machine-dependent
+# slowdowns; falls back to self-compare when HEAD has no summary yet).
+dune exec bin/ablation.exe -- --only backends --runs 1 --scale 0.002 --max-threads 4 > /dev/null
+if git show HEAD:results/bench_summary.json > results/.bench_summary.base.json 2>/dev/null; then
+  dune exec bin/bench_compare.exe -- results/.bench_summary.base.json results/bench_summary.json --gate > /dev/null
+  rm -f results/.bench_summary.base.json
+else
+  dune exec bin/bench_compare.exe -- results/bench_summary.json results/bench_summary.json --gate > /dev/null
+fi
 dune build @fmt 2>/dev/null || true
 echo "check: OK"

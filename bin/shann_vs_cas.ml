@@ -43,7 +43,15 @@ let run runs scale csv max_threads =
             ]
       | _ -> assert false)
     results;
-  Fig_common.emit ~csv t
+  Fig_common.emit ~csv t;
+  Fig_common.write_summary
+    (List.concat_map
+       (fun (r : Fig_common.sweep_result) ->
+         List.map
+           (fun (_, m) ->
+             Bench_summary.row_of_measurement ~bench:"shann_vs_cas" m)
+           r.cells)
+       results)
 
 let cmd =
   let doc = "Reproduce the paper's Shann-vs-CAS-queue comparison" in

@@ -2,306 +2,15 @@ module Atomic_intf = Nbq_primitives.Atomic_intf
 module Probe = Nbq_primitives.Probe
 module Fault = Nbq_primitives.Fault
 
-(* The algorithm core (paper Fig. 5, right column), over any atomics, any
+(* The algorithm core (paper Fig. 5, right column): the unified ring
+   functor over the tag-variable CAS backend, over any atomics, any
    instrumentation probe (Noop by default; the observability layer supplies
    counting probes) and any fault hook (Noop by default; the torture
    harness supplies stalling/crashing ones). *)
 module Make_injected (A : Atomic_intf.ATOMIC) (P : Probe.S) (F : Fault.S) =
 struct
-  module Llsc_cas = Nbq_primitives.Llsc_cas.Make_injected (A) (P) (F)
-
-  type 'a slot = Empty | Item of 'a
-
-  type 'a handle = 'a slot Llsc_cas.handle
-
-  type 'a t = {
-    mask : int;
-    slots : 'a slot Llsc_cas.t array;
-    head : int A.t;
-    tail : int A.t;
-    registry : 'a slot Llsc_cas.registry;
-  }
-
-  let create ~capacity =
-    let capacity = Queue_intf.round_capacity capacity in
-    {
-      mask = capacity - 1;
-      slots = Array.init capacity (fun _ -> Llsc_cas.make Empty);
-      head = A.make 0;
-      tail = A.make 0;
-      registry = Llsc_cas.create_registry ();
-    }
-
-  let capacity t = t.mask + 1
-
-  let register t = Llsc_cas.register t.registry
-
-  let deregister h = Llsc_cas.deregister h
-
-  let registry_size t = Llsc_cas.registered_count t.registry
-
-  let owned_count t = Llsc_cas.owned_count t.registry
-
-  let audit t = Llsc_cas.audit t.registry
-
-  let head_index t = A.get t.head
-  let tail_index t = A.get t.tail
-
-  (* Paper Fig. 5, Enqueue.  [h] must have been re-registered for this
-     operation already. *)
-  let rec enqueue_loop t h x =
-    let tl = A.get t.tail in
-    if tl = A.get t.head + t.mask + 1 then false
-    else begin
-      let cell = t.slots.(tl land t.mask) in
-      let slot = Llsc_cas.ll cell h in
-      if A.get t.tail = tl then
-        match slot with
-        | Item _ ->
-            (* Slot filled but Tail lagging: undo the reservation, help. *)
-            ignore (Llsc_cas.sc cell h slot);
-            P.tail_help ();
-            F.hit Fault.Counter_bump;
-            ignore (A.compare_and_set t.tail tl (tl + 1));
-            enqueue_loop t h x
-        | Empty ->
-            if Llsc_cas.sc cell h (Item x) then begin
-              (* The item is in the slot; a thread frozen here leaves Tail
-                 lagging and everyone else must help (paper E11-E13). *)
-              F.hit Fault.Counter_bump;
-              ignore (A.compare_and_set t.tail tl (tl + 1));
-              true
-            end
-            else begin
-              P.sc_fail ();
-              enqueue_loop t h x
-            end
-      else begin
-        (* Tail moved under us: release the reservation and retry. *)
-        ignore (Llsc_cas.sc cell h slot);
-        enqueue_loop t h x
-      end
-    end
-
-  let rec dequeue_loop t h =
-    let hd = A.get t.head in
-    if hd = A.get t.tail then None
-    else begin
-      let cell = t.slots.(hd land t.mask) in
-      let slot = Llsc_cas.ll cell h in
-      if A.get t.head = hd then
-        match slot with
-        | Empty ->
-            (* Item removed but Head lagging: undo, help. *)
-            ignore (Llsc_cas.sc cell h slot);
-            P.head_help ();
-            F.hit Fault.Counter_bump;
-            ignore (A.compare_and_set t.head hd (hd + 1));
-            dequeue_loop t h
-        | Item x ->
-            if Llsc_cas.sc cell h Empty then begin
-              F.hit Fault.Counter_bump;
-              ignore (A.compare_and_set t.head hd (hd + 1));
-              Some x
-            end
-            else begin
-              P.sc_fail ();
-              dequeue_loop t h
-            end
-      else begin
-        ignore (Llsc_cas.sc cell h slot);
-        dequeue_loop t h
-      end
-    end
-
-  (* Extension (not in the paper): observe the front item.  The slot must
-     be read through a reservation (a heuristic peek could return a stale
-     placeholder), which is immediately rolled back; Head monotonicity
-     pins the linearization to the ll instant. *)
-  let rec peek_loop t h =
-    let hd = A.get t.head in
-    if hd = A.get t.tail then None
-    else begin
-      let cell = t.slots.(hd land t.mask) in
-      let slot = Llsc_cas.ll cell h in
-      ignore (Llsc_cas.sc cell h slot);
-      if A.get t.head = hd then
-        match slot with
-        | Item x -> Some x
-        | Empty ->
-            P.head_help ();
-            F.hit Fault.Counter_bump;
-            ignore (A.compare_and_set t.head hd (hd + 1));
-            peek_loop t h
-      else peek_loop t h
-    end
-
-  let enqueue_with t h x =
-    Llsc_cas.reregister h;
-    enqueue_loop t h x
-
-  let dequeue_with t h =
-    Llsc_cas.reregister h;
-    dequeue_loop t h
-
-  let peek_with t h =
-    Llsc_cas.reregister h;
-    peek_loop t h
-
-  (* --- Batch runs (extension, not in the paper) ---------------------------
-
-     A k-item batch is ONE operation: it re-registers once, then fills (or
-     drains) a run of consecutive slots with one observe/commit CAS per
-     slot ({!Llsc_cas.commit} — block freshness stands in for the tag),
-     and publishes the whole run with a single counter CAS.  The guard
-     re-read of the counter after each observe rejects slots the counter
-     has already passed (the re-validation step of E5/D5, widened from
-     "equal" to "not yet past this slot" because helpers may legitimately
-     publish our own prefix while we are still filling); a commit can then
-     only succeed while the slot is untouched since the observation, which
-     pins each item's slot transition exactly as the paper's sc does.  Any
-     interference — a foreign item or reservation in the run, a lost
-     commit — publishes the clean prefix and falls back to the paper's
-     per-item loop for the rest, so the batch degrades to a loop of
-     singles under contention.
-
-     The amortization is real only when the batch runs uncontended (the
-     sharded front-end's home-shard case): one ReRegister, one counter CAS,
-     one head/tail re-read and one CAS per slot instead of the single-op
-     path's three CASes per item. *)
-
-  (* Advance [counter] to [target], tolerating helpers: first try the
-     one-shot CAS, then walk +1 like the helping paths do.  Callers only
-     request targets whose slots they have already filled/emptied, so every
-     intermediate bump is one the paper's helping rule would perform. *)
-  let publish counter from target =
-    F.hit Fault.Counter_bump;
-    if not (A.compare_and_set counter from target) then begin
-      let rec walk () =
-        let cur = A.get counter in
-        if cur - target < 0 then begin
-          ignore (A.compare_and_set counter cur (cur + 1));
-          walk ()
-        end
-      in
-      walk ()
-    end
-
-  let enqueue_batch_with t h items =
-    Llsc_cas.reregister h;
-    let total = Array.length items in
-    let cap = t.mask + 1 in
-    (* Paper path for whatever the fast path could not place. *)
-    let rec slow i =
-      if i >= total then total
-      else if enqueue_loop t h (Array.unsafe_get items i) then slow (i + 1)
-      else i
-    in
-    let rec fast accepted =
-      if accepted >= total then total
-      else begin
-        let tl = A.get t.tail in
-        let hd = A.get t.head in
-        let free = cap - (tl - hd) in
-        if free <= 0 then accepted (* full (conservative under head lag) *)
-        else begin
-          let n = min (total - accepted) free in
-          let rec fill j =
-            if j >= n then j
-            else begin
-              (* [land mask] keeps the index in bounds by construction. *)
-              let cell = Array.unsafe_get t.slots ((tl + j) land t.mask) in
-              let obs = Llsc_cas.observe cell in
-              (* Foreign item, a competing reservation, or the counter
-                 already past this slot (a long preemption could hand us a
-                 freed next-lap cell): reconcile via the paper path. *)
-              if
-                Llsc_cas.observed_holds obs Empty
-                && A.get t.tail - (tl + j) <= 0
-              then
-                if
-                  Llsc_cas.commit cell obs
-                    (Item (Array.unsafe_get items (accepted + j)))
-                then fill (j + 1)
-                else begin
-                  P.sc_fail ();
-                  j
-                end
-              else j
-            end
-          in
-          let filled = fill 0 in
-          if filled > 0 then publish t.tail tl (tl + filled);
-          if filled = n then fast (accepted + filled)
-          else slow (accepted + filled)
-        end
-      end
-    in
-    fast 0
-
-  let dequeue_batch_with t h k =
-    Llsc_cas.reregister h;
-    let rec slow left =
-      if left <= 0 then []
-      else
-        match dequeue_loop t h with
-        | Some x -> x :: slow (left - 1)
-        | None -> []
-    in
-    (* Lists are built in queue order on the unwind (one cons per item, no
-       final reverse); runs are bounded by [k], so the recursion depth is
-       the caller's batch size. *)
-    let rec fast got =
-      if got >= k then []
-      else begin
-        let hd = A.get t.head in
-        let tl = A.get t.tail in
-        let n = min (k - got) (tl - hd) in
-        if n <= 0 then [] (* empty (conservative under tail lag) *)
-        else begin
-          let taken = ref 0 in
-          let clean = ref true in
-          let rec fill j =
-            if j >= n then []
-            else begin
-              let cell = Array.unsafe_get t.slots ((hd + j) land t.mask) in
-              let obs = Llsc_cas.observe cell in
-              match Llsc_cas.observed_get obs with
-              | Item x when A.get t.head - (hd + j) <= 0 ->
-                  if Llsc_cas.commit cell obs Empty then begin
-                    incr taken;
-                    x :: fill (j + 1)
-                  end
-                  else begin
-                    P.sc_fail ();
-                    clean := false;
-                    []
-                  end
-              | Empty | Item _ ->
-                  clean := false;
-                  []
-              | exception Not_found ->
-                  (* A competing reservation in the run. *)
-                  clean := false;
-                  []
-            end
-          in
-          let run = fill 0 in
-          if !taken > 0 then publish t.head hd (hd + !taken);
-          (* The common case — one clean run covering the whole demand —
-             returns the run as built; list appends only happen when a run
-             was cut short (interference or a momentarily short queue). *)
-          if !clean && !taken >= k - got then run
-          else if !clean then run @ fast (got + !taken)
-          else run @ slow (k - got - !taken)
-        end
-      end
-    in
-    fast 0
-
-  let length t =
-    let n = A.get t.tail - A.get t.head in
-    if n < 0 then 0 else if n > t.mask + 1 then t.mask + 1 else n
+  module Backend = Nbq_primitives.Llsc_cas.Backend_injected (A) (P) (F)
+  include Evequoz_ring.Make_injected (Backend) (P) (F)
 end
 
 module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) =

@@ -17,131 +17,32 @@ module type QUEUE = sig
   val tail_index : 'a t -> int
 end
 
+(* Algorithm 1 is the unified ring over the trivial cell backend: unit
+   handles, empty registry, counters as ll/sc variables.  [Of_cell] keeps
+   the handle plumbing monomorphic to [unit], so the handle-free QUEUE
+   surface costs nothing. *)
 module Make_injected
     (Cell : CELL)
     (P : Nbq_primitives.Probe.S)
     (F : Nbq_primitives.Fault.S) =
 struct
-  module Fault = Nbq_primitives.Fault
+  module Ring =
+    Evequoz_ring.Make_injected (Nbq_primitives.Llsc_backend.Of_cell (Cell))
+      (P)
+      (F)
 
   let name = "evequoz-llsc"
 
-  type 'a slot = Empty | Item of 'a
+  type 'a t = 'a Ring.t
 
-  type 'a t = {
-    mask : int;
-    slots : 'a slot Cell.t array;
-    head : int Cell.t;
-    tail : int Cell.t;
-  }
-
-  let create ~capacity =
-    let capacity = Queue_intf.round_capacity capacity in
-    {
-      mask = capacity - 1;
-      slots = Array.init capacity (fun _ -> Cell.make Empty);
-      head = Cell.make 0;
-      tail = Cell.make 0;
-    }
-
-  let capacity t = t.mask + 1
-
-  let head_index t = Cell.get t.head
-  let tail_index t = Cell.get t.tail
-
-  (* Paper E12-E13 / D12-D17: advance a counter on behalf of a delayed
-     thread.  Under ideal LL/SC a single attempt suffices (an SC failure
-     proves another thread performed the advance), but a spuriously failing
-     SC (weak cells, paper §5) would silently drop the increment and let a
-     lagging counter fool the empty/full tests — so retry until the counter
-     is observed past [expected].  On ideal cells the retry never triggers
-     more than once. *)
-  let help_advance counter expected =
-    (* A thread frozen here has updated (or decided to help on) a slot but
-       not yet bumped the counter — the window that forces every other
-       thread through the helping path (paper E11-E13 / D11-D13). *)
-    F.hit Fault.Counter_bump;
-    let rec go () =
-      let link = Cell.ll counter in
-      if Cell.value link = expected then
-        if not (Cell.sc counter link (expected + 1)) then go ()
-    in
-    go ()
-
-  let rec try_enqueue t x =
-    let tl = Cell.get t.tail in
-    (* E6: full test.  Tail is monotonic, so at the instant Head is read the
-       distance can only be >= the one computed — "full" is linearizable. *)
-    if tl = Cell.get t.head + t.mask + 1 then false
-    else begin
-      let cell = t.slots.(tl land t.mask) in
-      let link = Cell.ll cell in
-      if Cell.get t.tail = tl then
-        (* E10 held: the reserved slot is still the one Tail designates. *)
-        match Cell.value link with
-        | Item _ ->
-            (* E11-E13: a delayed enqueuer filled the slot but has not yet
-               advanced Tail; help it and retry. *)
-            P.tail_help ();
-            help_advance t.tail tl;
-            try_enqueue t x
-        | Empty ->
-            if Cell.sc cell link (Item x) then begin
-              help_advance t.tail tl;
-              true
-            end
-            else begin
-              P.sc_fail ();
-              try_enqueue t x
-            end
-      else try_enqueue t x
-    end
-
-  let rec try_dequeue t =
-    let hd = Cell.get t.head in
-    (* D6: empty test; same monotonicity argument as the full test. *)
-    if hd = Cell.get t.tail then None
-    else begin
-      let cell = t.slots.(hd land t.mask) in
-      let link = Cell.ll cell in
-      if Cell.get t.head = hd then
-        match Cell.value link with
-        | Empty ->
-            (* D11-D13: the item was removed but Head lags; help. *)
-            P.head_help ();
-            help_advance t.head hd;
-            try_dequeue t
-        | Item x ->
-            if Cell.sc cell link Empty then begin
-              help_advance t.head hd;
-              Some x
-            end
-            else begin
-              P.sc_fail ();
-              try_dequeue t
-            end
-      else try_dequeue t
-    end
-
-  (* Extension (not in the paper): observe the front item.  Linearizes at
-     the slot read — Head is monotonic, so "Head = hd before and after"
-     pins Head to hd at the read instant, making the slot's item the front
-     element then. *)
-  let rec try_peek t =
-    let hd = Cell.get t.head in
-    if hd = Cell.get t.tail then None
-    else
-      match Cell.get t.slots.(hd land t.mask) with
-      | Item x -> if Cell.get t.head = hd then Some x else try_peek t
-      | Empty ->
-          (* Removed but Head lagging: help and retry. *)
-          P.head_help ();
-          help_advance t.head hd;
-          try_peek t
-
-  let length t =
-    let n = Cell.get t.tail - Cell.get t.head in
-    if n < 0 then 0 else if n > t.mask + 1 then t.mask + 1 else n
+  let create = Ring.create
+  let capacity = Ring.capacity
+  let try_enqueue t x = Ring.enqueue_with t () x
+  let try_dequeue t = Ring.dequeue_with t ()
+  let try_peek t = Ring.peek_with t ()
+  let length = Ring.length
+  let head_index = Ring.head_index
+  let tail_index = Ring.tail_index
 end
 
 module Make_probed (Cell : CELL) (P : Nbq_primitives.Probe.S) =

@@ -214,16 +214,6 @@ module Make (S : SOURCE) : CONC with type 'a t = 'a S.t = struct
   let length = S.length
 end
 
-module Of_bounded (Q : BOUNDED) = Make (Capability.Bounded (Q))
-[@@deprecated "Use Make (Capability.Bounded (Q)) instead."]
-
-module Of_bounded_batch (Q : BOUNDED_BATCH) =
-  Make (Capability.Bounded_batch (Q))
-[@@deprecated "Use Make (Capability.Bounded_batch (Q)) instead."]
-
-module Of_unbounded (Q : UNBOUNDED) = Make (Capability.Unbounded (Q))
-[@@deprecated "Use Make (Capability.Unbounded (Q)) instead."]
-
 (** Spin-only blocking operations over any {!CONC} queue: the baseline
     {!Blocking} replaced, kept because it is the right tool when waits are
     known to be short (sub-microsecond hand-offs between pinned domains)

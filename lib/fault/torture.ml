@@ -64,6 +64,34 @@ let build_cas ?tracer inj ~capacity =
     audit = (fun () -> Some (Q.audit q));
   }
 
+(* The Blelloch–Wei backend under the same per-op register/deregister
+   adversary as [build_cas].  [Tag_reregister] is deliberately absent from
+   its point list: the constant-time protocol has no revalidation step, so
+   there is no window to arm — that absence IS the claim under test. *)
+let build_bw ?tracer inj ~capacity =
+  let module F = (val hook ?tracer inj) in
+  let module P = (val probe ?tracer ()) in
+  let module Q =
+    Nbq_core.Evequoz_bw.Make_injected (Nbq_primitives.Atomic_intf.Real) (P)
+      (F)
+  in
+  let q = Q.create ~capacity in
+  {
+    enqueue =
+      (fun v ->
+        let h = Q.register q in
+        let r = Q.enqueue_with q h v in
+        Q.deregister h;
+        r);
+    dequeue =
+      (fun () ->
+        let h = Q.register q in
+        let r = Q.dequeue_with q h in
+        Q.deregister h;
+        r);
+    audit = (fun () -> Some (Q.audit q));
+  }
+
 let build_llsc ?tracer inj ~capacity =
   let module F = (val hook ?tracer inj) in
   let module P = (val probe ?tracer ()) in
@@ -93,6 +121,21 @@ let evequoz_cas =
         Fault.Counter_bump;
       ];
     build = build_cas;
+  }
+
+let evequoz_bw =
+  {
+    name = "evequoz-bw";
+    deep_points =
+      [
+        Fault.Ll_reserve;
+        Fault.Slot_swap;
+        Fault.Sc_attempt;
+        Fault.Tag_register;
+        Fault.Tag_deregister;
+        Fault.Counter_bump;
+      ];
+    build = build_bw;
   }
 
 let evequoz_llsc =
@@ -181,7 +224,7 @@ let evequoz_cas_sharded =
     build = build_sharded_cas ~shards:4;
   }
 
-let deep_targets = [ evequoz_llsc; evequoz_cas; evequoz_cas_sharded ]
+let deep_targets = [ evequoz_llsc; evequoz_cas; evequoz_bw; evequoz_cas_sharded ]
 
 let generic_of_impl (impl : Registry.impl) =
   {

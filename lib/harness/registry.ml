@@ -232,6 +232,8 @@ module Evequoz_llsc_weak_conc =
   Queue_intf.Make (Cap.Bounded (Nbq_core.Evequoz_llsc.On_weak_cells))
 module Evequoz_cas_conc =
   Queue_intf.Make (Cap.Bounded_batch (Nbq_core.Evequoz_cas))
+module Evequoz_bw_conc =
+  Queue_intf.Make (Cap.Bounded_batch (Nbq_core.Evequoz_bw))
 module Shann_conc = Queue_intf.Make (Cap.Bounded (Nbq_baselines.Shann))
 module Tz_conc = Queue_intf.Make (Cap.Bounded (Nbq_baselines.Tsigas_zhang))
 module Valois_conc = Queue_intf.Make (Cap.Bounded (Nbq_baselines.Valois))
@@ -446,10 +448,14 @@ let sharded ~shards (base : impl) : impl =
              ~capacity));
   }
 
+let evequoz_bw_row =
+  of_conc ~name:"evequoz-bw" ~family:Array_based (module Evequoz_bw_conc)
+
 let concurrent =
   [
     of_conc ~name:"evequoz-llsc" ~family:Array_based (module Evequoz_llsc_conc);
     of_conc ~name:"evequoz-cas" ~family:Array_based (module Evequoz_cas_conc);
+    evequoz_bw_row;
     of_conc ~name:"evequoz-llsc-weak" ~family:Array_based
       (module Evequoz_llsc_weak_conc);
     of_conc ~name:"shann" ~family:Array_based (module Shann_conc);
@@ -467,6 +473,9 @@ let concurrent =
     of_conc ~name:"lock-ring" ~family:Lock_based (module Lock_conc);
     sharded_evequoz_cas ~shards:4;
     sharded_evequoz_cas ~shards:8;
+    (* Blelloch-Wei behind the generic sharded facade: deep-probed inner
+       rings via the row's own create_probed. *)
+    sharded ~shards:4 evequoz_bw_row;
   ]
 
 let all = concurrent @ [ of_conc ~name:"seq-ring" ~family:Sequential (module Seq_conc) ]

@@ -109,6 +109,7 @@ let generic ~make_queue ~spec_capacity ~prefill threads () =
 module SimCell = Nbq_primitives.Llsc.Make_probed (Sim.Atomic) (Trace_probe)
 module SimQ1 = Nbq_core.Evequoz_llsc.Make_probed (SimCell) (Trace_probe)
 module SimQ2 = Nbq_core.Evequoz_cas.Make_probed (Sim.Atomic) (Trace_probe)
+module SimBW = Nbq_core.Evequoz_bw.Make_probed (Sim.Atomic) (Trace_probe)
 module SimShann = Nbq_baselines.Shann.Make (Sim.Atomic)
 module SimTz = Nbq_baselines.Tsigas_zhang.Make (Sim.Atomic)
 module SimMs = Nbq_baselines.Michael_scott.Make (Sim.Atomic)
@@ -118,8 +119,8 @@ module SimValois = Nbq_baselines.Valois.Make (Sim.Atomic)
 
 let algorithms =
   [
-    "evequoz-llsc"; "evequoz-cas"; "shann"; "tsigas-zhang"; "ms-gc";
-    "herlihy-wing"; "lms-optimistic"; "valois-dcas";
+    "evequoz-llsc"; "evequoz-cas"; "evequoz-bw"; "shann"; "tsigas-zhang";
+    "ms-gc"; "herlihy-wing"; "lms-optimistic"; "valois-dcas";
   ]
 
 let build ~algorithm ~capacity ~prefill threads =
@@ -156,6 +157,36 @@ let build ~algorithm ~capacity ~prefill threads =
                ~peek:(fun () -> SimQ2.peek_with q h))
             ops;
           SimQ2.deregister h
+        in
+        ( Array.of_list (List.mapi task threads),
+          lin_check ~capacity recorder )
+  | "evequoz-bw" ->
+      (* Same ring, Blelloch–Wei cells: handles are announcement slots, so
+         registration runs inside the explored schedule like the tag
+         protocol's — but per-operation reregistration is a no-op. *)
+      fun () ->
+        let q = SimBW.create ~capacity in
+        let nthreads = List.length threads in
+        let recorder = H.recorder ~threads:(nthreads + 1) in
+        Sim.run_sequential (fun () ->
+            let h = SimBW.register q in
+            List.iter
+              (fun v ->
+                record recorder ~thread:nthreads
+                  ~enq:(fun v -> SimBW.enqueue_with q h v)
+                  ~deq:(fun () -> None)
+                  (Enq v))
+              prefill;
+            SimBW.deregister h);
+        let task i ops () =
+          let h = SimBW.register q in
+          List.iter
+            (record recorder ~thread:i
+               ~enq:(fun v -> SimBW.enqueue_with q h v)
+               ~deq:(fun () -> SimBW.dequeue_with q h)
+               ~peek:(fun () -> SimBW.peek_with q h))
+            ops;
+          SimBW.deregister h
         in
         ( Array.of_list (List.mapi task threads),
           lin_check ~capacity recorder )
@@ -244,7 +275,9 @@ let slug name =
    lock freedom (DESIGN.md §12 — the exhaustive pass finds no livelock
    under the *fair* continuation, but the adversarial one is real).
    Herlihy–Wing's dequeue is total (waits for an enqueuer), hence
-   blocking. *)
+   blocking.  The Blelloch–Wei backend restores lock freedom from plain
+   CAS: its SC fails only when a competing SC succeeded, so [evequoz-bw]
+   falls under the default claim. *)
 let progress_of_algorithm = function
   | "evequoz-cas" -> Props.Obstruction_free
   | "herlihy-wing" -> Props.Blocking
@@ -419,6 +452,148 @@ let cas_instance ~capacity ~prefill threads () =
                      size (registry_cap ()))));
   }
 
+(* The Blelloch–Wei backend under the same ring, with the hygiene checks
+   reshaped for announcement-based reclamation: on top of linearizability
+   and conservation by drain, no deregistered handle may leave a published
+   announcement behind, every handle record recycles through [active]
+   (the chain never outgrows the thread high-water mark), and the retired
+   pile stays below the amortization threshold at quiescence — the
+   bounded-space claim of the constant-time construction. *)
+let bw_instance ~capacity ~prefill threads () =
+  let nthreads = List.length threads in
+  let q = SimBW.create ~capacity in
+  let recorder = H.recorder ~threads:(nthreads + 1) in
+  let baseline_owned = ref 0 in
+  Sim.run_sequential (fun () ->
+      let h = SimBW.register q in
+      List.iter
+        (fun v ->
+          record recorder ~thread:nthreads
+            ~enq:(fun v -> SimBW.enqueue_with q h v)
+            ~deq:(fun () -> None)
+            (Enq v))
+        prefill;
+      SimBW.deregister h;
+      baseline_owned := SimBW.owned_count q);
+  let registry_cap () = nthreads + 1 in
+  let task i ops () =
+    let h = SimBW.register q in
+    let enq v = SimBW.enqueue_with q h v in
+    let deq () = SimBW.dequeue_with q h in
+    let peek () = SimBW.peek_with q h in
+    List.iter
+      (record recorder ~thread:i ~enq ~deq ~peek
+         ~enq_batch:(fun a -> SimBW.enqueue_batch_with q h a)
+         ~deq_batch:(fun k -> SimBW.dequeue_batch_with q h k))
+      ops;
+    SimBW.deregister h
+  in
+  {
+    Dpor.tasks = Array.of_list (List.mapi task threads);
+    check =
+      (fun () ->
+        lin_check ~capacity recorder ();
+        Sim.run_sequential (fun () ->
+            let h = SimBW.register q in
+            let drained =
+              List.sort compare
+                (drain_all (fun () -> SimBW.dequeue_with q h))
+            in
+            let expected = remaining_of_history (H.events recorder) in
+            if drained <> expected then
+              failwith
+                (Printf.sprintf
+                   "conservation: drained [%s] but history left [%s]"
+                   (String.concat ";" (List.map string_of_int drained))
+                   (String.concat ";" (List.map string_of_int expected)));
+            SimBW.deregister h;
+            let owned = SimBW.owned_count q in
+            if owned > !baseline_owned then
+              failwith
+                (Printf.sprintf
+                   "handle hygiene: %d records still owned at quiescence \
+                    (baseline %d)"
+                   owned !baseline_owned);
+            let size = SimBW.registry_size q in
+            if size > registry_cap () then
+              failwith
+                (Printf.sprintf
+                   "handle hygiene: %d records allocated for %d threads" size
+                   (registry_cap ()));
+            let sp = SimBW.space q in
+            if sp.Nbq_primitives.Llsc_bw.announced <> 0 then
+              failwith
+                (Printf.sprintf
+                   "announcement hygiene: %d slots still announced at \
+                    quiescence"
+                   sp.Nbq_primitives.Llsc_bw.announced)));
+    invariant =
+      Some
+        (fun () ->
+          Sim.run_sequential (fun () ->
+              let size = SimBW.registry_size q in
+              if size > registry_cap () then
+                failwith
+                  (Printf.sprintf
+                     "handle invariant: %d records allocated for %d threads"
+                     size (registry_cap ()))));
+  }
+
+(* The seeded Blelloch–Wei bug: reclamation that ignores the announcement
+   scan (threshold 1, so every SC recycles immediately) hands a delayed
+   enqueuer's reserved buffer back into the cell it came from.  Its SC
+   then succeeds against the recycled pointer — the exact ABA the
+   announcement exists to close — and an accepted item vanishes, which
+   conservation-by-drain convicts. *)
+module SimBWBug_backend =
+  Nbq_primitives.Llsc_bw.Make_config
+    (struct
+      let scan_announcements = false
+      let retire_threshold = 1
+    end)
+    (Sim.Atomic)
+    (Trace_probe)
+    (Nbq_primitives.Fault.Noop)
+
+module SimBWBug =
+  Nbq_core.Evequoz_ring.Make_injected (SimBWBug_backend) (Trace_probe)
+    (Nbq_primitives.Fault.Noop)
+
+let bw_noscan_instance () =
+  let q = SimBWBug.create ~capacity:2 in
+  let recorder = H.recorder ~threads:2 in
+  let task i ops () =
+    let h = SimBWBug.register q in
+    List.iter
+      (record recorder ~thread:i
+         ~enq:(fun v -> SimBWBug.enqueue_with q h v)
+         ~deq:(fun () -> SimBWBug.dequeue_with q h))
+      ops;
+    SimBWBug.deregister h
+  in
+  let tasks = Array.of_list (List.mapi task [ [ Enq 1 ]; [ Enq 2; Deq ] ]) in
+  {
+    Dpor.tasks = tasks;
+    check =
+      (fun () ->
+        lin_check ~capacity:2 recorder ();
+        Sim.run_sequential (fun () ->
+            let h = SimBWBug.register q in
+            let drained =
+              List.sort compare
+                (drain_all (fun () -> SimBWBug.dequeue_with q h))
+            in
+            SimBWBug.deregister h;
+            let expected = remaining_of_history (H.events recorder) in
+            if drained <> expected then
+              failwith
+                (Printf.sprintf
+                   "conservation: drained [%s] but history left [%s]"
+                   (String.concat ";" (List.map string_of_int drained))
+                   (String.concat ";" (List.map string_of_int expected)))));
+    invariant = None;
+  }
+
 (* Other algorithms: the linearizability check as before, no extra
    invariant (their internals are baselines, not the paper's claims). *)
 let generic_instance ~algorithm ~capacity ~prefill threads () =
@@ -429,6 +604,7 @@ let matrix_instance ~algorithm ~capacity ~prefill threads =
   match algorithm with
   | "evequoz-llsc" -> llsc_instance ~capacity ~prefill threads
   | "evequoz-cas" -> cas_instance ~capacity ~prefill threads
+  | "evequoz-bw" -> bw_instance ~capacity ~prefill threads
   | _ -> generic_instance ~algorithm ~capacity ~prefill threads
 
 (* --- post-paper scenarios: sharded facade, batched runs ------------------ *)
@@ -630,6 +806,36 @@ let extra_specs =
         cas_instance ~capacity:2 ~prefill:[ 7; 8 ] [ [ Deq_batch 2 ]; [ Enq 1 ] ];
     };
     {
+      algorithm = "evequoz-bw";
+      scenario = "batch-commit";
+      descr = "batch-run enqueue commit vs concurrent dequeue (BW cells)";
+      progress = Props.Lock_free;
+      expect = `Pass;
+      build_instance =
+        bw_instance ~capacity:2 ~prefill:[] [ [ Enq_batch [ 1; 2 ] ]; [ Deq ] ];
+    };
+    {
+      algorithm = "evequoz-bw";
+      scenario = "batch-drain";
+      descr =
+        "batch-run dequeue vs concurrent enqueue at the full boundary (BW \
+         cells)";
+      progress = Props.Lock_free;
+      expect = `Pass;
+      build_instance =
+        bw_instance ~capacity:2 ~prefill:[ 7; 8 ] [ [ Deq_batch 2 ]; [ Enq 1 ] ];
+    };
+    {
+      algorithm = "evequoz-bw-noscan";
+      scenario = "recycled-buffer-aba";
+      descr =
+        "seeded bug: reclamation without the announcement scan recycles a \
+         reserved buffer (pointer ABA loses an item)";
+      progress = Props.Lock_free;
+      expect = `Violation;
+      build_instance = bw_noscan_instance;
+    };
+    {
       algorithm = "sim-wait";
       scenario = "park-wake";
       descr = "Blocking_ec dequeue parks; enqueue wakes (no lost wakeup)";
@@ -659,7 +865,7 @@ let specs () =
   List.concat_map matrix_specs algorithms @ extra_specs
 
 let spec_algorithms =
-  algorithms @ [ "sharded-llsc"; "sim-wait"; "toy-blocking" ]
+  algorithms @ [ "sharded-llsc"; "evequoz-bw-noscan"; "sim-wait"; "toy-blocking" ]
 
 let find ~algorithm ~scenario =
   List.find_opt

@@ -39,8 +39,9 @@ val build :
 
 val algorithms : string list
 (** The functorized implementations that can run on simulated atomics:
-    both of the paper's algorithms plus Shann, Tsigas–Zhang, Michael–Scott,
-    Herlihy–Wing and Ladan-Mozes–Shavit. *)
+    both of the paper's algorithms, the Blelloch–Wei constant-time backend
+    ([evequoz-bw]), plus Shann, Tsigas–Zhang, Michael–Scott, Herlihy–Wing
+    and Ladan-Mozes–Shavit. *)
 
 val standard_matrix : (string * int * int list * op list list) list
 (** The (name, capacity, prefill, threads) tuples every algorithm is
@@ -66,16 +67,18 @@ type spec = {
 val specs : unit -> spec list
 (** The full catalog: {!standard_matrix} × {!algorithms} with
     strengthened checks, plus the post-paper scenarios (PR 3's sharded
-    facade steal-sweep race, Algorithm 2's batch-run commit and drain
-    races), the wait-layer scenarios (the production eventcount under
-    simulation: park/wake with no lost wakeup), and the seeded-bug
-    scenarios ([expect = `Violation]): a deliberately blocking toy
-    claimed lock-free, and the eventcount handshake with its Dekker
-    re-check removed. *)
+    facade steal-sweep race, the batch-run commit and drain races on both
+    the tag-protocol and Blelloch–Wei cells), the wait-layer scenarios
+    (the production eventcount under simulation: park/wake with no lost
+    wakeup), and the seeded-bug scenarios ([expect = `Violation]): a
+    deliberately blocking toy claimed lock-free, the eventcount handshake
+    with its Dekker re-check removed, and Blelloch–Wei reclamation with
+    the announcement scan disabled (a recycled reserved buffer loses an
+    item to pointer ABA). *)
 
 val spec_algorithms : string list
 (** {!algorithms} plus the catalog-only pseudo-algorithms
-    ([sharded-llsc], [sim-wait], [toy-blocking]). *)
+    ([sharded-llsc], [evequoz-bw-noscan], [sim-wait], [toy-blocking]). *)
 
 val find : algorithm:string -> scenario:string -> spec option
 (** Look a spec up by its NBQ-FAULT-REPRO key. *)
@@ -88,7 +91,9 @@ val progress_of_algorithm : string -> Props.progress
 (** [evequoz-cas] is {!Props.Obstruction_free} (a CAS-simulated LL/SC
     reservation can be stolen and retaken forever under mutual
     interference), [herlihy-wing] is {!Props.Blocking} (its dequeue waits
-    for an enqueuer), everything else claims {!Props.Lock_free}. *)
+    for an enqueuer), everything else — including [evequoz-bw], whose SC
+    fails only when a competing SC succeeded — claims
+    {!Props.Lock_free}. *)
 
 val dump_schedule : spec -> int list -> out_channel -> unit
 (** Re-execute [schedule] on a fresh instance of [spec], printing every

@@ -90,6 +90,19 @@ module Deep_evequoz_cas (M : METRICS) : Queue_intf.CONC = struct
   include Make (M) (C)
 end
 
+module Deep_evequoz_bw (M : METRICS) : Queue_intf.CONC = struct
+  module P = (val Metrics.probe M.metrics)
+  module Core =
+    Nbq_core.Evequoz_bw.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+  module Q = struct
+    include Nbq_core.Evequoz_cas.With_implicit_handles (Core)
+
+    let name = "evequoz-bw"
+  end
+  module C = Queue_intf.Make (Queue_intf.Capability.Bounded_batch (Q))
+  include Make (M) (C)
+end
+
 module Deep_evequoz_llsc (M : METRICS) : Queue_intf.CONC = struct
   module P = (val Metrics.probe M.metrics)
   module Cell =
@@ -117,9 +130,15 @@ let evequoz_llsc (m : Metrics.t) : (module Queue_intf.CONC) =
     let metrics = m
   end))
 
+let evequoz_bw (m : Metrics.t) : (module Queue_intf.CONC) =
+  (module Deep_evequoz_bw (struct
+    let metrics = m
+  end))
+
 let deep (m : Metrics.t) ~name (q : (module Queue_intf.CONC)) :
     (module Queue_intf.CONC) =
   match name with
   | "evequoz-cas" -> evequoz_cas m
   | "evequoz-llsc" -> evequoz_llsc m
+  | "evequoz-bw" -> evequoz_bw m
   | _ -> instrument m q

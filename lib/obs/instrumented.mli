@@ -21,6 +21,7 @@ module Make (M : METRICS) (Q : Nbq_core.Queue_intf.CONC) :
   Nbq_core.Queue_intf.CONC with type 'a t = 'a Q.t
 
 module Deep_evequoz_cas (M : METRICS) : Nbq_core.Queue_intf.CONC
+module Deep_evequoz_bw (M : METRICS) : Nbq_core.Queue_intf.CONC
 module Deep_evequoz_llsc (M : METRICS) : Nbq_core.Queue_intf.CONC
 
 val instrument :
@@ -28,6 +29,7 @@ val instrument :
 (** Shallow wrap (retries + latency only). *)
 
 val evequoz_cas : Metrics.t -> (module Nbq_core.Queue_intf.CONC)
+val evequoz_bw : Metrics.t -> (module Nbq_core.Queue_intf.CONC)
 val evequoz_llsc : Metrics.t -> (module Nbq_core.Queue_intf.CONC)
 
 val deep :

@@ -1,0 +1,139 @@
+(* The one cell contract every ring-queue backend satisfies.  See the .mli
+   for how the three implementations (ideal cells, the paper's tag-variable
+   CAS simulation, Blelloch-Wei announcements) map onto it. *)
+
+type audit = { registered : int; owned : int; free : int }
+
+module type CELL = sig
+  type 'a t
+  type 'a link
+
+  val make : 'a -> 'a t
+  val ll : 'a t -> 'a link
+  val value : 'a link -> 'a
+  val sc : 'a t -> 'a link -> 'a -> bool
+  val get : 'a t -> 'a
+end
+
+module type S = sig
+  type 'a t
+  type 'a registry
+  type 'a handle
+  type 'a res
+  type 'a observation
+  type counter
+
+  val create_registry : unit -> 'a registry
+  val make : 'a -> 'a t
+  val register : 'a registry -> 'a handle
+  val reregister : 'a handle -> unit
+  val deregister : 'a handle -> unit
+
+  val ll : 'a t -> 'a handle -> 'a res
+  val res_value : 'a res -> 'a
+  val sc : 'a t -> 'a handle -> 'a res -> 'a -> bool
+  val release : 'a t -> 'a handle -> 'a res -> unit
+  val read : 'a t -> 'a handle -> 'a
+
+  val observe : 'a t -> 'a handle -> 'a observation
+  val observed_holds : 'a observation -> 'a -> bool
+  val observed_get : 'a observation -> 'a
+  val commit : 'a t -> 'a handle -> 'a observation -> 'a -> bool
+
+  val make_counter : int -> counter
+  val counter_get : counter -> int
+  val counter_advance : counter -> int -> unit
+  val counter_publish : counter -> from:int -> target:int -> unit
+
+  val registered_count : 'a registry -> int
+  val owned_count : 'a registry -> int
+  val audit : 'a registry -> audit
+end
+
+(* Monotonic counters over plain atomics: the helping advance is a single
+   CAS (its failure proves another thread performed the bump), publication
+   is a one-shot CAS with a +1 helper-tolerant walk.  Shared by the CAS
+   and Blelloch-Wei backends. *)
+module Cas_counter (A : Atomic_intf.ATOMIC) = struct
+  type counter = int A.t
+
+  let make_counter = A.make
+  let counter_get = A.get
+
+  let counter_advance c expected = ignore (A.compare_and_set c expected (expected + 1))
+
+  let counter_publish c ~from ~target =
+    if not (A.compare_and_set c from target) then begin
+      let rec walk () =
+        let cur = A.get c in
+        if cur - target < 0 then begin
+          ignore (A.compare_and_set c cur (cur + 1));
+          walk ()
+        end
+      in
+      walk ()
+    end
+end
+
+module Of_cell (Cell : CELL) = struct
+  type 'a t = 'a Cell.t
+  type 'a registry = unit
+  type 'a handle = unit
+  type 'a res = 'a Cell.link
+  type 'a observation = 'a Cell.link
+
+  let create_registry () = ()
+  let make = Cell.make
+  let register () = ()
+  let reregister () = ()
+  let deregister () = ()
+
+  let ll cell () = Cell.ll cell
+  let res_value = Cell.value
+  let sc cell () link v = Cell.sc cell link v
+  let release _cell () _link = ()
+  let read cell () = Cell.get cell
+
+  (* Ideal LL always succeeds, so an observation is just a reservation the
+     backend never has to publish; [commit] is the matching sc. *)
+  let observe cell () = Cell.ll cell
+  let observed_holds obs v = Cell.value obs == v
+  let observed_get = Cell.value
+  let commit cell () obs v = Cell.sc cell obs v
+
+  type counter = int Cell.t
+
+  let make_counter = Cell.make
+  let counter_get = Cell.get
+
+  (* Retry until the counter is observed past [expected]: a spuriously
+     failing sc (weak cells, paper section 5) must not drop the bump and
+     let a lagging counter fool the empty/full tests.  On ideal cells the
+     retry never triggers more than once. *)
+  let counter_advance c expected =
+    let rec go () =
+      let link = Cell.ll c in
+      if Cell.value link = expected then
+        if not (Cell.sc c link (expected + 1)) then go ()
+    in
+    go ()
+
+  let counter_publish c ~from ~target =
+    let rec walk () =
+      let link = Cell.ll c in
+      let cur = Cell.value link in
+      if cur - target < 0 then begin
+        ignore (Cell.sc c link (cur + 1));
+        walk ()
+      end
+    in
+    let link = Cell.ll c in
+    if Cell.value link = from then begin
+      if not (Cell.sc c link target) then walk ()
+    end
+    else walk ()
+
+  let registered_count () = 0
+  let owned_count () = 0
+  let audit () = { registered = 0; owned = 0; free = 0 }
+end

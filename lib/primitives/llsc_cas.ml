@@ -1,7 +1,7 @@
 (* Paper Fig. 5: LL / Register / ReRegister / Deregister, generalized to a
    reusable cell type.  See the .mli for the pointer-tagging substitution. *)
 
-type audit = { registered : int; owned : int; free : int }
+type audit = Llsc_backend.audit = { registered : int; owned : int; free : int }
 
 module type S = sig
   type 'a t
@@ -226,5 +226,47 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) =
   Make_injected (A) (P) (Fault.Noop)
 
 module Make (A : Atomic_intf.ATOMIC) = Make_probed (A) (Probe.Noop)
+
+(* The same protocol behind the unified backend seam (Llsc_backend.S).  A
+   reservation token is just the value read — rolling back is an sc that
+   restores it; counters are plain atomics with single-CAS helping, exactly
+   what the queue's Fig. 5 column does. *)
+module Backend_injected (A : Atomic_intf.ATOMIC) (P : Probe.S) (F : Fault.S) =
+struct
+  module L = Make_injected (A) (P) (F)
+
+  type 'a t = 'a L.t
+  type 'a registry = 'a L.registry
+  type 'a handle = 'a L.handle
+  type 'a res = 'a
+  type 'a observation = 'a L.observation
+
+  let create_registry = L.create_registry
+  let make = L.make
+  let register = L.register
+  let reregister = L.reregister
+  let deregister = L.deregister
+
+  let ll = L.ll
+  let res_value (v : 'a res) = v
+  let sc cell h (_res : 'a res) v = L.sc cell h v
+  let release cell h (res : 'a res) = ignore (L.sc cell h res)
+
+  let read cell h =
+    let v = L.ll cell h in
+    ignore (L.sc cell h v);
+    v
+
+  let observe cell _h = L.observe cell
+  let observed_holds = L.observed_holds
+  let observed_get = L.observed_get
+  let commit cell _h obs v = L.commit cell obs v
+
+  include Llsc_backend.Cas_counter (A)
+
+  let registered_count = L.registered_count
+  let owned_count = L.owned_count
+  let audit = L.audit
+end
 
 include Make (Atomic_intf.Real)

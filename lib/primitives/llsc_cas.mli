@@ -37,7 +37,7 @@
     Functorized over {!Atomic_intf.ATOMIC} for the model checker; the
     toplevel interface is the real-atomics instantiation. *)
 
-type audit = { registered : int; owned : int; free : int }
+type audit = Llsc_backend.audit = { registered : int; owned : int; free : int }
 (** One racy snapshot of a registry: variables ever allocated, variables
     with a non-zero reference count (owned by a handle or pinned by a
     reader — including variables abandoned by a crashed thread), and the
@@ -164,5 +164,14 @@ module Make_probed (A : Atomic_intf.ATOMIC) (P : Probe.S) : S
 
 module Make (A : Atomic_intf.ATOMIC) : S
 (** [Make_probed] with {!Probe.Noop}: the uninstrumented default. *)
+
+module Backend_injected (A : Atomic_intf.ATOMIC) (P : Probe.S) (F : Fault.S) :
+  Llsc_backend.S
+(** The protocol behind the unified {!Llsc_backend.S} seam: reservation
+    tokens are the values read (rollback = [sc] restoring the old value),
+    Head/Tail counters are plain atomics with a single helping CAS
+    (paper Fig. 5, right column), observe/commit as in {!S.commit}.
+    [reregister] stays the paper-mandated per-operation protocol — this is
+    the backend the Blelloch-Wei port is ablated against. *)
 
 include S

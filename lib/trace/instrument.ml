@@ -139,6 +139,18 @@ let deep ?metrics (tr : Recorder.t) ~name (fallback : (module Queue_intf.CONC))
     let module Q = Nbq_core.Evequoz_cas.With_implicit_handles (Core) in
     let module C = Queue_intf.Make (Queue_intf.Capability.Bounded_batch (Q)) in
     conc tr (with_metrics ?metrics (module C : Queue_intf.CONC))
+  | "evequoz-bw" ->
+    let module P = (val probe ?metrics tr) in
+    let module Core =
+      Nbq_core.Evequoz_bw.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+    in
+    let module Q = struct
+      include Nbq_core.Evequoz_cas.With_implicit_handles (Core)
+
+      let name = "evequoz-bw"
+    end in
+    let module C = Queue_intf.Make (Queue_intf.Capability.Bounded_batch (Q)) in
+    conc tr (with_metrics ?metrics (module C : Queue_intf.CONC))
   | "evequoz-llsc" ->
     let module P = (val probe ?metrics tr) in
     let module Cell =

@@ -26,7 +26,7 @@ val probe :
 val deep :
   ?metrics:Nbq_obs.Metrics.t -> Recorder.t -> name:string ->
   (module Nbq_core.Queue_intf.CONC) -> (module Nbq_core.Queue_intf.CONC)
-(** ["evequoz-cas"] / ["evequoz-llsc"] are rebuilt with the composed probe
+(** ["evequoz-cas"] / ["evequoz-bw"] / ["evequoz-llsc"] are rebuilt with the composed probe
     inside the algorithm (mirroring [Instrumented.deep]); other names get
     {!conc} over the given fallback, plus the shallow metrics wrapper when
     [metrics] is given. *)

@@ -37,7 +37,7 @@ let registry_concurrent_excludes_sequential () =
   Alcotest.(check int) "all = concurrent + seq"
     (List.length Registry.all)
     (List.length Registry.concurrent + 1);
-  Alcotest.(check int) "eighteen implementations" 18
+  Alcotest.(check int) "twenty implementations" 20
     (List.length Registry.all)
 
 let registry_instances_independent () =
@@ -52,10 +52,11 @@ let registry_expected_members () =
   List.iter
     (fun name -> ignore (Registry.find name))
     [
-      "evequoz-llsc"; "evequoz-cas"; "evequoz-llsc-weak"; "shann";
+      "evequoz-llsc"; "evequoz-cas"; "evequoz-bw"; "evequoz-llsc-weak"; "shann";
       "tsigas-zhang"; "valois-dcas"; "ms-gc"; "ms-hp-sorted"; "ms-hp-unsorted"; "ms-ebr";
       "ms-doherty"; "herlihy-wing"; "lms-optimistic"; "two-lock";
       "lock-ring"; "seq-ring"; "evequoz-cas-shard4"; "evequoz-cas-shard8";
+      "evequoz-bw-shard4";
     ]
 
 (* --- Stats --- *)

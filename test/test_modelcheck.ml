@@ -518,6 +518,48 @@ let dpor_llsc_matrix_quick () =
               message)
     (Scenarios.specs ())
 
+let dpor_bw_matrix_quick () =
+  (* The Blelloch–Wei backend: the whole standard matrix (plus its batch
+     specs) through DPOR with the strengthened checks — conservation by
+     drain, handle-recycling bound, announcement hygiene.  The trees are
+     small (the constant-time protocol has no tag handshake), so this
+     exhaustive pass fits the quick tier. *)
+  List.iter
+    (fun (s : Scenarios.spec) ->
+      if s.algorithm = "evequoz-bw" then
+        match
+          Dpor.explore ~max_steps:60 ~progress:s.progress s.build_instance
+        with
+        | stats ->
+            Alcotest.(check bool)
+              (s.scenario ^ ": exhaustive") true stats.Dpor.exhaustive
+        | exception Sim.Violation { schedule; message } ->
+            Alcotest.failf "%s: schedule [%s]: %s" s.scenario
+              (String.concat ";" (List.map string_of_int schedule))
+              message)
+    (Scenarios.specs ())
+
+let dpor_convicts_bw_noscan () =
+  (* Disabling the announcement scan recycles a buffer a delayed enqueuer
+     still holds reserved; its SC then succeeds against the recycled
+     pointer and the item vanishes.  The checker must find that
+     interleaving (a safety violation, convicted by conservation), and the
+     schedule must reproduce through replay. *)
+  let spec = find_spec "evequoz-bw-noscan" "recycled-buffer-aba" in
+  match
+    Dpor.explore ~max_steps:60 ~progress:spec.progress spec.build_instance
+  with
+  | _ -> Alcotest.fail "seeded BW reclamation bug not convicted"
+  | exception Sim.Violation { schedule; message } -> (
+      Alcotest.(check bool) "safety, not liveness" false
+        (Props.is_liveness_message message);
+      match
+        Dpor.replay ~progress:spec.progress spec.build_instance schedule
+      with
+      | { Dpor.violation = Some _; _ } -> ()
+      | { Dpor.violation = None; _ } ->
+          Alcotest.fail "replay did not reproduce the violation")
+
 let dpor_extra_specs_quick () =
   (* The post-paper scenarios: sharded steal-sweep and Algorithm 2's
      batch-run commit/drain races.  Tiny trees, strong checks. *)
@@ -646,6 +688,8 @@ let () =
           quick ">=5x reduction vs plain DFS" dpor_reduction_factor;
           quick "livelock witness classification" dpor_livelock_witness_classified;
           quick "algorithm-1 matrix exhaustive" dpor_llsc_matrix_quick;
+          quick "blelloch-wei matrix exhaustive" dpor_bw_matrix_quick;
+          quick "convicts BW no-scan recycling" dpor_convicts_bw_noscan;
           quick "sharded + batch scenarios" dpor_extra_specs_quick;
           quick "dump_schedule renders" dump_schedule_renders;
           quick "repro parse rejects noise" repro_parse_rejects_noise;
