@@ -17,6 +17,10 @@ dune exec bin/torture.exe -- --queue evequoz-bw --seed 42 --ops 2000 > /dev/null
 # between-operations gap (shard-steal / op-gap points), the windows the
 # single-ring rows cannot reach.
 dune exec bin/torture.exe -- --queue evequoz-cas-shard4 --seed 42 --ops 2000 > /dev/null
+# Segmented-queue gate: the same stall matrix plus the two windows only
+# the segment chain has -- a victim frozen mid-append (seg-append) and
+# mid-retire (seg-retire) must leave the queue conserving and live.
+dune exec bin/torture.exe -- --queue evequoz-seg --seed 42 --ops 2000 > /dev/null
 # Wait-layer torture: stall/crash a waker inside the wake-lost window and
 # a waiter inside the park window; every live parked domain must still
 # complete (no lost-wakeup strand).
@@ -39,6 +43,17 @@ dune exec bin/modelcheck_run.exe -- -a evequoz-cas -a sharded-llsc \
 # reserved buffer losing an item to pointer ABA) must be convicted.
 dune exec bin/modelcheck_run.exe -- -a evequoz-bw -a evequoz-bw-noscan \
   --require-exhaustive > /dev/null
+# Segmented-queue model-checking gate: the scenario matrix (append and
+# retire/recycle races included) to exhaustion, and the no-retire seeded
+# bug (a pinned reader observing a recycled segment's next lap) must be
+# convicted.
+dune exec bin/modelcheck_run.exe -- -a evequoz-seg -a evequoz-seg-noretire \
+  --require-exhaustive > /dev/null
+# Burst-absorption gate: under a 10x offered-load burst the fixed ring
+# must shed via Timeout while the segmented queue absorbs everything,
+# and elasticity may cost at most 1.25x the fixed ring's steady-state
+# per-item cost.
+dune exec bin/burst_sweep.exe -- --gate > /dev/null
 # Flight-recorder overhead gate: an armed recorder (default 1/64 span
 # sampling) must cost <= 10% vs the plain path (median of interleaved
 # blocks, best-of-6-runs per block).  Single-threaded on purpose: on a

@@ -11,7 +11,10 @@ module Make_injected
     (P : Nbq_primitives.Probe.S)
     (F : Nbq_primitives.Fault.S) =
 struct
-  type 'a slot = Empty | Item of 'a
+  (* [Consumed] only ever appears in single-lap (segment) mode, where a
+     dequeue retires its slot instead of emptying it; the classic ring
+     mode never produces it. *)
+  type 'a slot = Empty | Item of 'a | Consumed
 
   type 'a handle = 'a slot B.handle
 
@@ -21,6 +24,12 @@ struct
     head : B.counter;
     tail : B.counter;
     registry : 'a slot B.registry;
+    (* Single-lap mode: the counter value at which the current lap began.
+       Plain mutable on purpose — it is written only by [recycle] under
+       exclusive ownership (no concurrent reader can hold the ring), and
+       its publication to the next lap's users happens-before through the
+       atomic pointer CAS that re-attaches the segment. *)
+    mutable lap_base : int;
   }
 
   let create ~capacity =
@@ -31,6 +40,7 @@ struct
       head = B.make_counter 0;
       tail = B.make_counter 0;
       registry = B.create_registry ();
+      lap_base = 0;
     }
 
   let capacity t = t.mask + 1
@@ -70,7 +80,7 @@ struct
       if B.counter_get t.tail = tl then
         (* E10 held: the reserved slot is still the one Tail designates. *)
         match B.res_value res with
-        | Item _ ->
+        | Item _ | Consumed ->
             (* E11-E13: a delayed enqueuer filled the slot but has not yet
                advanced Tail; undo the reservation, help, retry. *)
             B.release cell h res;
@@ -104,7 +114,7 @@ struct
       let res = B.ll cell h in
       if B.counter_get t.head = hd then
         match B.res_value res with
-        | Empty ->
+        | Empty | Consumed ->
             (* D11-D13: the item was removed but Head lags; help. *)
             B.release cell h res;
             P.head_help ();
@@ -136,7 +146,7 @@ struct
       if B.counter_get t.head = hd then
         match v with
         | Item x -> Some x
-        | Empty ->
+        | Empty | Consumed ->
             (* Removed but Head lagging: help and retry. *)
             P.head_help ();
             help t.head hd;
@@ -155,6 +165,117 @@ struct
   let peek_with t h =
     B.reregister h;
     peek_loop t h
+
+  (* --- Single-lap (segment) mode (extension, not in the paper) ----------
+
+     The segmented unbounded queue (lib/segmented) uses each ring as a
+     use-once segment: every slot carries at most one item per lap
+     ([Empty] -> [Item] -> [Consumed]) and the ring never wraps within a
+     lap.  The payoff is that "full" becomes {e sticky} — once Tail has
+     walked [capacity] slots past [lap_base], no Empty slot ever reappears
+     in this incarnation, so a stale enqueuer retrying against a drained
+     segment can never slip an item into it.  That stickiness is
+     what makes the segment hand-off linearizable: an appended successor
+     segment can only receive items after its predecessor took its full
+     complement, and the predecessor can never take another.
+
+     Because a lap never wraps, [fill_loop] needs no Head read at all (no
+     full-vs-wrap ambiguity) and [take_loop]'s empty test keeps the
+     paper's monotonicity argument unchanged. *)
+
+  let lap_capacity t = t.mask + 1
+  let lap_base t = t.lap_base
+
+  (* Sticky full: Tail has passed every slot of this lap. *)
+  let lap_filled t = B.counter_get t.tail - t.lap_base >= t.mask + 1
+
+  (* All slots of this lap were filled and consumed; Head can only reach
+     [lap_base + capacity] by passing [capacity] consumed slots. *)
+  let lap_exhausted t = B.counter_get t.head - t.lap_base >= t.mask + 1
+
+  let rec fill_loop t h x =
+    let tl = B.counter_get t.tail in
+    if tl - t.lap_base >= t.mask + 1 then false (* sticky full *)
+    else begin
+      let cell = t.slots.(tl land t.mask) in
+      let res = B.ll cell h in
+      if B.counter_get t.tail = tl then
+        match B.res_value res with
+        | Item _ | Consumed ->
+            (* The slot Tail designates was already filled this lap (and
+               possibly consumed since); Tail lags — help (E11-E13). *)
+            B.release cell h res;
+            P.tail_help ();
+            help t.tail tl;
+            fill_loop t h x
+        | Empty ->
+            if B.sc cell h res (Item x) then begin
+              help t.tail tl;
+              true
+            end
+            else begin
+              P.sc_fail ();
+              fill_loop t h x
+            end
+      else begin
+        B.release cell h res;
+        fill_loop t h x
+      end
+    end
+
+  let rec take_loop t h =
+    let hd = B.counter_get t.head in
+    if hd = B.counter_get t.tail then None (* empty at the read instant *)
+    else if hd - t.lap_base >= t.mask + 1 then None (* lap exhausted *)
+    else begin
+      let cell = t.slots.(hd land t.mask) in
+      let res = B.ll cell h in
+      if B.counter_get t.head = hd then
+        match B.res_value res with
+        | Empty | Consumed ->
+            (* Consumed: taken but Head lags (D11-D13); help.  Empty is
+               unreachable in a well-formed lap (Tail only passes filled
+               slots), kept as the same helping arm defensively. *)
+            B.release cell h res;
+            P.head_help ();
+            help t.head hd;
+            take_loop t h
+        | Item x ->
+            if B.sc cell h res Consumed then begin
+              help t.head hd;
+              Some x
+            end
+            else begin
+              P.sc_fail ();
+              take_loop t h
+            end
+      else begin
+        B.release cell h res;
+        take_loop t h
+      end
+    end
+
+  let fill_with t h x =
+    B.reregister h;
+    fill_loop t h x
+
+  let take_with t h =
+    B.reregister h;
+    take_loop t h
+
+  (* Reset a fully consumed segment for its next lap.  The caller must
+     hold the ring exclusively (reclamation has proven no reader is left;
+     any thread mid-operation here would still be publishing the segment
+     in its hazard slot, so no reservation can be outstanding either);
+     Head = Tail = lap_base + capacity at this point, so bumping the base
+     by one capacity re-opens all slots without touching the monotonic
+     counters.  Slots go back to [Empty] through the backend's
+     exclusive-owner [reset] — the full ll/sc walk this replaced cost one
+     reservation round-trip per slot, which amortized to a constant (and
+     dominant) per-operation tax on the segmented queue's steady state. *)
+  let recycle t =
+    t.lap_base <- t.lap_base + t.mask + 1;
+    Array.iter (fun cell -> B.reset cell Empty) t.slots
 
   (* --- Batch runs (extension, not in the paper) -------------------------
 
@@ -271,7 +392,7 @@ struct
                     clean := false;
                     []
                   end
-              | Empty | Item _ ->
+              | Empty | Item _ | Consumed ->
                   clean := false;
                   []
               | exception Not_found ->

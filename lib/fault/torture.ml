@@ -224,7 +224,60 @@ let evequoz_cas_sharded =
     build = build_sharded_cas ~shards:4;
   }
 
-let deep_targets = [ evequoz_llsc; evequoz_cas; evequoz_bw; evequoz_cas_sharded ]
+(* The segmented unbounded queue over fault-injected CAS cells: every ring
+   window fires inside whichever segment the operation lands on, plus the
+   two chain windows — [Seg_append] (tail segment observed full, fresh
+   segment not yet linked) and [Seg_retire] (successor observed, head not
+   yet swung).  Per-op register/deregister as in [build_cas]; a crash
+   additionally abandons the hazard record acquired at entry, so
+   reclamation must tolerate a permanently published hazard.  The leak is
+   bounded and item-free: segments pinned by dead readers are exhausted,
+   so no enqueued item is ever stranded in one.  Segments are kept small
+   so the chain appends and retires every few operations regardless of
+   the harness capacity. *)
+let build_seg ?tracer inj ~capacity =
+  let module F = (val hook ?tracer inj) in
+  let module P = (val probe ?tracer ()) in
+  let module Q =
+    Nbq_segmented.Segmented.Make_cas (Nbq_primitives.Atomic_intf.Real) (P) (F)
+  in
+  let q = Q.create ~capacity:(min capacity 8) () in
+  {
+    enqueue =
+      (fun v ->
+        let h = Q.register q in
+        let r = Q.enqueue_with q h v in
+        Q.deregister q h;
+        r);
+    dequeue =
+      (fun () ->
+        let h = Q.register q in
+        let r = Q.dequeue_with q h in
+        Q.deregister q h;
+        r);
+    audit = (fun () -> None);
+  }
+
+let evequoz_seg =
+  {
+    name = "evequoz-seg";
+    deep_points =
+      [
+        Fault.Ll_reserve;
+        Fault.Slot_swap;
+        Fault.Sc_attempt;
+        Fault.Tag_register;
+        Fault.Tag_reregister;
+        Fault.Tag_deregister;
+        Fault.Counter_bump;
+        Fault.Seg_append;
+        Fault.Seg_retire;
+      ];
+    build = build_seg;
+  }
+
+let deep_targets =
+  [ evequoz_llsc; evequoz_cas; evequoz_bw; evequoz_cas_sharded; evequoz_seg ]
 
 let generic_of_impl (impl : Registry.impl) =
   {

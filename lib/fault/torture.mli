@@ -67,6 +67,16 @@ val evequoz_cas_sharded : target
     {!Nbq_primitives.Fault.Shard_steal} — a victim frozen there holds no
     reservation on any ring.  [audit] sums the per-ring tag registries. *)
 
+val evequoz_seg : target
+(** ["evequoz-seg"]: the segmented unbounded queue over fault-injected
+    CAS cells, small segments so the chain churns constantly.  All of
+    {!evequoz_cas}'s points fire inside whichever segment an operation
+    lands, plus {!Nbq_primitives.Fault.Seg_append} (tail observed full,
+    successor not yet linked) and {!Nbq_primitives.Fault.Seg_retire}
+    (successor observed, head not yet swung).  A crash abandons the
+    per-op hazard record, so reclamation runs against a permanently
+    published hazard. *)
+
 val targets : unit -> target list
 (** The deep targets plus a generic (Op_gap-only) target for every other
     queue in {!Nbq_harness.Registry.concurrent}. *)

@@ -451,6 +451,83 @@ let sharded ~shards (base : impl) : impl =
 let evequoz_bw_row =
   of_conc ~name:"evequoz-bw" ~family:Array_based (module Evequoz_bw_conc)
 
+(* --- Segmented unbounded rows (Nbq_segmented) ---------------------------
+
+   [capacity] becomes the *segment* capacity: the queue itself never
+   rejects (Link_based, unbounded).  Deep-probed creation rebuilds the
+   functor stack with the metrics/trace probe plugged into the inner
+   rings (sc_fail, helping, tag traffic) exactly as the single-ring rows
+   do; [probed_conc] abstracts the backend choice as a first-class-module
+   builder so the CAS and Blelloch-Wei rows share the plumbing. *)
+let segmented_row ~name ~base ~probed_conc =
+  let base_impl = of_conc ~name ~family:Link_based base in
+  let create_probed ~metrics ~capacity =
+    let probe = Nbq_obs.Metrics.probe metrics in
+    let module W = (val probed_conc probe : Queue_intf.CONC) in
+    let module M = struct
+      let metrics = metrics
+    end in
+    let module I = Nbq_obs.Instrumented.Make (M) (W) in
+    instance_of ~probe (module I) ~capacity
+  in
+  let create_traced ~metrics ~tracer ~capacity =
+    let probe = Nbq_trace.Instrument.probe ?metrics tracer in
+    let module W = (val probed_conc probe : Queue_intf.CONC) in
+    let module T = struct
+      let tracer = tracer
+    end in
+    match metrics with
+    | Some m ->
+        let module M = struct
+          let metrics = m
+        end in
+        let module I1 = Nbq_obs.Instrumented.Make (M) (W) in
+        let module I = Nbq_trace.Instrument.Wrap (T) (I1) in
+        instance_of ~probe (module I) ~capacity
+    | None ->
+        let module I = Nbq_trace.Instrument.Wrap (T) (W) in
+        instance_of ~probe (module I) ~capacity
+  in
+  { base_impl with create_probed; create_traced }
+
+let evequoz_seg_row =
+  segmented_row ~name:"evequoz-seg"
+    ~base:(module Nbq_segmented.Segmented.Cas : Queue_intf.CONC)
+    ~probed_conc:(fun probe ->
+      let module P = (val probe : Nbq_primitives.Probe.S) in
+      let module Core =
+        Nbq_segmented.Segmented.Make_probed_cas
+          (Nbq_primitives.Atomic_intf.Real)
+          (P)
+      in
+      let module W =
+        Nbq_segmented.Segmented.Conc
+          (struct
+            let name = "evequoz-seg"
+          end)
+          (Core)
+      in
+      (module W : Queue_intf.CONC))
+
+let evequoz_seg_bw_row =
+  segmented_row ~name:"evequoz-seg-bw"
+    ~base:(module Nbq_segmented.Segmented.Bw : Queue_intf.CONC)
+    ~probed_conc:(fun probe ->
+      let module P = (val probe : Nbq_primitives.Probe.S) in
+      let module Core =
+        Nbq_segmented.Segmented.Make_probed_bw
+          (Nbq_primitives.Atomic_intf.Real)
+          (P)
+      in
+      let module W =
+        Nbq_segmented.Segmented.Conc
+          (struct
+            let name = "evequoz-seg-bw"
+          end)
+          (Core)
+      in
+      (module W : Queue_intf.CONC))
+
 let concurrent =
   [
     of_conc ~name:"evequoz-llsc" ~family:Array_based (module Evequoz_llsc_conc);
@@ -471,11 +548,20 @@ let concurrent =
     of_conc ~name:"lms-optimistic" ~family:Link_based (module Lms_conc);
     of_conc ~name:"two-lock" ~family:Lock_based (module Two_lock_conc);
     of_conc ~name:"lock-ring" ~family:Lock_based (module Lock_conc);
+    evequoz_seg_row;
+    evequoz_seg_bw_row;
     sharded_evequoz_cas ~shards:4;
     sharded_evequoz_cas ~shards:8;
     (* Blelloch-Wei behind the generic sharded facade: deep-probed inner
        rings via the row's own create_probed. *)
     sharded ~shards:4 evequoz_bw_row;
+    (* Segmented shards grow instead of shedding: the facade keeps its
+       relaxed-FIFO contract but [try_enqueue] never sheds to a steal
+       sweep on "full" — a shard's ring chain just grows.  The 1-shard
+       row is the facade-overhead control: same code path, no relaxation
+       benefit. *)
+    sharded ~shards:1 evequoz_seg_row;
+    sharded ~shards:4 evequoz_seg_row;
   ]
 
 let all = concurrent @ [ of_conc ~name:"seq-ring" ~family:Sequential (module Seq_conc) ]

@@ -117,10 +117,21 @@ module SimHw = Nbq_baselines.Herlihy_wing.Make (Sim.Atomic)
 module SimLms = Nbq_baselines.Ladan_mozes_shavit.Make (Sim.Atomic)
 module SimValois = Nbq_baselines.Valois.Make (Sim.Atomic)
 
+(* The segmented unbounded queue (PR 9) with ideal LL/SC cells inside each
+   segment, so the explored state space is dominated by the chain protocol
+   — append, retire, hazard hand-off, recycle — rather than by the cell
+   backend already verified above. *)
+module SimSegBackend = Nbq_primitives.Llsc_backend.Of_cell (SimCell)
+
+module SimSeg =
+  Nbq_segmented.Segmented.Make_backend (Sim.Atomic) (SimSegBackend)
+    (Trace_probe)
+    (Nbq_primitives.Fault.Noop)
+
 let algorithms =
   [
-    "evequoz-llsc"; "evequoz-cas"; "evequoz-bw"; "shann"; "tsigas-zhang";
-    "ms-gc"; "herlihy-wing"; "lms-optimistic"; "valois-dcas";
+    "evequoz-llsc"; "evequoz-cas"; "evequoz-bw"; "evequoz-seg"; "shann";
+    "tsigas-zhang"; "ms-gc"; "herlihy-wing"; "lms-optimistic"; "valois-dcas";
   ]
 
 let build ~algorithm ~capacity ~prefill threads =
@@ -190,6 +201,36 @@ let build ~algorithm ~capacity ~prefill threads =
         in
         ( Array.of_list (List.mapi task threads),
           lin_check ~capacity recorder )
+  | "evequoz-seg" ->
+      (* The segmented unbounded queue: [capacity] is the *segment*
+         capacity, the queue itself never rejects, so the linearizability
+         spec runs unbounded.  Explicit handles (one hazard record each)
+         register inside the explored schedule. *)
+      fun () ->
+        let q = SimSeg.create ~retire_threshold:1 ~capacity () in
+        let nthreads = List.length threads in
+        let recorder = H.recorder ~threads:(nthreads + 1) in
+        Sim.run_sequential (fun () ->
+            let h = SimSeg.register q in
+            List.iter
+              (fun v ->
+                record recorder ~thread:nthreads
+                  ~enq:(fun v -> SimSeg.enqueue_with q h v)
+                  ~deq:(fun () -> None)
+                  (Enq v))
+              prefill;
+            SimSeg.deregister q h);
+        let task i ops () =
+          let h = SimSeg.register q in
+          List.iter
+            (record recorder ~thread:i
+               ~enq:(fun v -> SimSeg.enqueue_with q h v)
+               ~deq:(fun () -> SimSeg.dequeue_with q h))
+            ops;
+          SimSeg.deregister q h
+        in
+        ( Array.of_list (List.mapi task threads),
+          lin_check ~capacity:max_int recorder )
   | "shann" ->
       generic ~spec_capacity:capacity ~prefill threads ~make_queue:(fun () ->
           let q = SimShann.create ~capacity in
@@ -594,6 +635,116 @@ let bw_noscan_instance () =
     invariant = None;
   }
 
+(* The segmented unbounded queue: [capacity] is the segment capacity, the
+   linearizability spec is unbounded, and [retire_threshold 1] makes every
+   retire scan immediately so recycling happens inside the explored
+   window.  [direct_free] is the seeded bug (evequoz-seg-noretire): the
+   head-advance winner frees the drained segment without the hazard scan.
+
+   Strengthened checks on top of linearizability:
+   - conservation by drain, with reclamation hygiene at quiescence: after
+     every record has been reacquired and released once, no retired
+     segment may still be pending (nothing protects them anymore);
+   - as a per-step invariant, the memory bound — segment k exists only
+     after segments 0..k-1 each accepted a full complement, so the live
+     chain never exceeds total_items/capacity + 1 — and the per-segment
+     index windows lap_base <= head <= tail <= lap_base + capacity, the
+     FIFO-across-segments witness. *)
+let seg_instance ?(direct_free = false) ~capacity ~prefill threads () =
+  let nthreads = List.length threads in
+  let q = SimSeg.create ~direct_free ~retire_threshold:1 ~capacity () in
+  let cap = Nbq_core.Queue_intf.round_capacity capacity in
+  let total_items =
+    List.length prefill
+    + List.fold_left
+        (List.fold_left (fun acc op ->
+             match op with
+             | Enq _ -> acc + 1
+             | Enq_batch items -> acc + List.length items
+             | Deq | Deq_batch _ | Peek -> acc))
+        0 threads
+  in
+  let max_chain = (total_items / cap) + 1 in
+  let recorder = H.recorder ~threads:(nthreads + 1) in
+  Sim.run_sequential (fun () ->
+      let h = SimSeg.register q in
+      List.iter
+        (fun v ->
+          record recorder ~thread:nthreads
+            ~enq:(fun v -> SimSeg.enqueue_with q h v)
+            ~deq:(fun () -> None)
+            (Enq v))
+        prefill;
+      SimSeg.deregister q h);
+  let task i ops () =
+    let h = SimSeg.register q in
+    List.iter
+      (record recorder ~thread:i
+         ~enq:(fun v -> SimSeg.enqueue_with q h v)
+         ~deq:(fun () -> SimSeg.dequeue_with q h))
+      ops;
+    SimSeg.deregister q h
+  in
+  {
+    Dpor.tasks = Array.of_list (List.mapi task threads);
+    check =
+      (fun () ->
+        lin_check ~capacity:max_int recorder ();
+        Sim.run_sequential (fun () ->
+            let h = SimSeg.register q in
+            let drained =
+              List.sort compare (drain_all (fun () -> SimSeg.dequeue_with q h))
+            in
+            let expected = remaining_of_history (H.events recorder) in
+            if drained <> expected then
+              failwith
+                (Printf.sprintf
+                   "conservation: drained [%s] but history left [%s]"
+                   (String.concat ";" (List.map string_of_int drained))
+                   (String.concat ";" (List.map string_of_int expected)));
+            SimSeg.deregister q h;
+            (* Acquire every hazard record at once, then release each:
+               every release rescans its record's parked retirees, and
+               with no hazard held anything still pending is a leak. *)
+            let flush =
+              List.init (nthreads + 2) (fun _ -> SimSeg.register q)
+            in
+            List.iter (fun h -> SimSeg.deregister q h) flush;
+            let st = SimSeg.stats q in
+            if st.Nbq_segmented.Segmented.retired_pending <> 0 then
+              failwith
+                (Printf.sprintf
+                   "reclamation hygiene: %d segments still retired at \
+                    quiescence"
+                   st.Nbq_segmented.Segmented.retired_pending)));
+    invariant =
+      Some
+        (fun () ->
+          Sim.run_sequential (fun () ->
+              let rec walk n seg =
+                let r = seg.SimSeg.ring in
+                let base = SimSeg.Ring.lap_base r in
+                let hd = SimSeg.Ring.head_index r in
+                let tl = SimSeg.Ring.tail_index r in
+                if not (base <= hd && hd <= tl && tl <= base + cap) then
+                  failwith
+                    (Printf.sprintf
+                       "index window: segment %d has base %d head %d tail %d \
+                        (capacity %d)"
+                       (SimSeg.seg_id seg) base hd tl cap);
+                match Sim.Atomic.get seg.SimSeg.next with
+                | SimSeg.Nil -> n
+                | SimSeg.Next ns -> walk (n + 1) ns
+              in
+              let chain = walk 1 (Sim.Atomic.get q.SimSeg.head_seg) in
+              if chain > max_chain then
+                failwith
+                  (Printf.sprintf
+                     "segment bound: %d live segments for %d items of \
+                      capacity %d (max %d)"
+                     chain total_items cap max_chain)));
+  }
+
 (* Other algorithms: the linearizability check as before, no extra
    invariant (their internals are baselines, not the paper's claims). *)
 let generic_instance ~algorithm ~capacity ~prefill threads () =
@@ -605,6 +756,7 @@ let matrix_instance ~algorithm ~capacity ~prefill threads =
   | "evequoz-llsc" -> llsc_instance ~capacity ~prefill threads
   | "evequoz-cas" -> cas_instance ~capacity ~prefill threads
   | "evequoz-bw" -> bw_instance ~capacity ~prefill threads
+  | "evequoz-seg" -> seg_instance ~capacity ~prefill threads
   | _ -> generic_instance ~algorithm ~capacity ~prefill threads
 
 (* --- post-paper scenarios: sharded facade, batched runs ------------------ *)
@@ -826,6 +978,30 @@ let extra_specs =
         bw_instance ~capacity:2 ~prefill:[ 7; 8 ] [ [ Deq_batch 2 ]; [ Enq 1 ] ];
     };
     {
+      algorithm = "evequoz-seg";
+      scenario = "grow-during-drain";
+      descr =
+        "segmented: appends (pool reuse included) raced against the \
+         drain-retire hand-off on capacity-2 segments";
+      progress = Props.Lock_free;
+      expect = `Pass;
+      build_instance =
+        seg_instance ~capacity:2 ~prefill:[ 1; 2 ]
+          [ [ Deq; Deq; Deq ]; [ Enq 3; Enq 4 ] ];
+    };
+    {
+      algorithm = "evequoz-seg-noretire";
+      scenario = "recycled-segment-read";
+      descr =
+        "seeded bug: retire skips the hazard hand-off, so a stalled \
+         dequeuer observes the drained segment's recycled state";
+      progress = Props.Lock_free;
+      expect = `Violation;
+      build_instance =
+        seg_instance ~direct_free:true ~capacity:2 ~prefill:[ 1; 2; 3; 4 ]
+          [ [ Deq ]; [ Deq; Deq; Deq ] ];
+    };
+    {
       algorithm = "evequoz-bw-noscan";
       scenario = "recycled-buffer-aba";
       descr =
@@ -865,7 +1041,11 @@ let specs () =
   List.concat_map matrix_specs algorithms @ extra_specs
 
 let spec_algorithms =
-  algorithms @ [ "sharded-llsc"; "evequoz-bw-noscan"; "sim-wait"; "toy-blocking" ]
+  algorithms
+  @ [
+      "sharded-llsc"; "evequoz-bw-noscan"; "evequoz-seg-noretire"; "sim-wait";
+      "toy-blocking";
+    ]
 
 let find ~algorithm ~scenario =
   List.find_opt

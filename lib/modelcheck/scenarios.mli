@@ -40,8 +40,10 @@ val build :
 val algorithms : string list
 (** The functorized implementations that can run on simulated atomics:
     both of the paper's algorithms, the Blelloch–Wei constant-time backend
-    ([evequoz-bw]), plus Shann, Tsigas–Zhang, Michael–Scott, Herlihy–Wing
-    and Ladan-Mozes–Shavit. *)
+    ([evequoz-bw]), the segmented unbounded queue ([evequoz-seg], for
+    which [capacity] means the {e segment} capacity and the FIFO spec is
+    unbounded), plus Shann, Tsigas–Zhang, Michael–Scott, Herlihy–Wing and
+    Ladan-Mozes–Shavit. *)
 
 val standard_matrix : (string * int * int list * op list list) list
 (** The (name, capacity, prefill, threads) tuples every algorithm is
@@ -68,17 +70,20 @@ val specs : unit -> spec list
 (** The full catalog: {!standard_matrix} × {!algorithms} with
     strengthened checks, plus the post-paper scenarios (PR 3's sharded
     facade steal-sweep race, the batch-run commit and drain races on both
-    the tag-protocol and Blelloch–Wei cells), the wait-layer scenarios
-    (the production eventcount under simulation: park/wake with no lost
-    wakeup), and the seeded-bug scenarios ([expect = `Violation]): a
-    deliberately blocking toy claimed lock-free, the eventcount handshake
-    with its Dekker re-check removed, and Blelloch–Wei reclamation with
-    the announcement scan disabled (a recycled reserved buffer loses an
-    item to pointer ABA). *)
+    the tag-protocol and Blelloch–Wei cells, the segmented queue's
+    grow-during-drain race), the wait-layer scenarios (the production
+    eventcount under simulation: park/wake with no lost wakeup), and the
+    seeded-bug scenarios ([expect = `Violation]): a deliberately blocking
+    toy claimed lock-free, the eventcount handshake with its Dekker
+    re-check removed, Blelloch–Wei reclamation with the announcement scan
+    disabled (a recycled reserved buffer loses an item to pointer ABA),
+    and the segmented queue's retire with the hazard hand-off skipped (a
+    stalled dequeuer reads a recycled segment). *)
 
 val spec_algorithms : string list
 (** {!algorithms} plus the catalog-only pseudo-algorithms
-    ([sharded-llsc], [evequoz-bw-noscan], [sim-wait], [toy-blocking]). *)
+    ([sharded-llsc], [evequoz-bw-noscan], [evequoz-seg-noretire],
+    [sim-wait], [toy-blocking]). *)
 
 val find : algorithm:string -> scenario:string -> spec option
 (** Look a spec up by its NBQ-FAULT-REPRO key. *)

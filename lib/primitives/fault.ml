@@ -6,6 +6,8 @@ type point =
   | Tag_reregister
   | Tag_deregister
   | Counter_bump
+  | Seg_append
+  | Seg_retire
   | Shard_steal
   | Op_gap
   | Park_window
@@ -14,8 +16,8 @@ type point =
 let all =
   [
     Ll_reserve; Slot_swap; Sc_attempt; Tag_register; Tag_reregister;
-    Tag_deregister; Counter_bump; Shard_steal; Op_gap; Park_window;
-    Wake_lost;
+    Tag_deregister; Counter_bump; Seg_append; Seg_retire; Shard_steal;
+    Op_gap; Park_window; Wake_lost;
   ]
 
 let to_string = function
@@ -26,6 +28,8 @@ let to_string = function
   | Tag_reregister -> "tag-reregister"
   | Tag_deregister -> "tag-deregister"
   | Counter_bump -> "counter-bump"
+  | Seg_append -> "seg-append"
+  | Seg_retire -> "seg-retire"
   | Shard_steal -> "shard-steal"
   | Op_gap -> "op-gap"
   | Park_window -> "park-window"

@@ -29,6 +29,15 @@
     - [Counter_bump] — after a slot update succeeded but before the lagging
       [Head]/[Tail] counter is CASed forward; other threads must help
       (paper E11-E13 / D11-D13).
+    - [Seg_append] — in the segmented unbounded queue
+      ([Nbq_segmented.Segmented]), after the tail segment was observed
+      full but before the fresh segment is linked/published.  A victim
+      frozen here may hold an allocated-but-unlinked segment; other
+      enqueuers must be able to append their own.
+    - [Seg_retire] — after a drained segment's successor was observed but
+      before the head pointer swings and the old segment is handed to
+      reclamation.  A victim frozen here pins the retire hand-off; other
+      dequeuers must complete it themselves.
     - [Shard_steal] — in a sharded front-end ([Nbq_scale.Sharded]), after
       the home shard reported full/empty but before any foreign shard is
       probed.  A victim frozen here holds no reservation on any ring, yet
@@ -58,6 +67,8 @@ type point =
   | Tag_reregister
   | Tag_deregister
   | Counter_bump
+  | Seg_append
+  | Seg_retire
   | Shard_steal
   | Op_gap
   | Park_window

@@ -34,6 +34,7 @@ module type S = sig
   val sc : 'a t -> 'a handle -> 'a res -> 'a -> bool
   val release : 'a t -> 'a handle -> 'a res -> unit
   val read : 'a t -> 'a handle -> 'a
+  val reset : 'a t -> 'a -> unit
 
   val observe : 'a t -> 'a handle -> 'a observation
   val observed_holds : 'a observation -> 'a -> bool
@@ -93,6 +94,16 @@ module Of_cell (Cell : CELL) = struct
   let sc cell () link v = Cell.sc cell link v
   let release _cell () _link = ()
   let read cell () = Cell.get cell
+
+  (* Exclusive-owner store: with no reservation outstanding the sc can
+     only fail spuriously (weak cells), so the loop is bounded in
+     practice and single-shot on ideal cells. *)
+  let reset cell v =
+    let rec go () =
+      let link = Cell.ll cell in
+      if not (Cell.sc cell link v) then go ()
+    in
+    go ()
 
   (* Ideal LL always succeeds, so an observation is just a reservation the
      backend never has to publish; [commit] is the matching sc. *)

@@ -71,6 +71,15 @@ module type S = sig
   val read : 'a t -> 'a handle -> 'a
   (** Linearizable read without leaving a reservation behind. *)
 
+  val reset : 'a t -> 'a -> unit
+  (** Exclusive-owner store, no handle needed: the caller guarantees no
+      thread holds (or will take) a reservation or observation on the
+      cell for the duration — the segment-recycle case, where hazard
+      reclamation has proven the ring unreachable.  Implementations must
+      keep the backend's identity discipline (a fresh block per mutation
+      where observe/commit relies on it) so a stale [commit] from a
+      protocol violation still fails rather than corrupting the cell. *)
+
   val observe : 'a t -> 'a handle -> 'a observation
   val observed_holds : 'a observation -> 'a -> bool
   val observed_get : 'a observation -> 'a

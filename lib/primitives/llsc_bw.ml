@@ -202,6 +202,12 @@ struct
      the slot — no cell traffic, nothing to roll back. *)
   let release _cell h (_ : 'a res) = A.set h.announce None
 
+  (* Exclusive-owner store.  A fresh buffer (not an in-place [b.v <-])
+     keeps the invariant that every cell mutation installs a new block, so
+     a reservation or observation leaked across a reset can never commit.
+     The abandoned buffer is unreachable and simply collected. *)
+  let reset cell v = A.set cell { v }
+
   let read cell h =
     F.hit Fault.Ll_reserve;
     let rec go () =

@@ -257,6 +257,10 @@ struct
     ignore (L.sc cell h v);
     v
 
+  (* [unsafe_set] installs a fresh [Value] block, so a stale observe/commit
+     pair racing a misused reset still fails on block identity. *)
+  let reset cell v = L.unsafe_set cell v
+
   let observe cell _h = L.observe cell
   let observed_holds = L.observed_holds
   let observed_get = L.observed_get

@@ -1,0 +1,144 @@
+(* Hazard pointers over the ATOMIC seam.
+
+   [Hazard_pointer] is tied to the real runtime: its records live in
+   [Domain.DLS] and its slots are real [Atomic.t]s, so it cannot run
+   under the model checker's cooperative scheduler (DLS is shared by
+   every simulated thread, and real atomics are invisible to DPOR's
+   dependency analysis).  This module is the same single-hazard protocol
+   functorized over [Atomic_intf.ATOMIC] with records handed out
+   explicitly — the caller owns the acquire/release lifecycle instead of
+   a thread-local cache — which is exactly the shape the segmented
+   queue's per-thread handles need: instantiate with [Atomic_intf.Real]
+   in production and with [Sim.Atomic] under the model checker, where
+   every protect/validate/scan step becomes a scheduling point.
+
+   Membership is physical ([memq]): the protected values are mutable
+   structures (ring segments) for which structural comparison is both
+   meaningless and unsafe. *)
+
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) = struct
+  type 'a record = {
+    hazard : 'a option A.t;
+    active : bool A.t;
+    (* Private to the owning thread: *)
+    mutable retired : 'a list;
+    mutable retired_len : int;
+    (* Registry chain; write-once before publication. *)
+    mutable next : 'a record option;
+  }
+
+  type 'a t = {
+    head : 'a record option A.t;
+    threshold : int;
+    free : 'a -> unit;
+    scans : int A.t;
+    freed : int A.t;
+    retired_total : int A.t;
+  }
+
+  let create ?(threshold = 2) ~free () =
+    {
+      head = A.make None;
+      threshold = max 1 threshold;
+      free;
+      scans = A.make 0;
+      freed = A.make 0;
+      retired_total = A.make 0;
+    }
+
+  let rec find_inactive = function
+    | None -> None
+    | Some r ->
+        if (not (A.get r.active)) && A.compare_and_set r.active false true
+        then Some r
+        else find_inactive r.next
+
+  let acquire t =
+    match find_inactive (A.get t.head) with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            hazard = A.make None;
+            active = A.make true;
+            retired = [];
+            retired_len = 0;
+            next = None;
+          }
+        in
+        let rec push () =
+          let cur = A.get t.head in
+          r.next <- cur;
+          if not (A.compare_and_set t.head cur (Some r)) then push ()
+        in
+        push ();
+        r
+
+  let protect r x = A.set r.hazard (Some x)
+  let clear r = A.set r.hazard None
+
+  (* Only the owning thread writes [r.hazard], so a positive answer means
+     the slot has held [x] continuously since the owner last published
+     it — the caller's continuous-protection fast path. *)
+  let holds r x = match A.get r.hazard with Some y -> y == x | None -> false
+
+  let collect_hazards t =
+    let acc = ref [] in
+    let rec go = function
+      | None -> ()
+      | Some r ->
+          (match A.get r.hazard with
+          | Some x -> acc := x :: !acc
+          | None -> ());
+          go r.next
+    in
+    go (A.get t.head);
+    !acc
+
+  let protected t x = List.memq x (collect_hazards t)
+
+  let scan t r =
+    ignore (A.fetch_and_add t.scans 1);
+    let hazards = collect_hazards t in
+    let kept = ref [] and kept_len = ref 0 and freed = ref 0 in
+    List.iter
+      (fun x ->
+        if List.memq x hazards then begin
+          kept := x :: !kept;
+          incr kept_len
+        end
+        else begin
+          t.free x;
+          incr freed
+        end)
+      r.retired;
+    r.retired <- !kept;
+    r.retired_len <- !kept_len;
+    ignore (A.fetch_and_add t.freed !freed)
+
+  let retire t r x =
+    r.retired <- x :: r.retired;
+    r.retired_len <- r.retired_len + 1;
+    ignore (A.fetch_and_add t.retired_total 1);
+    if r.retired_len >= t.threshold then scan t r
+
+  (* Releasing a record flushes its retired list first (scanning until it
+     can shrink no further), then parks what is still pinned on the
+     record for the next owner to inherit — nothing is leaked, nothing
+     pinned is freed. *)
+  let release t r =
+    clear r;
+    if r.retired_len > 0 then scan t r;
+    A.set r.active false
+
+  let total_scans t = A.get t.scans
+  let total_freed t = A.get t.freed
+  let total_retired t = A.get t.retired_total
+
+  let pending t =
+    let rec go n = function
+      | None -> n
+      | Some r -> go (n + r.retired_len) r.next
+    in
+    go 0 (A.get t.head)
+end

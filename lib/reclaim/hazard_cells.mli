@@ -1,0 +1,66 @@
+(** Hazard pointers functorized over the {!Nbq_primitives.Atomic_intf}
+    seam, with explicit record hand-out (no [Domain.DLS]).
+
+    {!Hazard_pointer} protects linked-list nodes for real domains; this
+    module protects {e any} physically-identified structure under {e any}
+    atomic implementation, which is what the segmented queue needs: the
+    same retire/scan protocol must run both in production (real atomics,
+    one record per domain handle) and inside the model checker's
+    cooperative scheduler (where [Domain.DLS] is shared by all simulated
+    threads and real atomics escape DPOR's dependency analysis).
+
+    One hazard slot per record: a thread protects at most one segment at
+    a time.  Membership checks are physical equality. *)
+
+module Make (A : Nbq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a record
+  (** Per-thread participation: one hazard slot plus a private retired
+      list.  Records are recycled through an acquire/release lifecycle
+      and never removed from the registry. *)
+
+  type 'a t
+
+  val create : ?threshold:int -> free:('a -> unit) -> unit -> 'a t
+  (** [threshold] (default 2, clamped to >= 1) is the retired-list length
+      that triggers a scan; [free] receives each value proven
+      unprotected. *)
+
+  val acquire : 'a t -> 'a record
+  (** Claim an inactive record or link a fresh one. *)
+
+  val release : 'a t -> 'a record -> unit
+  (** Clear the hazard, flush the retired list (still-pinned values stay
+      parked on the record for the next owner), mark the record
+      reusable. *)
+
+  val protect : 'a record -> 'a -> unit
+  (** Publish [x] in the record's hazard slot.  The caller must re-read
+      the source pointer afterwards and retry if it moved (the standard
+      protect/validate handshake). *)
+
+  val clear : 'a record -> unit
+
+  val holds : 'a record -> 'a -> bool
+  (** Does the record's hazard slot currently hold [x] (physically)?
+      Only the owning thread writes the slot, so a positive answer means
+      protection has been continuous since the owner last published [x]
+      — letting the owner skip the publish-and-revalidate handshake when
+      it re-reads a source pointer that still equals [x]. *)
+
+  val retire : 'a t -> 'a record -> 'a -> unit
+  (** Hand [x] to reclamation: freed by a later scan once no record's
+      hazard slot holds it. *)
+
+  val scan : 'a t -> 'a record -> unit
+  (** Force a scan of [record]'s retired list. *)
+
+  val protected : 'a t -> 'a -> bool
+  (** One racy snapshot: is [x] currently published in any hazard slot? *)
+
+  val total_scans : 'a t -> int
+  val total_freed : 'a t -> int
+  val total_retired : 'a t -> int
+
+  val pending : 'a t -> int
+  (** Values retired but not yet freed, summed over all records. *)
+end

@@ -585,7 +585,11 @@ let concurrent_cases impl =
   ]
   @ (if impl.Registry.bounded then
        [ slow "burst full/empty oscillation" (test_burst_oscillation impl) ]
-     else [])
+     else
+       (* Unbounded queues can't oscillate against a full bound, but their
+          length snapshot must still stay sane while the chain (or node
+          list) churns, and be exact once quiescent. *)
+       [ slow "length bounds under churn" (test_length_under_churn impl) ])
   @
   (* Exercising the full/empty transitions concurrently needs the bounded
      spec, which only bounded implementations honour. *)

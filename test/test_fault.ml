@@ -285,6 +285,7 @@ let () =
       ("stall-matrix evequoz-llsc", stall_matrix Torture.evequoz_llsc);
       ("stall-matrix evequoz-cas", stall_matrix Torture.evequoz_cas);
       ("stall-matrix evequoz-bw", stall_matrix Torture.evequoz_bw);
+      ("stall-matrix evequoz-seg", stall_matrix Torture.evequoz_seg);
       ( "stall-op-gap generic",
         [
           slow "two-lock" (opgap_generic "two-lock");
@@ -307,6 +308,10 @@ let () =
           slow "bw / tag-register abandons record"
             (crash_point ~check_audit:true Torture.evequoz_bw
                Fault.Tag_register);
+          slow "seg / seg-append abandons fresh segment"
+            (crash_point Torture.evequoz_seg Fault.Seg_append);
+          slow "seg / seg-retire abandons hazard record"
+            (crash_point Torture.evequoz_seg Fault.Seg_retire);
         ] );
       ( "explore",
         [

@@ -37,7 +37,7 @@ let registry_concurrent_excludes_sequential () =
   Alcotest.(check int) "all = concurrent + seq"
     (List.length Registry.all)
     (List.length Registry.concurrent + 1);
-  Alcotest.(check int) "twenty implementations" 20
+  Alcotest.(check int) "twenty-four implementations" 24
     (List.length Registry.all)
 
 let registry_instances_independent () =

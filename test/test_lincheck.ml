@@ -424,6 +424,67 @@ let qcheck_rejects_corrupted =
       in
       C.check_linearizable bad <> C.Ok)
 
+(* --- the segmented queue under concurrent stress --- *)
+
+module Seg = Nbq_segmented.Segmented
+
+(* Tiny segments (capacity 2) so every episode crosses segment
+   boundaries: grow (append), drain-retire and pool reuse all happen
+   inside the checked window.  The queue is unbounded, so the histories
+   run against the unbounded spec (no [~capacity]). *)
+let seg_verdict name v =
+  match v with
+  | C.Ok -> ()
+  | C.Violation msg -> Alcotest.fail (name ^ ": " ^ msg)
+
+let seg_ops q =
+  Nbq_lincheck.Stress.ops_of_singles
+    ~enqueue:(fun v -> Seg.Cas.try_enqueue q v)
+    ~dequeue:(fun () -> Seg.Cas.try_dequeue q)
+
+let seg_small_rounds () =
+  seg_verdict "segmented small rounds"
+    (Nbq_lincheck.Stress.check_small_rounds ~rounds:60 ~threads:3
+       ~ops_per_thread:4 ~seed:7 (fun () ->
+         let q = Seg.Cas.create ~capacity:2 in
+         fun _ -> seg_ops q))
+
+let seg_small_rounds_deq_heavy () =
+  (* Longer episodes drain whole segments, so the retire hand-off and the
+     recycled-segment reuse run under contention, not just the appends. *)
+  seg_verdict "segmented drain-heavy"
+    (Nbq_lincheck.Stress.check_small_rounds ~rounds:40 ~threads:4
+       ~ops_per_thread:6 ~seed:13 (fun () ->
+         let q = Seg.Cas.create ~capacity:2 in
+         fun _ -> seg_ops q))
+
+let seg_small_rounds_batched () =
+  (* Mixed batched producers: the segmented batch calls resolve the
+     handle once and then run the single-item protocol per item, so each
+     batch must linearize as its items in order within one call window. *)
+  seg_verdict "segmented batched"
+    (Nbq_lincheck.Stress.check_small_rounds ~rounds:60 ~threads:3
+       ~ops_per_thread:4 ~seed:11 ~with_batches:true (fun () ->
+         let q = Seg.Cas.create ~capacity:2 in
+         fun _ ->
+           {
+             Nbq_lincheck.Stress.enqueue = (fun v -> Seg.Cas.try_enqueue q v);
+             dequeue = (fun () -> Seg.Cas.try_dequeue q);
+             enqueue_batch = (fun a -> Seg.Cas.try_enqueue_batch q a);
+             dequeue_batch = (fun k -> Seg.Cas.try_dequeue_batch q k);
+           }))
+
+let seg_bw_small_rounds () =
+  (* The same chain protocol over the Blelloch–Wei cell backend. *)
+  seg_verdict "segmented-bw small rounds"
+    (Nbq_lincheck.Stress.check_small_rounds ~rounds:40 ~threads:3
+       ~ops_per_thread:4 ~seed:17 (fun () ->
+         let q = Seg.Bw.create ~capacity:2 in
+         fun _ ->
+           Nbq_lincheck.Stress.ops_of_singles
+             ~enqueue:(fun v -> Seg.Bw.try_enqueue q v)
+             ~dequeue:(fun () -> Seg.Bw.try_dequeue q)))
+
 (* --- recorder --- *)
 
 let recorder_orders_events () =
@@ -516,6 +577,13 @@ let () =
         [
           QCheck_alcotest.to_alcotest qcheck_accepts_sequential;
           QCheck_alcotest.to_alcotest qcheck_rejects_corrupted;
+        ] );
+      ( "segmented-stress",
+        [
+          quick "small rounds" seg_small_rounds;
+          quick "drain-heavy rounds" seg_small_rounds_deq_heavy;
+          quick "mixed batched producers" seg_small_rounds_batched;
+          quick "bw backend small rounds" seg_bw_small_rounds;
         ] );
       ( "recorder",
         [

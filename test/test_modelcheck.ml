@@ -560,6 +560,48 @@ let dpor_convicts_bw_noscan () =
       | { Dpor.violation = None; _ } ->
           Alcotest.fail "replay did not reproduce the violation")
 
+let dpor_seg_matrix () =
+  (* The segmented unbounded queue over ideal cells: the whole standard
+     matrix plus the grow-during-drain race through DPOR with the
+     strengthened checks — conservation by drain, reclamation hygiene at
+     quiescence, and the segment-count bound plus per-segment index
+     windows as per-step invariants. *)
+  List.iter
+    (fun (s : Scenarios.spec) ->
+      if s.algorithm = "evequoz-seg" then
+        match
+          Dpor.explore ~max_steps:150 ~progress:s.progress s.build_instance
+        with
+        | stats ->
+            Alcotest.(check bool)
+              (s.scenario ^ ": exhaustive") true stats.Dpor.exhaustive
+        | exception Sim.Violation { schedule; message } ->
+            Alcotest.failf "%s: schedule [%s]: %s" s.scenario
+              (String.concat ";" (List.map string_of_int schedule))
+              message)
+    (Scenarios.specs ())
+
+let dpor_convicts_seg_noretire () =
+  (* Skipping the hazard hand-off on retire lets a stalled dequeuer
+     observe the drained segment's recycled state — here reporting empty
+     while items sit in the successor.  The checker must find that
+     interleaving (a safety violation, convicted by linearizability) and
+     the schedule must reproduce through replay. *)
+  let spec = find_spec "evequoz-seg-noretire" "recycled-segment-read" in
+  match
+    Dpor.explore ~max_steps:150 ~progress:spec.progress spec.build_instance
+  with
+  | _ -> Alcotest.fail "seeded segment-reclamation bug not convicted"
+  | exception Sim.Violation { schedule; message } -> (
+      Alcotest.(check bool) "safety, not liveness" false
+        (Props.is_liveness_message message);
+      match
+        Dpor.replay ~progress:spec.progress spec.build_instance schedule
+      with
+      | { Dpor.violation = Some _; _ } -> ()
+      | { Dpor.violation = None; _ } ->
+          Alcotest.fail "replay did not reproduce the violation")
+
 let dpor_extra_specs_quick () =
   (* The post-paper scenarios: sharded steal-sweep and Algorithm 2's
      batch-run commit/drain races.  Tiny trees, strong checks. *)
@@ -690,6 +732,8 @@ let () =
           quick "algorithm-1 matrix exhaustive" dpor_llsc_matrix_quick;
           quick "blelloch-wei matrix exhaustive" dpor_bw_matrix_quick;
           quick "convicts BW no-scan recycling" dpor_convicts_bw_noscan;
+          quick "segmented matrix exhaustive" dpor_seg_matrix;
+          quick "convicts segmented no-retire" dpor_convicts_seg_noretire;
           quick "sharded + batch scenarios" dpor_extra_specs_quick;
           quick "dump_schedule renders" dump_schedule_renders;
           quick "repro parse rejects noise" repro_parse_rejects_noise;

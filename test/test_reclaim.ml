@@ -4,6 +4,8 @@
 module Fp = Nbq_reclaim.Free_pool
 module Hp = Nbq_reclaim.Hazard_pointer
 module Ebr = Nbq_reclaim.Epoch
+module Seg = Nbq_segmented.Segmented
+module Sq = Seg.Cas_core
 
 let quick name f = Alcotest.test_case name `Quick f
 let slow name f = Alcotest.test_case name `Slow f
@@ -368,6 +370,148 @@ let ebr_concurrent_churn () =
   Alcotest.(check int) "no double frees" (List.length ids)
     (List.length (List.sort_uniq compare ids))
 
+(* --- Segmented-queue hazard reclamation ---------------------------------
+
+   The segmented queue's whole safety argument is that a retired segment
+   is never recycled while a registered reader still holds it in a
+   hazard slot.  These tests exercise that claim directly through the
+   queue's test hooks: [pin_head] publishes the head segment through the
+   same protect/validate handshake the operations use, and
+   [seg_incarnation] moves only inside [free_seg] — so a pinned segment
+   whose incarnation changes is a reclamation bug, not a flaky test. *)
+
+let seg_pinned_head_survives_drain () =
+  let q = Sq.create ~retire_threshold:1 ~capacity:2 () in
+  let pinner = Sq.register q and worker = Sq.register q in
+  for i = 1 to 10 do
+    ignore (Sq.enqueue_with q worker i)
+  done;
+  let seg = Sq.pin_head q pinner in
+  let id0 = Sq.seg_id seg and inc0 = Sq.seg_incarnation seg in
+  Alcotest.(check bool) "pinned is protected" true (Sq.seg_protected q seg);
+  for i = 1 to 10 do
+    Alcotest.(check (option int))
+      "fifo drain" (Some i)
+      (Sq.dequeue_with q worker)
+  done;
+  Alcotest.(check (option int)) "empty" None (Sq.dequeue_with q worker);
+  (* The drain moved head past [seg] and retired it; with
+     [retire_threshold:1] every retire scanned, so everything except the
+     pinned segment is already back in the pool. *)
+  Alcotest.(check int) "incarnation stable while pinned" inc0
+    (Sq.seg_incarnation seg);
+  Alcotest.(check int) "identity stable while pinned" id0 (Sq.seg_id seg);
+  Alcotest.(check bool) "still protected after drain" true
+    (Sq.seg_protected q seg);
+  let s = Sq.stats q in
+  Alcotest.(check int) "only the pinned segment pending" 1
+    s.Seg.retired_pending;
+  Alcotest.(check int) "unpinned predecessors recycled" 3 s.Seg.segs_recycled;
+  Sq.unpin pinner;
+  Alcotest.(check bool) "unprotected after unpin" false
+    (Sq.seg_protected q seg);
+  (* Releasing the retirer's record flushes its parked list; with the pin
+     gone the segment must now be freed. *)
+  Sq.deregister q worker;
+  Sq.deregister q pinner;
+  let s = Sq.stats q in
+  Alcotest.(check int) "nothing left pending" 0 s.Seg.retired_pending;
+  Alcotest.(check int) "all four drained segments recycled" 4
+    s.Seg.segs_recycled;
+  Alcotest.(check bool) "recycle bumped the incarnation" true
+    (Sq.seg_incarnation seg > inc0)
+
+let seg_pool_reuse_no_alloc () =
+  let q = Sq.create ~retire_threshold:1 ~capacity:2 () in
+  let h = Sq.register q in
+  for i = 1 to 4 do
+    ignore (Sq.enqueue_with q h i)
+  done;
+  for i = 1 to 4 do
+    Alcotest.(check (option int)) "drain" (Some i) (Sq.dequeue_with q h)
+  done;
+  let s = Sq.stats q in
+  Alcotest.(check int) "two segments allocated" 2 s.Seg.segs_allocated;
+  Alcotest.(check int) "drained predecessor recycled" 1 s.Seg.segs_recycled;
+  Alcotest.(check int) "pooled" 1 s.Seg.pool_size;
+  (* The next append must come from the pool, not a fresh block. *)
+  ignore (Sq.enqueue_with q h 5);
+  ignore (Sq.enqueue_with q h 6);
+  let s = Sq.stats q in
+  Alcotest.(check int) "reused, not reallocated" 2 s.Seg.segs_allocated;
+  Alcotest.(check int) "pool emptied by reuse" 0 s.Seg.pool_size;
+  Alcotest.(check (option int)) "fifo across reuse (5)" (Some 5)
+    (Sq.dequeue_with q h);
+  Alcotest.(check (option int)) "fifo across reuse (6)" (Some 6)
+    (Sq.dequeue_with q h);
+  Sq.deregister q h;
+  let s = Sq.stats q in
+  Alcotest.(check int) "steady-state needs two blocks total" 2
+    s.Seg.segs_allocated;
+  Alcotest.(check int) "both retirements recycled" 2 s.Seg.segs_recycled
+
+let seg_concurrent_churn_hazards () =
+  (* Four domains hammer a small-segment queue (>= 100k operations total)
+     so the chain churns through retire/recycle constantly; every ~100th
+     iteration a domain pins the head segment and checks that its
+     incarnation never moves while the hazard is held. *)
+  let q = Sq.create ~capacity:4 () in
+  let domains = 4 and per_domain = 15_000 in
+  let deqs = Atomic.make 0 in
+  let pin_violation = Atomic.make false in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let h = Sq.register q in
+            for i = 1 to per_domain do
+              ignore (Sq.enqueue_with q h ((d * per_domain) + i));
+              (if i mod 97 = 0 then begin
+                 let seg = Sq.pin_head q h in
+                 let inc = Sq.seg_incarnation seg in
+                 if not (Sq.seg_protected q seg) then
+                   Atomic.set pin_violation true;
+                 for _ = 1 to 50 do
+                   Domain.cpu_relax ()
+                 done;
+                 if Sq.seg_incarnation seg <> inc then
+                   Atomic.set pin_violation true;
+                 Sq.unpin h
+               end);
+              match Sq.dequeue_with q h with
+              | Some _ -> Atomic.incr deqs
+              | None -> ()
+            done;
+            Sq.deregister q h))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check bool) "no pinned segment was recycled" false
+    (Atomic.get pin_violation);
+  let h = Sq.register q in
+  let drained = ref 0 in
+  let rec drain () =
+    match Sq.dequeue_with q h with
+    | Some _ ->
+        incr drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Sq.deregister q h;
+  Alcotest.(check int) "conservation" (domains * per_domain)
+    (Atomic.get deqs + !drained);
+  Alcotest.(check int) "drained empty" 0 (Sq.length q);
+  (* A released record can still park retirees that were protected at its
+     last scan; cycling through every record flushes them all. *)
+  let flush = List.init (domains + 4) (fun _ -> Sq.register q) in
+  List.iter (fun h -> Sq.deregister q h) flush;
+  let s = Sq.stats q in
+  Alcotest.(check int) "no retired segment left pending" 0
+    s.Seg.retired_pending;
+  Alcotest.(check bool) "churn exercised reclamation" true
+    (s.Seg.segs_recycled > 0);
+  Alcotest.(check int) "chain collapsed back to one segment" 1
+    s.Seg.chain_length
+
 let () =
   Alcotest.run "reclaim"
     [
@@ -399,5 +543,11 @@ let () =
           slow "pinned thread blocks reclamation" ebr_pinned_blocks_advance;
           quick "batch triggers collection" ebr_batch_triggers_collect;
           slow "concurrent churn" ebr_concurrent_churn;
+        ] );
+      ( "segmented-hazards",
+        [
+          quick "pinned head survives drain" seg_pinned_head_survives_drain;
+          quick "pool reuse avoids allocation" seg_pool_reuse_no_alloc;
+          slow "4-domain churn respects hazards" seg_concurrent_churn_hazards;
         ] );
     ]

@@ -188,6 +188,59 @@ let test_max_park_backstop () =
   Alcotest.(check bool) "backstop rescued the silent wake" true
     (Domain.join waiter = `Ok 1)
 
+(* --- Blocking wrapper over an unbounded (segmented) queue ---
+
+   The contract the segmented tentpole adds to the wait layer: an
+   unbounded queue has no "full", so a blocking enqueue must never park —
+   only an empty dequeue waits.  Counted through the wrapper's probe seam
+   (one hit per actual park). *)
+
+let parks = Atomic.make 0
+
+module Park_probe : Nbq_primitives.Probe.S = struct
+  include Nbq_primitives.Probe.Noop
+
+  let wait_park () = Atomic.incr parks
+end
+
+module Seg_blocking =
+  Nbq_core.Queue_intf.Blocking_hooked (Park_probe) (Nbq_primitives.Fault.Noop)
+    (Nbq_segmented.Segmented.Cas)
+
+let test_unbounded_enqueue_never_parks () =
+  Atomic.set parks 0;
+  (* Tiny segments: 500 enqueues churn through ~250 appends, every one of
+     which would hit the "full" path on a fixed ring. *)
+  let q = Seg_blocking.create ~capacity:2 in
+  for i = 1 to 500 do
+    Seg_blocking.enqueue q i
+  done;
+  Alcotest.(check int) "no enqueue ever parked" 0 (Atomic.get parks);
+  (* Deadline variant on a full-looking tail: still no park. *)
+  (match Seg_blocking.enqueue_until q ~deadline:(now () +. 5.0) 501 with
+  | `Ok -> ()
+  | `Timeout -> Alcotest.fail "unbounded enqueue timed out");
+  Alcotest.(check int) "enqueue_until did not park" 0 (Atomic.get parks);
+  for i = 1 to 501 do
+    Alcotest.(check int) "fifo" i (Seg_blocking.dequeue q)
+  done
+
+let test_empty_dequeue_parks () =
+  Atomic.set parks 0;
+  let q = Seg_blocking.create ~capacity:2 in
+  let consumer = Domain.spawn (fun () -> Seg_blocking.dequeue q) in
+  (* Let the consumer exhaust its spin phase and actually park. *)
+  let rec wait_for_park deadline =
+    if Atomic.get parks = 0 && now () < deadline then begin
+      Domain.cpu_relax ();
+      wait_for_park deadline
+    end
+  in
+  wait_for_park (now () +. 5.0);
+  Alcotest.(check bool) "empty dequeue parked" true (Atomic.get parks > 0);
+  Seg_blocking.enqueue q 42;
+  Alcotest.(check int) "woken with the item" 42 (Domain.join consumer)
+
 let () =
   Alcotest.run "nbq_wait"
     [
@@ -228,5 +281,12 @@ let () =
           Alcotest.test_case "cross-domain park and wake" `Quick
             test_await_cross_domain;
           Alcotest.test_case "max_park backstop" `Quick test_max_park_backstop;
+        ] );
+      ( "unbounded-blocking",
+        [
+          Alcotest.test_case "unbounded enqueue never parks" `Quick
+            test_unbounded_enqueue_never_parks;
+          Alcotest.test_case "empty dequeue parks" `Quick
+            test_empty_dequeue_parks;
         ] );
     ]
