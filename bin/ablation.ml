@@ -7,7 +7,9 @@
    e) the reclamation axis at a glance: GC vs HP vs EBR vs simulated-LL/SC
       reclamation on the same MS queue;
    f) the LL/SC backend axis: one ring functor, three cell contracts
-      (tag-protocol singles vs amortized batch runs vs Blelloch-Wei).  *)
+      (tag-protocol singles vs amortized batch runs vs Blelloch-Wei);
+   g) the synchronization-recipe axis: the 2008 ring vs Nikolaev's SCQ
+      family (FAA cycles + threshold counter, arXiv:1908.04511).  *)
 
 open Cmdliner
 open Nbq_harness
@@ -254,6 +256,46 @@ let backends_ablation ~runs ~workload ~csv ~max_threads =
     threads_list;
   Fig_common.emit ~csv t
 
+(* Ablation (g): the 2008-vs-SCQ gap (ROADMAP item 1).  Same ring shape,
+   different synchronization recipe: the tag-variable LL/SC simulation
+   against SCQ's FAA'd cycle indices + threshold counter, plus the SCQD
+   pairing and the wCQ-style helping enqueue.  Rows land in the trajectory
+   under variant "scq" so check.sh's bench_compare gate keeps the family
+   covered. *)
+let scq_gap_ablation ~runs ~workload ~csv ~max_threads =
+  let threads_list = Fig_common.clamp_threads max_threads [ 1; 2; 4; 8 ] in
+  let t =
+    Table.create
+      ~title:
+        "Ablation (g): 2008 tag-protocol ring vs the SCQ family [seconds] \
+         (scq = FAA cycles + threshold; scq-d = data/index pairing; scq-wcq \
+         = helping enqueue)"
+      ~columns:
+        [ "threads"; "evequoz-cas"; "scq"; "scq-d"; "scq-wcq"; "scq/cas" ]
+  in
+  List.iter
+    (fun threads ->
+      let time name =
+        mean
+          (measure ~variant:"scq" (Registry.find name) threads runs workload
+             None)
+      in
+      let cas = time "evequoz-cas" in
+      let scq = time "scq" in
+      let scqd = time "scq-d" in
+      let wcq = time "scq-wcq" in
+      Table.add_row t
+        [
+          string_of_int threads;
+          Table.cell_float cas;
+          Table.cell_float scq;
+          Table.cell_float scqd;
+          Table.cell_float wcq;
+          Printf.sprintf "%.2fx" (scq /. cas);
+        ])
+    threads_list;
+  Fig_common.emit ~csv t
+
 let run which threads runs scale csv max_threads =
   let workload = Fig_common.workload_of_scale scale in
   let all =
@@ -264,6 +306,7 @@ let run which threads runs scale csv max_threads =
       ("capacity", fun () -> capacity_ablation ~threads ~runs ~workload ~csv);
       ("reclamation", fun () -> reclamation_axis ~runs ~workload ~csv ~max_threads);
       ("backends", fun () -> backends_ablation ~runs ~workload ~csv ~max_threads);
+      ("scq", fun () -> scq_gap_ablation ~runs ~workload ~csv ~max_threads);
     ]
   in
   (match which with
@@ -280,7 +323,7 @@ let run which threads runs scale csv max_threads =
 
 let which_term =
   let doc = "Run a single ablation (weak-llsc | hp-threshold | ebr-batch | \
-             capacity | reclamation | backends); default: all." in
+             capacity | reclamation | backends | scq); default: all." in
   Arg.(value & opt (some string) None & info [ "only" ] ~docv:"NAME" ~doc)
 
 let threads_term =

@@ -9,7 +9,16 @@
    run fails iff the current file is missing a configuration the
    committed baseline has (coverage regression) or a joined row's
    throughput is non-finite/non-positive (a sweep silently produced
-   garbage).  Slowdowns are still printed, but only as information. *)
+   garbage).  Slowdowns are still printed, but only as information.
+
+   The trajectory file MERGES (stale rows survive a sweep that measured
+   nothing), so CURRENT alone cannot prove a family was actually
+   re-measured.  --fresh FILE closes that hole: FILE holds only the rows
+   the current run emitted (Bench_summary.fresh_env mirror), and for
+   every (bench, variant) sweep present in it, each queue the baseline
+   has under that sweep must have produced at least one fresh row —
+   a family with zero fresh rows fails the gate instead of hiding
+   behind yesterday's merged numbers. *)
 
 open Cmdliner
 open Nbq_harness
@@ -23,7 +32,37 @@ let label (r : Bench_summary.row) =
      else "[" ^ r.Bench_summary.variant ^ "]")
     r.Bench_summary.domains
 
-let run baseline current threshold gate =
+(* Families the baseline expects under each (bench, variant) sweep the
+   fresh run touched, minus those the fresh rows actually cover. *)
+let dark_families ~base ~fresh =
+  let sweep (r : Bench_summary.row) =
+    (r.Bench_summary.bench, r.Bench_summary.variant)
+  in
+  let sweeps =
+    List.sort_uniq compare (List.map sweep fresh)
+  in
+  List.concat_map
+    (fun sw ->
+      let queues_of rows =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun r ->
+               if sweep r = sw then Some r.Bench_summary.queue else None)
+             rows)
+      in
+      let covered = queues_of fresh in
+      List.filter_map
+        (fun q ->
+          if List.mem q covered then None
+          else
+            let bench, variant = sw in
+            Some
+              (Printf.sprintf "%s/%s%s" bench q
+                 (if variant = "" then "" else "[" ^ variant ^ "]")))
+        (queues_of base))
+    sweeps
+
+let run baseline current threshold gate fresh =
   let load path =
     match Bench_summary.read path with
     | Ok rows -> rows
@@ -97,11 +136,20 @@ let run baseline current threshold gate =
       Printf.printf
         "gate: %d slowdown(s) beyond %.0f%% (informational on this machine)\n"
         !regressions (threshold *. 100.0);
-    if !dropped > 0 || !invalid > 0 then begin
+    let dark =
+      match fresh with
+      | None -> []
+      | Some path -> dark_families ~base ~fresh:(load path)
+    in
+    List.iter
+      (fun f -> Printf.printf "gate: family %s produced no fresh rows\n" f)
+      dark;
+    if !dropped > 0 || !invalid > 0 || dark <> [] then begin
       Printf.printf
         "gate FAILED: %d configuration(s) missing vs baseline, %d row(s) \
-         with invalid throughput\n"
-        !dropped !invalid;
+         with invalid throughput, %d baseline family(ies) dark in the \
+         fresh run\n"
+        !dropped !invalid (List.length dark);
       exit 1
     end
     else
@@ -136,10 +184,20 @@ let gate_term =
   in
   Arg.(value & flag & info [ "gate" ] ~doc)
 
+let fresh_term =
+  let doc =
+    "File holding only the rows the current run emitted (the \
+     NBQ_BENCH_FRESH mirror).  With --gate, every queue the BASELINE \
+     lists under a (bench, variant) sweep present in this file must have \
+     at least one fresh row — the merged CURRENT file cannot show this, \
+     since stale rows survive the merge."
+  in
+  Arg.(value & opt (some file) None & info [ "fresh" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "Compare two bench-summary files and flag throughput regressions" in
   Cmd.v (Cmd.info "bench_compare" ~doc)
     Term.(const run $ baseline_term $ current_term $ threshold_term
-          $ gate_term)
+          $ gate_term $ fresh_term)
 
 let () = exit (Cmd.eval cmd)

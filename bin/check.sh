@@ -21,6 +21,12 @@ dune exec bin/torture.exe -- --queue evequoz-cas-shard4 --seed 42 --ops 2000 > /
 # the segment chain has -- a victim frozen mid-append (seg-append) and
 # mid-retire (seg-retire) must leave the queue conserving and live.
 dune exec bin/torture.exe -- --queue evequoz-seg --seed 42 --ops 2000 > /dev/null
+# SCQ gate: the FAA-cycle matrix (faa-cycle / threshold-reset / catchup
+# windows) under stalls and crashes for the base row, stalls for the
+# wCQ-helping variant.  The harness clamps scq capacity to 2 so the
+# catchup and threshold windows actually open (see lib/fault/torture.ml).
+dune exec bin/torture.exe -- --queue scq --seed 42 --ops 2000 --crash > /dev/null
+dune exec bin/torture.exe -- --queue scq-wcq --seed 42 --ops 2000 > /dev/null
 # Wait-layer torture: stall/crash a waker inside the wake-lost window and
 # a waiter inside the park window; every live parked domain must still
 # complete (no lost-wakeup strand).
@@ -49,6 +55,13 @@ dune exec bin/modelcheck_run.exe -- -a evequoz-bw -a evequoz-bw-noscan \
 # convicted.
 dune exec bin/modelcheck_run.exe -- -a evequoz-seg -a evequoz-seg-noretire \
   --require-exhaustive > /dev/null
+# SCQ model-checking gate: the scenario matrix for scq / scq-d / scq-wcq
+# to exhaustion, and the no-threshold seeded bug (a missed dequeue
+# retrying with no budget, so on a drained queue its own slot bumps chase
+# fresh tickets forever) must be convicted of livelock by the fair-probe
+# continuation.
+dune exec bin/modelcheck_run.exe -- -a scq -a scq-d -a scq-wcq -a scq-nothreshold \
+  --require-exhaustive > /dev/null
 # Burst-absorption gate: under a 10x offered-load burst the fixed ring
 # must shed via Timeout while the segmented queue absorbs everything,
 # and elasticity may cost at most 1.25x the fixed ring's steady-state
@@ -64,20 +77,35 @@ dune exec bin/trace_overhead.exe -- -t 1 --runs 6 --scale 1.0 --blocks 10 > /dev
 # trace-event JSON that our own validator accepts (trace_pass exits
 # non-zero on validation failure), and must emit the bench-summary
 # trajectory; bench_compare must round-trip it with zero regressions.
+# Every bench smoke below also mirrors its freshly measured rows into a
+# scratch file (NBQ_BENCH_FRESH): the trajectory file merges, so only the
+# mirror can prove each family was actually re-measured this run rather
+# than carried forward from yesterday.
+NBQ_BENCH_FRESH=results/.bench_fresh.json
+export NBQ_BENCH_FRESH
+rm -f "$NBQ_BENCH_FRESH"
 dune exec bin/fig6.exe -- -f a --runs 1 --scale 0.002 --max-threads 4 --trace > /dev/null 2>&1
 test -s results/bench_summary.json
 dune exec bin/bench_compare.exe -- results/bench_summary.json results/bench_summary.json > /dev/null
-# Backend-ablation gate: a tiny three-backend grid (tag-protocol singles
-# vs amortized batch runs vs Blelloch-Wei) must run end to end, and the
-# merged trajectory must still cover every configuration the *committed*
-# summary has, with sane throughputs (--gate ignores machine-dependent
-# slowdowns; falls back to self-compare when HEAD has no summary yet).
+# Bench-ablation gate: the tiny three-backend grid (tag-protocol singles
+# vs amortized batch runs vs Blelloch-Wei), the 2008-vs-SCQ grid, and the
+# fig6 scq suite must run end to end; the merged trajectory must still
+# cover every configuration the *committed* summary has, with sane
+# throughputs (--gate ignores machine-dependent slowdowns; falls back to
+# self-compare when HEAD has no summary yet), and --fresh fails any
+# family the committed summary lists for these sweeps that produced zero
+# rows just now.
 dune exec bin/ablation.exe -- --only backends --runs 1 --scale 0.002 --max-threads 4 > /dev/null
+dune exec bin/ablation.exe -- --only scq --runs 1 --scale 0.002 --max-threads 4 > /dev/null
+dune exec bin/fig6.exe -- -f s --runs 1 --scale 0.002 --max-threads 4 > /dev/null
+grep -q '"scq"' "$NBQ_BENCH_FRESH"
 if git show HEAD:results/bench_summary.json > results/.bench_summary.base.json 2>/dev/null; then
-  dune exec bin/bench_compare.exe -- results/.bench_summary.base.json results/bench_summary.json --gate > /dev/null
+  dune exec bin/bench_compare.exe -- results/.bench_summary.base.json results/bench_summary.json --gate --fresh "$NBQ_BENCH_FRESH" > /dev/null
   rm -f results/.bench_summary.base.json
 else
-  dune exec bin/bench_compare.exe -- results/bench_summary.json results/bench_summary.json --gate > /dev/null
+  dune exec bin/bench_compare.exe -- results/bench_summary.json results/bench_summary.json --gate --fresh "$NBQ_BENCH_FRESH" > /dev/null
 fi
+rm -f "$NBQ_BENCH_FRESH"
+unset NBQ_BENCH_FRESH
 dune build @fmt 2>/dev/null || true
 echo "check: OK"

@@ -54,22 +54,7 @@ let sweep ~queue ~threads_list ~runs ~workload =
       })
     threads_list
 
-let run queue threads_csv runs scale csv max_threads with_plot with_trace =
-  let workload = Fig_common.workload_of_scale scale in
-  let parse_thread s =
-    match int_of_string_opt (String.trim s) with
-    | Some n when n > 0 -> n
-    | _ ->
-        Printf.eprintf
-          "contend: invalid --threads %S (expected comma-separated positive \
-           integers, e.g. 1,2,4,8)\n%!"
-          threads_csv;
-        exit 2
-  in
-  let threads_list =
-    Fig_common.clamp_threads max_threads
-      (List.map parse_thread (String.split_on_char ',' threads_csv))
-  in
+let run_queue queue ~threads_list ~runs ~workload ~csv ~with_plot ~with_trace =
   Printf.eprintf "# contend: %s over threads [%s], %d runs\n%!" queue
     (String.concat "; " (List.map string_of_int threads_list))
     runs;
@@ -155,9 +140,47 @@ let run queue threads_csv runs scale csv max_threads with_plot with_trace =
       ~impls:[ Registry.find queue ]
       ~threads ~runs ~workload
 
+(* The sweep accepts several queues so one invocation can profile a gap —
+   e.g. [-q evequoz-cas,scq] shows where the 2008 ring's friction
+   (sc-fail = failed cell swaps / SCQ slot misses, helps = helping and
+   catchup) diverges from SCQ's on the same load. *)
+let run queues_csv threads_csv runs scale csv max_threads with_plot with_trace
+    =
+  let workload = Fig_common.workload_of_scale scale in
+  let parse_thread s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ ->
+        Printf.eprintf
+          "contend: invalid --threads %S (expected comma-separated positive \
+           integers, e.g. 1,2,4,8)\n%!"
+          threads_csv;
+        exit 2
+  in
+  let threads_list =
+    Fig_common.clamp_threads max_threads
+      (List.map parse_thread (String.split_on_char ',' threads_csv))
+  in
+  let queues =
+    List.filter
+      (fun q -> q <> "")
+      (List.map String.trim (String.split_on_char ',' queues_csv))
+  in
+  if queues = [] then begin
+    Printf.eprintf "contend: no queue given\n%!";
+    exit 2
+  end;
+  List.iter
+    (fun queue ->
+      run_queue queue ~threads_list ~runs ~workload ~csv ~with_plot
+        ~with_trace)
+    queues
+
 let queue_term =
-  let doc = "Queue to profile (see `fig6 --help` for names)." in
-  Arg.(value & opt string "evequoz-cas" & info [ "queue"; "q" ] ~docv:"NAME" ~doc)
+  let doc =
+    "Queue(s) to profile, comma-separated (see `fig6 --help` for names)."
+  in
+  Arg.(value & opt string "evequoz-cas" & info [ "queue"; "q" ] ~docv:"NAMES" ~doc)
 
 let threads_term =
   let doc = "Comma-separated thread counts to sweep." in

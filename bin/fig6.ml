@@ -4,7 +4,8 @@
    include the LL/SC array queue but not Shann (which needs CAS64 there).
    (b)/(d): the AMD suite — CAS machine: Shann replaces the LL/SC queue.
    (c)/(d) are (a)/(b) normalized by the CAS-based array queue ("FIFO
-   Array Simulated CAS"), exactly as in the paper. *)
+   Array Simulated CAS"), exactly as in the paper.  (s) is an off-paper
+   fifth panel: the 2008 ring vs the SCQ family at 1-8 domains. *)
 
 open Cmdliner
 
@@ -15,8 +16,15 @@ let series_a =
 let series_b =
   [ "ms-doherty"; "ms-hp-unsorted"; "ms-hp-sorted"; "evequoz-cas"; "shann" ]
 
+(* (s) is ours, not the paper's: the 2008 tag-protocol ring against
+   Nikolaev's SCQ family (arXiv:1908.04511) on the same workload, so the
+   "how far is the 2008 design from peak?" gap is a committed number
+   (results/bench_summary.json, variant "scq-suite"). *)
+let series_s = [ "evequoz-cas"; "scq"; "scq-d"; "scq-wcq" ]
+
 let threads_a = [ 1; 2; 4; 8; 12; 16; 20; 24; 28; 32 ]
 let threads_b = [ 1; 4; 8; 12; 16; 20; 24; 28; 32; 40; 48; 56; 64 ]
+let threads_s = [ 1; 2; 4; 8 ]
 
 let base = "evequoz-cas"
 
@@ -33,13 +41,21 @@ let run_figure figure runs scale csv max_threads with_plot with_metrics
           (series_a, threads_a, true, "Figure 6(c): normalized time, LL/SC suite")
       | `D ->
           (series_b, threads_b, true, "Figure 6(d): normalized time, CAS suite")
+      | `S ->
+          ( series_s,
+            threads_s,
+            false,
+            "Figure 6(s): 2008 ring vs SCQ family (beyond the paper)" )
     in
     let threads = Fig_common.clamp_threads max_threads threads in
     Printf.eprintf "# measuring %s (%d thread counts x %d series x %d runs)\n%!"
       paper_name (List.length threads) (List.length series) runs;
     let results = Fig_common.measure_series ~series ~threads ~runs ~workload in
     let variant =
-      match fig with `A | `C -> "llsc-suite" | `B | `D -> "cas-suite"
+      match fig with
+      | `A | `C -> "llsc-suite"
+      | `B | `D -> "cas-suite"
+      | `S -> "scq-suite"
     in
     List.iter
       (fun (r : Fig_common.sweep_result) ->
@@ -67,7 +83,7 @@ let run_figure figure runs scale csv max_threads with_plot with_metrics
   in
   (match figure with
   | Some f -> print_one f
-  | None -> List.iter print_one [ `A; `B; `C; `D ]);
+  | None -> List.iter print_one [ `A; `B; `C; `D; `S ]);
   Fig_common.write_summary (List.rev !summary_rows);
   let aux_threads =
     match Fig_common.clamp_threads max_threads [ 4 ] with
@@ -85,8 +101,13 @@ let run_figure figure runs scale csv max_threads with_plot with_metrics
       ~threads:aux_threads ~runs ~workload
 
 let figure_term =
-  let fig_conv = Arg.enum [ ("a", `A); ("b", `B); ("c", `C); ("d", `D) ] in
-  let doc = "Which sub-figure to reproduce (a, b, c or d); default: all." in
+  let fig_conv =
+    Arg.enum [ ("a", `A); ("b", `B); ("c", `C); ("d", `D); ("s", `S) ]
+  in
+  let doc =
+    "Which sub-figure to reproduce (a, b, c or d; s adds the off-paper \
+     SCQ-vs-2008 suite); default: all."
+  in
   Arg.(value & opt (some fig_conv) None & info [ "figure"; "f" ] ~docv:"FIG" ~doc)
 
 let plot_term =

@@ -276,8 +276,66 @@ let evequoz_seg =
     build = build_seg;
   }
 
+(* SCQ under injection: [Faa_cycle] freezes/kills a thread between taking
+   its FAA ticket and touching the slot (the abandoned-ticket adversary —
+   a dead enqueuer's ticket must be recoverable by the unsafe-bit/bump
+   machinery, at worst costing one credit), [Threshold_reset] between a
+   successful install and the threshold restore (other installs must keep
+   re-arming the dequeuers' retry budget), and [Catchup] inside the tail-
+   repair loop.  No registry: the ring is index-based, so [audit] is
+   [None]; a crashed enqueuer can strand one credit, which the ±1 crash
+   tolerance and the recovery roundtrip both absorb.
+
+   Capacity is clamped to 2: the catchup window only opens when a dequeue
+   ticket misses with the ring near-empty (head about to overrun tail),
+   and threshold churn peaks at the full boundary — at the harness's
+   default 64 the paired workload opens neither often enough to arm a
+   trigger, at 2 both fire hundreds of times per second. *)
+let build_scq ?tracer inj ~capacity =
+  let module F = (val hook ?tracer inj) in
+  let module P = (val probe ?tracer ()) in
+  let module S =
+    Nbq_scq.Scq.Make_injected (Nbq_primitives.Atomic_intf.Real) (P) (F)
+  in
+  let q = S.Scq.create ~capacity:(min capacity 2) in
+  {
+    enqueue = (fun v -> S.Scq.try_enqueue q v);
+    dequeue = (fun () -> S.Scq.try_dequeue q);
+    audit = (fun () -> None);
+  }
+
+(* Same windows with the wCQ-style helping enqueue armed: a victim frozen
+   inside its slow-path announcement must not block helpers, and a helper
+   frozen mid-help must not block the announcer. *)
+let build_scq_wcq ?tracer inj ~capacity =
+  let module F = (val hook ?tracer inj) in
+  let module P = (val probe ?tracer ()) in
+  let module S =
+    Nbq_scq.Scq.Make_wcq_injected (Nbq_primitives.Atomic_intf.Real) (P) (F)
+  in
+  let q = S.Scq.create ~capacity:(min capacity 2) in
+  {
+    enqueue = (fun v -> S.Scq.try_enqueue q v);
+    dequeue = (fun () -> S.Scq.try_dequeue q);
+    audit = (fun () -> None);
+  }
+
+let scq_points = [ Fault.Faa_cycle; Fault.Threshold_reset; Fault.Catchup ]
+let scq = { name = "scq"; deep_points = scq_points; build = build_scq }
+
+let scq_wcq =
+  { name = "scq-wcq"; deep_points = scq_points; build = build_scq_wcq }
+
 let deep_targets =
-  [ evequoz_llsc; evequoz_cas; evequoz_bw; evequoz_cas_sharded; evequoz_seg ]
+  [
+    evequoz_llsc;
+    evequoz_cas;
+    evequoz_bw;
+    evequoz_cas_sharded;
+    evequoz_seg;
+    scq;
+    scq_wcq;
+  ]
 
 let generic_of_impl (impl : Registry.impl) =
   {

@@ -77,6 +77,20 @@ val evequoz_seg : target
     per-op hazard record, so reclamation runs against a permanently
     published hazard. *)
 
+val scq : target
+(** ["scq"]: the SCQ value/credit pairing over fault-injected rings.
+    [Faa_cycle] (a ticket taken by FAA, slot untouched — the abandoned
+    ticket must be recovered by the unsafe-bit/bump machinery, at worst
+    stranding one credit), [Threshold_reset] (item installed, threshold
+    not restored — other installs must keep re-arming dequeuers), and
+    [Catchup] (inside the tail-repair loop).  No registry, so no
+    [audit]. *)
+
+val scq_wcq : target
+(** ["scq-wcq"]: {!scq} with the helping (announcement-driven) enqueue
+    slow path armed, so a victim can die or stall while announced or
+    while helping. *)
+
 val targets : unit -> target list
 (** The deep targets plus a generic (Op_gap-only) target for every other
     queue in {!Nbq_harness.Registry.concurrent}. *)

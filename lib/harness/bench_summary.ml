@@ -146,18 +146,7 @@ let read path =
 (* Merge-write: rows already in [path] survive unless superseded by a new
    row with the same key, so fig6, contend and shard_sweep can all feed
    one trajectory file. *)
-let write ?(path = default_path) rows =
-  (* Within one batch, keep the last row per key (e.g. fig6's normalized
-     sub-figures re-measure the same cells). *)
-  let rows =
-    List.rev
-      (fst
-         (List.fold_left
-            (fun (acc, seen) r ->
-              if List.mem (key r) seen then (acc, seen)
-              else (r :: acc, key r :: seen))
-            ([], []) (List.rev rows)))
-  in
+let merge_into ~path rows =
   let existing =
     if Sys.file_exists path then
       match read path with Ok rs -> rs | Error _ -> []
@@ -174,3 +163,30 @@ let write ?(path = default_path) rows =
   output_char oc '\n';
   close_out oc;
   List.length all
+
+let fresh_env = "NBQ_BENCH_FRESH"
+
+let write ?(path = default_path) rows =
+  (* Within one batch, keep the last row per key (e.g. fig6's normalized
+     sub-figures re-measure the same cells). *)
+  let rows =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, seen) r ->
+              if List.mem (key r) seen then (acc, seen)
+              else (r :: acc, key r :: seen))
+            ([], []) (List.rev rows)))
+  in
+  let n = merge_into ~path rows in
+  (* The trajectory file merges, so a sweep that silently measured nothing
+     leaves yesterday's rows looking current.  When NBQ_BENCH_FRESH names
+     a side file, mirror just this process tree's rows there — that file
+     holds only what the current runs actually produced, and
+     bench_compare --gate --fresh uses it to catch families that went
+     dark. *)
+  (match Sys.getenv_opt fresh_env with
+  | Some fresh when fresh <> "" && fresh <> path ->
+      ignore (merge_into ~path:fresh rows : int)
+  | _ -> ());
+  n

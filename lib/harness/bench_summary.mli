@@ -36,7 +36,16 @@ val of_json : Nbq_obs.Sink.json -> (row list, string) result
 
 val read : string -> (row list, string) result
 
+val fresh_env : string
+(** ["NBQ_BENCH_FRESH"].  When this environment variable names a file,
+    {!write} additionally merge-mirrors the batch being written (not the
+    pre-existing trajectory rows) into it.  CI points it at a scratch
+    file wiped before the bench smoke, then hands it to
+    [bench_compare --gate --fresh] so a family that produced zero fresh
+    rows cannot hide behind the trajectory file's merge semantics. *)
+
 val write : ?path:string -> row list -> int
 (** Merge the rows into the file (existing rows with a matching {!key} are
     replaced, others kept), creating the parent directory if needed;
-    returns the total row count written. *)
+    returns the total row count written.  See {!fresh_env} for the
+    fresh-rows mirror. *)

@@ -448,123 +448,355 @@ let sharded ~shards (base : impl) : impl =
              ~capacity));
   }
 
-let evequoz_bw_row =
-  of_conc ~name:"evequoz-bw" ~family:Array_based (module Evequoz_bw_conc)
+(* --- Family descriptors --------------------------------------------------
 
-(* --- Segmented unbounded rows (Nbq_segmented) ---------------------------
+   One record per algorithm family; [register_family] derives every row
+   the registry publishes for it — base (with deep probed/traced creation
+   when a [probed] builder is given), "-shardN" facades, and a
+   "-blocking" row over [Queue_intf.Blocking_hooked].  Adding an
+   algorithm is one [Family.v] entry; the old hand-built row list (and
+   its name-dispatched [Instrumented.deep] plumbing) is gone, but every
+   previously registered row name is preserved. *)
 
-   [capacity] becomes the *segment* capacity: the queue itself never
-   rejects (Link_based, unbounded).  Deep-probed creation rebuilds the
-   functor stack with the metrics/trace probe plugged into the inner
-   rings (sc_fail, helping, tag traffic) exactly as the single-ring rows
-   do; [probed_conc] abstracts the backend choice as a first-class-module
-   builder so the CAS and Blelloch-Wei rows share the plumbing. *)
-let segmented_row ~name ~base ~probed_conc =
-  let base_impl = of_conc ~name ~family:Link_based base in
+module Family = struct
+  type probed_builder =
+    (module Nbq_primitives.Probe.S) -> (module Queue_intf.CONC)
+
+  type t = {
+    name : string;
+    classification : family;
+    bounded_delay_assumption : bool;
+    relaxed_fifo : bool;
+    conc : (module Queue_intf.CONC);
+    probed : probed_builder option;
+        (** Rebuild the queue with a probe threaded through its functor
+            seams (deep instrumentation); [None] means only the shallow
+            retry/latency wrapper is available. *)
+    shards : int list;
+        (** Derived ["<name>-shard<N>"] rows, one per element. *)
+    shard_impl : (int -> impl) option;
+        (** Native sharded composition overriding the generic facade for
+            the [shards] rows (e.g. the evequoz-cas ring-with-batch-runs
+            build). *)
+    blocking : bool;
+        (** Derive a ["<name>-blocking"] row whose [*_until] operations
+            park through [Queue_intf.Blocking_hooked] and whose plain
+            operations are its budget-0 (wake-issuing) attempts. *)
+  }
+
+  let v ?(classification = Array_based) ?(bounded_delay_assumption = false)
+      ?(relaxed_fifo = false) ?probed ?(shards = []) ?shard_impl
+      ?(blocking = false) name conc =
+    {
+      name;
+      classification;
+      bounded_delay_assumption;
+      relaxed_fifo;
+      conc;
+      probed;
+      shards;
+      shard_impl;
+      blocking;
+    }
+end
+
+(* The base row.  With a [probed] builder, probed/traced creation rebuilds
+   the functor stack with the metrics/trace probe plugged into the inner
+   algorithm (sc_fail, helping, tag traffic, faa cycles) and then wraps
+   the shallow retry/latency (and span) layers — the shape the segmented
+   rows pioneered, now shared by every deep-instrumented family. *)
+let base_row (f : Family.t) : impl =
+  let base_impl =
+    of_conc ~name:f.name ~family:f.classification
+      ~bounded_delay_assumption:f.bounded_delay_assumption
+      ~relaxed_fifo:f.relaxed_fifo f.conc
+  in
+  match f.probed with
+  | None -> base_impl
+  | Some probed_conc ->
+      let create_probed ~metrics ~capacity =
+        let probe = Nbq_obs.Metrics.probe metrics in
+        let module W = (val probed_conc probe : Queue_intf.CONC) in
+        let module M = struct
+          let metrics = metrics
+        end in
+        let module I = Nbq_obs.Instrumented.Make (M) (W) in
+        instance_of ~probe (module I) ~capacity
+      in
+      let create_traced ~metrics ~tracer ~capacity =
+        let probe = Nbq_trace.Instrument.probe ?metrics tracer in
+        let module W = (val probed_conc probe : Queue_intf.CONC) in
+        let module T = struct
+          let tracer = tracer
+        end in
+        match metrics with
+        | Some m ->
+            let module M = struct
+              let metrics = m
+            end in
+            let module I1 = Nbq_obs.Instrumented.Make (M) (W) in
+            let module I = Nbq_trace.Instrument.Wrap (T) (I1) in
+            instance_of ~probe (module I) ~capacity
+        | None ->
+            let module I = Nbq_trace.Instrument.Wrap (T) (W) in
+            instance_of ~probe (module I) ~capacity
+      in
+      { base_impl with create_probed; create_traced }
+
+(* The "-blocking" row: plain operations are the blocking wrapper's
+   budget-0 attempts (same full/empty semantics as the try ops, but every
+   success issues a wake), and the [*_until] operations are its real
+   park-based paths — so the row exercises [Blocking_hooked]'s
+   eventcounts end to end while staying battery-compatible. *)
+let blocking_row (f : Family.t) : impl =
+  let name = f.name ^ "-blocking" in
+  let instance_of_blocking ?probe (module Q : Queue_intf.CONC) ~capacity =
+    let module P =
+      (val match probe with
+           | Some p -> p
+           | None -> (module Nbq_primitives.Probe.Noop : Nbq_primitives.Probe.S))
+    in
+    let module B =
+      Queue_intf.Blocking_hooked (P) (Nbq_primitives.Fault.Noop) (Q)
+    in
+    let b = B.create ~capacity in
+    let enqueue p =
+      match B.enqueue_budget b ~retries:0 p with
+      | `Ok -> true
+      | `Timeout -> false
+    in
+    let dequeue () =
+      match B.dequeue_budget b ~retries:0 with
+      | `Ok x -> Some x
+      | `Timeout -> None
+    in
+    {
+      enqueue;
+      dequeue;
+      enqueue_batch =
+        (fun items ->
+          let n = Array.length items in
+          let i = ref 0 in
+          while !i < n && enqueue items.(!i) do incr i done;
+          !i);
+      dequeue_batch =
+        (fun k ->
+          let rec go acc left =
+            if left <= 0 then List.rev acc
+            else
+              match dequeue () with
+              | Some x -> go (x :: acc) (left - 1)
+              | None -> List.rev acc
+          in
+          go [] k);
+      length = (fun () -> Q.length (B.queue b));
+      enqueue_until =
+        (fun ~deadline p ->
+          match B.enqueue_until b ~deadline p with
+          | `Ok -> true
+          | `Timeout -> false);
+      dequeue_until =
+        (fun ~deadline ->
+          match B.dequeue_until b ~deadline with
+          | `Ok x -> Some x
+          | `Timeout -> None);
+    }
+  in
+  let create ~capacity = instance_of_blocking f.conc ~capacity in
   let create_probed ~metrics ~capacity =
     let probe = Nbq_obs.Metrics.probe metrics in
-    let module W = (val probed_conc probe : Queue_intf.CONC) in
+    let conc =
+      match f.probed with Some pb -> pb probe | None -> f.conc
+    in
+    let module W = (val conc) in
     let module M = struct
       let metrics = metrics
     end in
     let module I = Nbq_obs.Instrumented.Make (M) (W) in
-    instance_of ~probe (module I) ~capacity
+    instance_of_blocking ~probe (module I) ~capacity
   in
   let create_traced ~metrics ~tracer ~capacity =
-    let probe = Nbq_trace.Instrument.probe ?metrics tracer in
-    let module W = (val probed_conc probe : Queue_intf.CONC) in
-    let module T = struct
-      let tracer = tracer
-    end in
-    match metrics with
-    | Some m ->
-        let module M = struct
-          let metrics = m
-        end in
-        let module I1 = Nbq_obs.Instrumented.Make (M) (W) in
-        let module I = Nbq_trace.Instrument.Wrap (T) (I1) in
-        instance_of ~probe (module I) ~capacity
-    | None ->
-        let module I = Nbq_trace.Instrument.Wrap (T) (W) in
-        instance_of ~probe (module I) ~capacity
+    let inner =
+      match metrics with
+      | Some m -> create_probed ~metrics:m
+      | None -> create
+    in
+    traced_instance tracer (inner ~capacity)
   in
-  { base_impl with create_probed; create_traced }
+  let module Q = (val f.conc : Queue_intf.CONC) in
+  {
+    name;
+    family = f.classification;
+    bounded = Q.bounded;
+    bounded_delay_assumption = f.bounded_delay_assumption;
+    relaxed_fifo = f.relaxed_fifo;
+    create;
+    create_probed;
+    create_traced;
+  }
 
-let evequoz_seg_row =
-  segmented_row ~name:"evequoz-seg"
-    ~base:(module Nbq_segmented.Segmented.Cas : Queue_intf.CONC)
-    ~probed_conc:(fun probe ->
-      let module P = (val probe : Nbq_primitives.Probe.S) in
-      let module Core =
-        Nbq_segmented.Segmented.Make_probed_cas
-          (Nbq_primitives.Atomic_intf.Real)
-          (P)
-      in
-      let module W =
-        Nbq_segmented.Segmented.Conc
-          (struct
-            let name = "evequoz-seg"
-          end)
-          (Core)
-      in
-      (module W : Queue_intf.CONC))
+let register_family (f : Family.t) : impl list =
+  let base = base_row f in
+  let shard_rows =
+    List.map
+      (fun n ->
+        match f.shard_impl with
+        | Some mk -> mk n
+        | None -> sharded ~shards:n base)
+      f.shards
+  in
+  let blocking_rows = if f.blocking then [ blocking_row f ] else [] in
+  (base :: shard_rows) @ blocking_rows
 
-let evequoz_seg_bw_row =
-  segmented_row ~name:"evequoz-seg-bw"
-    ~base:(module Nbq_segmented.Segmented.Bw : Queue_intf.CONC)
-    ~probed_conc:(fun probe ->
-      let module P = (val probe : Nbq_primitives.Probe.S) in
-      let module Core =
-        Nbq_segmented.Segmented.Make_probed_bw
-          (Nbq_primitives.Atomic_intf.Real)
-          (P)
-      in
-      let module W =
-        Nbq_segmented.Segmented.Conc
-          (struct
-            let name = "evequoz-seg-bw"
-          end)
-          (Core)
-      in
-      (module W : Queue_intf.CONC))
+(* --- Deep-probe builders for the instrumentable families --------------- *)
 
-let concurrent =
+let probed_evequoz_cas probe =
+  let module P = (val probe : Nbq_primitives.Probe.S) in
+  let module Core =
+    Nbq_core.Evequoz_cas.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+  in
+  let module Q = Nbq_core.Evequoz_cas.With_implicit_handles (Core) in
+  let module C = Queue_intf.Make (Cap.Bounded_batch (Q)) in
+  (module C : Queue_intf.CONC)
+
+let probed_evequoz_bw probe =
+  let module P = (val probe : Nbq_primitives.Probe.S) in
+  let module Core =
+    Nbq_core.Evequoz_bw.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+  in
+  let module Q = struct
+    include Nbq_core.Evequoz_cas.With_implicit_handles (Core)
+
+    let name = "evequoz-bw"
+  end in
+  let module C = Queue_intf.Make (Cap.Bounded_batch (Q)) in
+  (module C : Queue_intf.CONC)
+
+let probed_evequoz_llsc probe =
+  let module P = (val probe : Nbq_primitives.Probe.S) in
+  let module Cell =
+    Nbq_primitives.Llsc.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+  in
+  let module Q = Nbq_core.Evequoz_llsc.Make_probed (Cell) (P) in
+  let module C = Queue_intf.Make (Cap.Bounded (Q)) in
+  (module C : Queue_intf.CONC)
+
+(* Segmented rows: [capacity] becomes the *segment* capacity; the queue
+   itself never rejects (Link_based, unbounded). *)
+let probed_evequoz_seg probe =
+  let module P = (val probe : Nbq_primitives.Probe.S) in
+  let module Core =
+    Nbq_segmented.Segmented.Make_probed_cas (Nbq_primitives.Atomic_intf.Real) (P)
+  in
+  let module W =
+    Nbq_segmented.Segmented.Conc
+      (struct
+        let name = "evequoz-seg"
+      end)
+      (Core)
+  in
+  (module W : Queue_intf.CONC)
+
+let probed_evequoz_seg_bw probe =
+  let module P = (val probe : Nbq_primitives.Probe.S) in
+  let module Core =
+    Nbq_segmented.Segmented.Make_probed_bw (Nbq_primitives.Atomic_intf.Real) (P)
+  in
+  let module W =
+    Nbq_segmented.Segmented.Conc
+      (struct
+        let name = "evequoz-seg-bw"
+      end)
+      (Core)
+  in
+  (module W : Queue_intf.CONC)
+
+(* --- SCQ (Nikolaev, arXiv:1908.04511) ----------------------------------- *)
+
+module Scq_default = Nbq_scq.Scq.Make (Nbq_primitives.Atomic_intf.Real)
+module Scq_wcq_default = Nbq_scq.Scq.Make_wcq (Nbq_primitives.Atomic_intf.Real)
+module Scq_conc = Queue_intf.Make (Cap.Bounded (Scq_default.Scq))
+module Scqd_conc = Queue_intf.Make (Cap.Bounded (Scq_default.Scqd))
+module Scq_wcq_conc = Queue_intf.Make (Cap.Bounded (Scq_wcq_default.Scq))
+
+let probed_scq probe =
+  let module P = (val probe : Nbq_primitives.Probe.S) in
+  let module S = Nbq_scq.Scq.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+  in
+  let module C = Queue_intf.Make (Cap.Bounded (S.Scq)) in
+  (module C : Queue_intf.CONC)
+
+let probed_scqd probe =
+  let module P = (val probe : Nbq_primitives.Probe.S) in
+  let module S = Nbq_scq.Scq.Make_probed (Nbq_primitives.Atomic_intf.Real) (P)
+  in
+  let module C = Queue_intf.Make (Cap.Bounded (S.Scqd)) in
+  (module C : Queue_intf.CONC)
+
+let probed_scq_wcq probe =
+  let module P = (val probe : Nbq_primitives.Probe.S) in
+  let module S =
+    Nbq_scq.Scq.Make_wcq_probed (Nbq_primitives.Atomic_intf.Real) (P)
+  in
+  let module C = Queue_intf.Make (Cap.Bounded (S.Scq)) in
+  (module C : Queue_intf.CONC)
+
+(* --- The registered families -------------------------------------------- *)
+
+let families : Family.t list =
   [
-    of_conc ~name:"evequoz-llsc" ~family:Array_based (module Evequoz_llsc_conc);
-    of_conc ~name:"evequoz-cas" ~family:Array_based (module Evequoz_cas_conc);
-    evequoz_bw_row;
-    of_conc ~name:"evequoz-llsc-weak" ~family:Array_based
-      (module Evequoz_llsc_weak_conc);
-    of_conc ~name:"shann" ~family:Array_based (module Shann_conc);
-    of_conc ~name:"tsigas-zhang" ~family:Array_based (module Tz_conc);
-    of_conc ~name:"valois-dcas" ~family:Array_based (module Valois_conc);
-    of_conc ~name:"ms-gc" ~family:Link_based (module Ms_gc_conc);
-    of_conc ~name:"ms-hp-sorted" ~family:Link_based (module Ms_hp_sorted_conc);
-    of_conc ~name:"ms-hp-unsorted" ~family:Link_based
-      (module Ms_hp_unsorted_conc);
-    of_conc ~name:"ms-ebr" ~family:Link_based (module Ms_ebr_conc);
-    of_conc ~name:"ms-doherty" ~family:Link_based (module Ms_doherty_conc);
-    of_conc ~name:"herlihy-wing" ~family:Array_based (module Hw_conc);
-    of_conc ~name:"lms-optimistic" ~family:Link_based (module Lms_conc);
-    of_conc ~name:"two-lock" ~family:Lock_based (module Two_lock_conc);
-    of_conc ~name:"lock-ring" ~family:Lock_based (module Lock_conc);
-    evequoz_seg_row;
-    evequoz_seg_bw_row;
-    sharded_evequoz_cas ~shards:4;
-    sharded_evequoz_cas ~shards:8;
+    Family.v "evequoz-llsc" ~probed:probed_evequoz_llsc
+      (module Evequoz_llsc_conc);
+    (* Native sharded composition (ring with amortized batch runs, probe
+       wired into the sharding layer itself) overrides the generic facade
+       for the shard4/shard8 rows. *)
+    Family.v "evequoz-cas" ~probed:probed_evequoz_cas ~shards:[ 4; 8 ]
+      ~shard_impl:(fun shards -> sharded_evequoz_cas ~shards)
+      (module Evequoz_cas_conc);
     (* Blelloch-Wei behind the generic sharded facade: deep-probed inner
        rings via the row's own create_probed. *)
-    sharded ~shards:4 evequoz_bw_row;
+    Family.v "evequoz-bw" ~probed:probed_evequoz_bw ~shards:[ 4 ]
+      (module Evequoz_bw_conc);
+    Family.v "evequoz-llsc-weak" (module Evequoz_llsc_weak_conc);
+    Family.v "shann" (module Shann_conc);
+    Family.v "tsigas-zhang" (module Tz_conc);
+    Family.v "valois-dcas" (module Valois_conc);
+    Family.v "ms-gc" ~classification:Link_based (module Ms_gc_conc);
+    Family.v "ms-hp-sorted" ~classification:Link_based
+      (module Ms_hp_sorted_conc);
+    Family.v "ms-hp-unsorted" ~classification:Link_based
+      (module Ms_hp_unsorted_conc);
+    Family.v "ms-ebr" ~classification:Link_based (module Ms_ebr_conc);
+    Family.v "ms-doherty" ~classification:Link_based (module Ms_doherty_conc);
+    Family.v "herlihy-wing" (module Hw_conc);
+    Family.v "lms-optimistic" ~classification:Link_based (module Lms_conc);
+    Family.v "two-lock" ~classification:Lock_based (module Two_lock_conc);
+    Family.v "lock-ring" ~classification:Lock_based (module Lock_conc);
     (* Segmented shards grow instead of shedding: the facade keeps its
        relaxed-FIFO contract but [try_enqueue] never sheds to a steal
        sweep on "full" — a shard's ring chain just grows.  The 1-shard
        row is the facade-overhead control: same code path, no relaxation
        benefit. *)
-    sharded ~shards:1 evequoz_seg_row;
-    sharded ~shards:4 evequoz_seg_row;
+    Family.v "evequoz-seg" ~classification:Link_based
+      ~probed:probed_evequoz_seg ~shards:[ 1; 4 ]
+      (module Nbq_segmented.Segmented.Cas);
+    Family.v "evequoz-seg-bw" ~classification:Link_based
+      ~probed:probed_evequoz_seg_bw
+      (module Nbq_segmented.Segmented.Bw);
+    (* SCQ: plain, SCQD index-queue pairing, and the wCQ-style helping
+       variant; the base row also derives a shard facade and a blocking
+       row (ROADMAP item on parking integration rides on the latter). *)
+    Family.v "scq" ~probed:probed_scq ~shards:[ 4 ] ~blocking:true
+      (module Scq_conc);
+    Family.v "scq-d" ~probed:probed_scqd (module Scqd_conc);
+    Family.v "scq-wcq" ~probed:probed_scq_wcq (module Scq_wcq_conc);
+    Family.v "seq-ring" ~classification:Sequential (module Seq_conc);
   ]
 
-let all = concurrent @ [ of_conc ~name:"seq-ring" ~family:Sequential (module Seq_conc) ]
+let all = List.concat_map register_family families
+
+let concurrent =
+  List.filter (fun i -> i.family <> Sequential) all
 
 let names () = List.map (fun i -> i.name) all
 

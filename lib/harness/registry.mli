@@ -80,6 +80,55 @@ type impl = {
           trades the counter hub away for a pure trace. *)
 }
 
+(** One descriptor per algorithm family; {!register_family} derives every
+    registry row it publishes.  Adding an algorithm is one {!Family.v}
+    entry in the internal family list — the derived rows (base, shards,
+    blocking) come for free. *)
+module Family : sig
+  type probed_builder =
+    (module Nbq_primitives.Probe.S) -> (module Nbq_core.Queue_intf.CONC)
+  (** Rebuild the queue with a probe threaded through its functor seams
+      (deep instrumentation: sc_fail, helping, tag traffic, faa cycles). *)
+
+  type t = {
+    name : string;
+    classification : family;
+    bounded_delay_assumption : bool;
+    relaxed_fifo : bool;
+    conc : (module Nbq_core.Queue_intf.CONC);
+    probed : probed_builder option;
+        (** [None]: probed/traced creation degrades to the shallow
+            retry/latency wrapper. *)
+    shards : int list;
+        (** Derived ["<name>-shard<N>"] rows, one per element. *)
+    shard_impl : (int -> impl) option;
+        (** Native sharded composition overriding the generic facade. *)
+    blocking : bool;
+        (** Derive a ["<name>-blocking"] row: plain ops are
+            [Queue_intf.Blocking_hooked]'s budget-0 (wake-issuing)
+            attempts, [*_until] ops its park-based paths. *)
+  }
+
+  val v :
+    ?classification:family ->
+    ?bounded_delay_assumption:bool ->
+    ?relaxed_fifo:bool ->
+    ?probed:probed_builder ->
+    ?shards:int list ->
+    ?shard_impl:(int -> impl) ->
+    ?blocking:bool ->
+    string ->
+    (module Nbq_core.Queue_intf.CONC) ->
+    t
+  (** [v name conc] with [classification] defaulting to [Array_based],
+      the flags to [false], and no derived rows. *)
+end
+
+val register_family : Family.t -> impl list
+(** The rows a family publishes: base, then one per [shards] entry, then
+    the blocking row if requested.  Row names follow the registry's
+    conventions (["<name>"], ["<name>-shard<N>"], ["<name>-blocking"]). *)
+
 val all : impl list
 (** Every registered implementation (concurrent ones first). *)
 

@@ -128,10 +128,30 @@ module SimSeg =
     (Trace_probe)
     (Nbq_primitives.Fault.Noop)
 
+(* Nikolaev's SCQ (PR 10): the FAA-ticketed ring, with and without the
+   wCQ-style helping enqueue.  The no-threshold variant disables the
+   retry-budget counter — the seeded livelock the checker must convict:
+   without it an empty-side dequeuer's slot bumps and the enqueuer's
+   fresh tickets can chase each other forever. *)
+module SimScq = Nbq_scq.Scq.Make_probed (Sim.Atomic) (Trace_probe)
+module SimScqW = Nbq_scq.Scq.Make_wcq_probed (Sim.Atomic) (Trace_probe)
+
+module SimScqNothresh =
+  Nbq_scq.Scq.Make_full
+    (struct
+      let threshold = false
+      let helping = false
+      let slow_after = 4
+    end)
+    (Sim.Atomic)
+    (Trace_probe)
+    (Nbq_primitives.Fault.Noop)
+
 let algorithms =
   [
     "evequoz-llsc"; "evequoz-cas"; "evequoz-bw"; "evequoz-seg"; "shann";
     "tsigas-zhang"; "ms-gc"; "herlihy-wing"; "lms-optimistic"; "valois-dcas";
+    "scq"; "scq-d"; "scq-wcq";
   ]
 
 let build ~algorithm ~capacity ~prefill threads =
@@ -273,6 +293,24 @@ let build ~algorithm ~capacity ~prefill threads =
               true),
             (fun () -> SimLms.try_dequeue q),
             None ))
+  | "scq" ->
+      generic ~spec_capacity:capacity ~prefill threads ~make_queue:(fun () ->
+          let q = SimScq.Scq.create ~capacity in
+          ( (fun v -> SimScq.Scq.try_enqueue q v),
+            (fun () -> SimScq.Scq.try_dequeue q),
+            None ))
+  | "scq-d" ->
+      generic ~spec_capacity:capacity ~prefill threads ~make_queue:(fun () ->
+          let q = SimScq.Scqd.create ~capacity in
+          ( (fun v -> SimScq.Scqd.try_enqueue q v),
+            (fun () -> SimScq.Scqd.try_dequeue q),
+            None ))
+  | "scq-wcq" ->
+      generic ~spec_capacity:capacity ~prefill threads ~make_queue:(fun () ->
+          let q = SimScqW.Scq.create ~capacity in
+          ( (fun v -> SimScqW.Scq.try_enqueue q v),
+            (fun () -> SimScqW.Scq.try_dequeue q),
+            None ))
   | other ->
       invalid_arg
         (Printf.sprintf "Scenarios.build: unknown algorithm %S (know: %s)"
@@ -322,6 +360,13 @@ let slug name =
 let progress_of_algorithm = function
   | "evequoz-cas" -> Props.Obstruction_free
   | "herlihy-wing" -> Props.Blocking
+  (* SCQ's threshold counter bounds the dequeuers' retry budget, but an
+     enqueuer's ticket can still be invalidated by each bump the budget
+     pays for, so on the adversarial continuation we only claim progress
+     in isolation; the exhaustive pass must come back clean under the
+     step budget regardless (the conviction belongs to scq-nothreshold,
+     which waives the counter and claims lock freedom). *)
+  | "scq" | "scq-d" | "scq-wcq" -> Props.Obstruction_free
   | _ -> Props.Lock_free
 
 (* Multiset of items that must still be in the queue when every recorded
@@ -745,6 +790,42 @@ let seg_instance ?(direct_free = false) ~capacity ~prefill threads () =
                      chain total_items cap max_chain)));
   }
 
+(* SCQ family (PR 10): linearizability plus conservation-by-drain.  No
+   per-step invariant: the credit ring hands a freed slot back *before*
+   the size counter settles, so even length <= capacity is transiently
+   false mid-step by design — only quiescent properties are sound, and
+   the drain checks those. *)
+let scq_instance ~make ~capacity ~prefill threads () =
+  let nthreads = List.length threads in
+  let enq, deq = make ~capacity in
+  let recorder = H.recorder ~threads:(nthreads + 1) in
+  Sim.run_sequential (fun () ->
+      List.iter
+        (fun v ->
+          record recorder ~thread:nthreads ~enq ~deq:(fun () -> None) (Enq v))
+        prefill);
+  let task i ops () = List.iter (record recorder ~thread:i ~enq ~deq) ops in
+  {
+    Dpor.tasks = Array.of_list (List.mapi task threads);
+    check =
+      (fun () ->
+        lin_check ~capacity recorder ();
+        conservation_check recorder deq ());
+    invariant = None;
+  }
+
+let scq_make ~capacity =
+  let q = SimScq.Scq.create ~capacity in
+  ((fun v -> SimScq.Scq.try_enqueue q v), fun () -> SimScq.Scq.try_dequeue q)
+
+let scqd_make ~capacity =
+  let q = SimScq.Scqd.create ~capacity in
+  ((fun v -> SimScq.Scqd.try_enqueue q v), fun () -> SimScq.Scqd.try_dequeue q)
+
+let scq_wcq_make ~capacity =
+  let q = SimScqW.Scq.create ~capacity in
+  ((fun v -> SimScqW.Scq.try_enqueue q v), fun () -> SimScqW.Scq.try_dequeue q)
+
 (* Other algorithms: the linearizability check as before, no extra
    invariant (their internals are baselines, not the paper's claims). *)
 let generic_instance ~algorithm ~capacity ~prefill threads () =
@@ -757,6 +838,9 @@ let matrix_instance ~algorithm ~capacity ~prefill threads =
   | "evequoz-cas" -> cas_instance ~capacity ~prefill threads
   | "evequoz-bw" -> bw_instance ~capacity ~prefill threads
   | "evequoz-seg" -> seg_instance ~capacity ~prefill threads
+  | "scq" -> scq_instance ~make:scq_make ~capacity ~prefill threads
+  | "scq-d" -> scq_instance ~make:scqd_make ~capacity ~prefill threads
+  | "scq-wcq" -> scq_instance ~make:scq_wcq_make ~capacity ~prefill threads
   | _ -> generic_instance ~algorithm ~capacity ~prefill threads
 
 (* --- post-paper scenarios: sharded facade, batched runs ------------------ *)
@@ -912,6 +996,36 @@ let lost_wakeup_instance () =
   in
   { Dpor.tasks; check; invariant = None }
 
+(* The seeded SCQ livelock ([Scq.CONFIG.threshold = false]): the miss
+   path has no retry budget, so a dequeuer that lost the slot race goes
+   again unconditionally — it bumps the slot cycle (invalidating the
+   enqueuer's ticket), the enqueuer FAAs a fresh ticket, and the chase
+   repeats; once the enqueuer is done the dequeuer keeps chasing its own
+   bumps, never conceding emptiness.  The scenario runs one more dequeue
+   than there are items ([Enq 1] | [Deq; Deq]) so the ring ends up drained
+   with a dequeue still in flight: that dequeue bumps slots and drags tail
+   via catchup forever — shared-state writes with no completion, which the
+   fair-continuation probe classifies as a livelock witness, violating the
+   claimed lock freedom.  (With one item per dequeue even the seeded
+   variant quiesces under the fair probe: the enqueuer eventually installs
+   and the chase consumes it — the adversarial mutual chase is real but no
+   round-robin continuation sustains it.)  With the counter armed the
+   budget expires and the same shape terminates, which the scq matrix
+   above runs to exhaustion.  No conservation drain here: draining the
+   seeded variant would itself never return on the emptied queue. *)
+let scq_nothreshold_instance () =
+  let q = SimScqNothresh.Scq.create ~capacity:1 in
+  let recorder = H.recorder ~threads:2 in
+  let enq v = SimScqNothresh.Scq.try_enqueue q v in
+  let deq () = SimScqNothresh.Scq.try_dequeue q in
+  let task i ops () = List.iter (record recorder ~thread:i ~enq ~deq) ops in
+  let tasks = Array.of_list (List.mapi task [ [ Enq 1 ]; [ Deq; Deq ] ]) in
+  {
+    Dpor.tasks;
+    check = lin_check ~capacity:2 recorder;
+    invariant = None;
+  }
+
 (* --- the catalog --------------------------------------------------------- *)
 
 let matrix_specs algorithm =
@@ -1002,6 +1116,16 @@ let extra_specs =
           [ [ Deq ]; [ Deq; Deq; Deq ] ];
     };
     {
+      algorithm = "scq-nothreshold";
+      scenario = "deq-chase-livelock";
+      descr =
+        "seeded bug: no threshold budget, so a missed dequeue retries \
+         unconditionally — slot bumps chase fresh tickets forever";
+      progress = Props.Lock_free;
+      expect = `Violation;
+      build_instance = scq_nothreshold_instance;
+    };
+    {
       algorithm = "evequoz-bw-noscan";
       scenario = "recycled-buffer-aba";
       descr =
@@ -1043,8 +1167,8 @@ let specs () =
 let spec_algorithms =
   algorithms
   @ [
-      "sharded-llsc"; "evequoz-bw-noscan"; "evequoz-seg-noretire"; "sim-wait";
-      "toy-blocking";
+      "sharded-llsc"; "evequoz-bw-noscan"; "evequoz-seg-noretire";
+      "scq-nothreshold"; "sim-wait"; "toy-blocking";
     ]
 
 let find ~algorithm ~scenario =

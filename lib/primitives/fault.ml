@@ -12,12 +12,15 @@ type point =
   | Op_gap
   | Park_window
   | Wake_lost
+  | Faa_cycle
+  | Threshold_reset
+  | Catchup
 
 let all =
   [
     Ll_reserve; Slot_swap; Sc_attempt; Tag_register; Tag_reregister;
     Tag_deregister; Counter_bump; Seg_append; Seg_retire; Shard_steal;
-    Op_gap; Park_window; Wake_lost;
+    Op_gap; Park_window; Wake_lost; Faa_cycle; Threshold_reset; Catchup;
   ]
 
 let to_string = function
@@ -34,6 +37,9 @@ let to_string = function
   | Op_gap -> "op-gap"
   | Park_window -> "park-window"
   | Wake_lost -> "wake-lost"
+  | Faa_cycle -> "faa-cycle"
+  | Threshold_reset -> "threshold-reset"
+  | Catchup -> "catchup"
 
 let of_string s = List.find_opt (fun p -> to_string p = s) all
 

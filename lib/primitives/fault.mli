@@ -57,7 +57,19 @@
       was bumped but before any popped waiter has been signalled.  A waker
       crashing here has "consumed" waiters without delivering their
       signals; parked domains must still be woken by the bounded-park
-      backstop (DESIGN.md §10). *)
+      backstop (DESIGN.md §10).
+    - [Faa_cycle] — in the SCQ family ([Nbq_scq.Scq]), just after a
+      fetch-and-add handed out a head/tail ticket but before the slot the
+      ticket names is read.  A victim frozen here owns a cycle the other
+      threads must be able to invalidate (dequeuers unsafe-mark or bump the
+      slot past it); its later arrival must fail cleanly and retry.
+    - [Threshold_reset] — after an SCQ enqueue installed its entry but
+      before the threshold counter is restored to [3n-1].  A victim frozen
+      here leaves dequeuers racing a stale (decremented) threshold; the
+      empty-detection claim must not lose the freshly installed item.
+    - [Catchup] — inside SCQ's dequeue-side [catchup] loop, before the CAS
+      that drags [tail] up to [head + 1].  A victim frozen mid-catchup must
+      not block other dequeuers from finishing the same repair. *)
 
 type point =
   | Ll_reserve
@@ -73,6 +85,9 @@ type point =
   | Op_gap
   | Park_window
   | Wake_lost
+  | Faa_cycle
+  | Threshold_reset
+  | Catchup
 
 val all : point list
 (** Every point, in declaration order. *)

@@ -381,6 +381,8 @@ end)
 (Core : CORE) =
 struct
   let name = N.name
+  (* Native batches: they amortize the DLS handle lookup over the run. *)
+  let caps = Queue_intf.Caps.(with_batch unbounded)
   let bounded = false
 
   type 'a t = {

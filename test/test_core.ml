@@ -596,6 +596,145 @@ let bw_batch_roundtrip () =
     (QB3.try_dequeue_batch q 99);
   Alcotest.(check (list int)) "empty run" [] (QB3.try_dequeue_batch q 4)
 
+(* --- SCQ (PR 10): the FAA-ticketed ring family --- *)
+
+module Scq = Nbq_scq.Scq.Make (Nbq_primitives.Atomic_intf.Real)
+module Scq_wcq = Nbq_scq.Scq.Make_wcq (Nbq_primitives.Atomic_intf.Real)
+
+let scq_fifo_and_capacity () =
+  let q = Scq.Scq.create ~capacity:3 in
+  Alcotest.(check int) "capacity rounded" 4 (Scq.Scq.capacity q);
+  for i = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "enqueue %d accepted" i)
+      true
+      (Scq.Scq.try_enqueue q i)
+  done;
+  (* The credit ring linearizes "full": the 5th item must bounce without
+     spinning even though the backing ring has 2n = 8 slots. *)
+  Alcotest.(check bool) "5th rejected" false (Scq.Scq.try_enqueue q 5);
+  Alcotest.(check int) "length at cap" 4 (Scq.Scq.length q);
+  for i = 1 to 4 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "dequeue %d in order" i)
+      (Some i) (Scq.Scq.try_dequeue q)
+  done;
+  Alcotest.(check (option int)) "then empty" None (Scq.Scq.try_dequeue q);
+  Alcotest.(check int) "length drained" 0 (Scq.Scq.length q)
+
+let scq_empty_fast_path_rearms () =
+  (* Failed dequeues burn the threshold down to its negative fast path;
+     any later enqueue must re-arm it (reset_threshold) so the queue
+     never reports a false empty afterwards. *)
+  let q = Scq.Scq.create ~capacity:2 in
+  for _ = 1 to 50 do
+    Alcotest.(check (option int)) "empty" None (Scq.Scq.try_dequeue q)
+  done;
+  Alcotest.(check bool) "enqueue after the burn" true (Scq.Scq.try_enqueue q 7);
+  Alcotest.(check (option int)) "comes back" (Some 7) (Scq.Scq.try_dequeue q);
+  Alcotest.(check (option int)) "empty again" None (Scq.Scq.try_dequeue q)
+
+let scq_wraparound () =
+  (* 100 laps of a 2-slot ring: cycle indices must keep slots unambiguous
+     far past the first revolution. *)
+  let q = Scq.Scq.create ~capacity:2 in
+  for i = 1 to 200 do
+    Alcotest.(check bool) "accepted" true (Scq.Scq.try_enqueue q i);
+    Alcotest.(check (option int)) "round-trips" (Some i) (Scq.Scq.try_dequeue q)
+  done;
+  Alcotest.(check int) "length settled" 0 (Scq.Scq.length q)
+
+let scqd_pairing () =
+  (* SCQD: index rings around a plain data array.  Same observable
+     contract — FIFO, capacity bound, emptiness — via the fq/aq pair. *)
+  let q = Scq.Scqd.create ~capacity:2 in
+  Alcotest.(check bool) "enq 1" true (Scq.Scqd.try_enqueue q 10);
+  Alcotest.(check bool) "enq 2" true (Scq.Scqd.try_enqueue q 20);
+  Alcotest.(check bool) "full" false (Scq.Scqd.try_enqueue q 30);
+  Alcotest.(check (option int)) "fifo 1" (Some 10) (Scq.Scqd.try_dequeue q);
+  Alcotest.(check (option int)) "fifo 2" (Some 20) (Scq.Scqd.try_dequeue q);
+  Alcotest.(check (option int)) "empty" None (Scq.Scqd.try_dequeue q);
+  for i = 1 to 100 do
+    Alcotest.(check bool) "lap enq" true (Scq.Scqd.try_enqueue q i);
+    Alcotest.(check (option int)) "lap deq" (Some i) (Scq.Scqd.try_dequeue q)
+  done
+
+let scq_wcq_helping_roundtrip () =
+  (* The helping variant changes the enqueue slow path, not the
+     contract: same FIFO and capacity behaviour, including far past
+     [slow_after] tickets' worth of traffic. *)
+  let q = Scq_wcq.Scq.create ~capacity:4 in
+  for lap = 0 to 49 do
+    for i = 1 to 4 do
+      Alcotest.(check bool) "accepted" true
+        (Scq_wcq.Scq.try_enqueue q ((lap * 4) + i))
+    done;
+    Alcotest.(check bool) "full" false (Scq_wcq.Scq.try_enqueue q 0);
+    for i = 1 to 4 do
+      Alcotest.(check (option int)) "in order"
+        (Some ((lap * 4) + i))
+        (Scq_wcq.Scq.try_dequeue q)
+    done;
+    Alcotest.(check (option int)) "empty" None (Scq_wcq.Scq.try_dequeue q)
+  done
+
+let scq_concurrent_conservation () =
+  (* 2 producers + 2 consumers over a 4-slot scq: every accepted item
+     comes out exactly once, per-producer order preserved. *)
+  let q = Scq.Scq.create ~capacity:4 in
+  let per = 3_000 in
+  let accepted = Array.make 2 [] and got = Array.make 2 [] in
+  let producers =
+    Array.init 2 (fun p ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              let v = (p * per) + i in
+              let rec go n =
+                if n > 0 && not (Scq.Scq.try_enqueue q v) then begin
+                  Unix.sleepf 1e-4;
+                  go (n - 1)
+                end
+                else if n > 0 then accepted.(p) <- v :: accepted.(p)
+              in
+              go 200
+            done))
+  in
+  let stop = Atomic.make 0 in
+  let consumers =
+    Array.init 2 (fun c ->
+        Domain.spawn (fun () ->
+            let rec drain idle =
+              match Scq.Scq.try_dequeue q with
+              | Some v ->
+                  got.(c) <- v :: got.(c);
+                  drain 0
+              | None ->
+                  if Atomic.get stop < 2 then begin
+                    Unix.sleepf 1e-4;
+                    drain idle
+                  end
+                  else if idle < 3 then drain (idle + 1)
+            in
+            drain 0))
+  in
+  Array.iter
+    (fun d ->
+      Domain.join d;
+      Atomic.incr stop)
+    producers;
+  Array.iter Domain.join consumers;
+  let all_in = List.sort compare (accepted.(0) @ accepted.(1)) in
+  let all_out = List.sort compare (got.(0) @ got.(1)) in
+  let rec leftover () =
+    match Scq.Scq.try_dequeue q with
+    | Some v -> v :: leftover ()
+    | None -> []
+  in
+  let all_out = List.sort compare (all_out @ leftover ()) in
+  Alcotest.(check int) "conservation" (List.length all_in)
+    (List.length all_out);
+  Alcotest.(check bool) "same multiset" true (all_in = all_out)
+
 let () =
   Alcotest.run "core"
     [
@@ -649,6 +788,15 @@ let () =
             bw_zero_hot_path_registry_traffic;
           quick "buffer pools bounded" bw_space_bounded;
           quick "batch runs roundtrip" bw_batch_roundtrip;
+        ] );
+      ( "scq",
+        [
+          quick "fifo + credit-bounded capacity" scq_fifo_and_capacity;
+          quick "empty fast path re-arms" scq_empty_fast_path_rearms;
+          quick "wraparound x100 laps" scq_wraparound;
+          quick "scqd index/data pairing" scqd_pairing;
+          quick "wcq helping contract parity" scq_wcq_helping_roundtrip;
+          slow "concurrent conservation" scq_concurrent_conservation;
         ] );
       ( "blocking",
         [

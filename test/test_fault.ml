@@ -286,6 +286,8 @@ let () =
       ("stall-matrix evequoz-cas", stall_matrix Torture.evequoz_cas);
       ("stall-matrix evequoz-bw", stall_matrix Torture.evequoz_bw);
       ("stall-matrix evequoz-seg", stall_matrix Torture.evequoz_seg);
+      ("stall-matrix scq", stall_matrix Torture.scq);
+      ("stall-matrix scq-wcq", stall_matrix Torture.scq_wcq);
       ( "stall-op-gap generic",
         [
           slow "two-lock" (opgap_generic "two-lock");
@@ -312,6 +314,14 @@ let () =
             (crash_point Torture.evequoz_seg Fault.Seg_append);
           slow "seg / seg-retire abandons hazard record"
             (crash_point Torture.evequoz_seg Fault.Seg_retire);
+          slow "scq / faa-cycle abandons ticket"
+            (crash_point Torture.scq Fault.Faa_cycle);
+          slow "scq / threshold-reset dies before restore"
+            (crash_point Torture.scq Fault.Threshold_reset);
+          slow "scq / catchup dies mid tail-repair"
+            (crash_point Torture.scq Fault.Catchup);
+          slow "scq-wcq / faa-cycle abandons ticket"
+            (crash_point Torture.scq_wcq Fault.Faa_cycle);
         ] );
       ( "explore",
         [

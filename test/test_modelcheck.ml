@@ -602,6 +602,81 @@ let dpor_convicts_seg_noretire () =
       | { Dpor.violation = None; _ } ->
           Alcotest.fail "replay did not reproduce the violation")
 
+let dpor_scq_matrix () =
+  (* Nikolaev's SCQ (plain, SCQD pairing, wCQ-style helping): the whole
+     standard matrix through DPOR with linearizability plus
+     conservation-by-drain.  The rings claim obstruction freedom (an
+     enqueuer's ticket can be invalidated by every bump the dequeuers'
+     budget pays for), so every tree must still complete exhaustively
+     under the step budget with no violation. *)
+  List.iter
+    (fun (s : Scenarios.spec) ->
+      if List.mem s.algorithm [ "scq"; "scq-d"; "scq-wcq" ] then
+        match
+          Dpor.explore ~max_steps:60 ~progress:s.progress s.build_instance
+        with
+        | stats ->
+            Alcotest.(check bool)
+              (s.algorithm ^ "/" ^ s.scenario ^ ": exhaustive")
+              true stats.Dpor.exhaustive;
+            Alcotest.(check int)
+              (s.algorithm ^ "/" ^ s.scenario ^ ": no stuck branch")
+              0 stats.Dpor.stuck
+        | exception Sim.Violation { schedule; message } ->
+            Alcotest.failf "%s/%s: schedule [%s]: %s" s.algorithm s.scenario
+              (String.concat ";" (List.map string_of_int schedule))
+              message)
+    (Scenarios.specs ())
+
+let dpor_convicts_scq_nothreshold () =
+  (* The seeded SCQ livelock: without the threshold's retry budget a
+     missed dequeue goes again unconditionally, and the drained-queue
+     dequeuer bumps slots and drags tail forever.  The checker must
+     convict it as a *liveness* violation carrying a livelock witness,
+     the NBQ-FAULT-REPRO v2-mc line must survive a print/parse
+     roundtrip, and the schedule must re-derive the same verdict through
+     replay. *)
+  let spec = find_spec "scq-nothreshold" "deq-chase-livelock" in
+  match
+    Dpor.explore ~max_steps:60 ~progress:spec.progress spec.build_instance
+  with
+  | _ -> Alcotest.fail "seeded SCQ no-threshold livelock not convicted"
+  | exception Sim.Violation { schedule; message } ->
+      Alcotest.(check bool) "classified as liveness" true
+        (Props.is_liveness_message message);
+      let repro =
+        Repro.of_violation ~algorithm:spec.algorithm ~scenario:spec.scenario
+          ~message schedule
+      in
+      let line = Repro.to_line repro in
+      (match Repro.parse ("log noise " ^ line) with
+      | Some r ->
+          Alcotest.(check string) "algorithm" "scq-nothreshold"
+            r.Repro.algorithm;
+          Alcotest.(check string) "scenario" "deq-chase-livelock"
+            r.Repro.scenario;
+          Alcotest.(check (list int)) "schedule" schedule r.Repro.schedule;
+          Alcotest.(check bool) "kind" true (r.Repro.kind = `Liveness)
+      | None -> Alcotest.fail "repro line did not parse back");
+      (match
+         Dpor.replay ~progress:spec.progress spec.build_instance schedule
+       with
+      | { Dpor.violation = Some _; status = `Diverged (Props.Livelock_witness _)
+        } ->
+          ()
+      | { Dpor.violation = Some _; _ } ->
+          Alcotest.fail "replay violated but not as a livelock witness"
+      | { Dpor.violation = None; _ } ->
+          Alcotest.fail "replay did not reproduce the violation");
+      (* ... and the legacy surface agrees the schedule diverges. *)
+      (match
+         Sim.run_schedule ~max_steps:(List.length schedule)
+           (Scenarios.scenario_of_spec spec)
+           schedule
+       with
+      | `Diverged -> ()
+      | `Completed -> Alcotest.fail "run_schedule completed unexpectedly")
+
 let dpor_extra_specs_quick () =
   (* The post-paper scenarios: sharded steal-sweep and Algorithm 2's
      batch-run commit/drain races.  Tiny trees, strong checks. *)
@@ -734,6 +809,8 @@ let () =
           quick "convicts BW no-scan recycling" dpor_convicts_bw_noscan;
           quick "segmented matrix exhaustive" dpor_seg_matrix;
           quick "convicts segmented no-retire" dpor_convicts_seg_noretire;
+          slow "scq matrix exhaustive" dpor_scq_matrix;
+          quick "convicts scq no-threshold livelock" dpor_convicts_scq_nothreshold;
           quick "sharded + batch scenarios" dpor_extra_specs_quick;
           quick "dump_schedule renders" dump_schedule_renders;
           quick "repro parse rejects noise" repro_parse_rejects_noise;
